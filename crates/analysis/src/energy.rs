@@ -1,0 +1,160 @@
+//! Energy model (Table II hop costs, Fig. 15 methodology).
+//!
+//! The paper evaluates energy per transmitted bit as the sum of per-hop
+//! energies along each packet's path, with Table II costs: long-reach hops
+//! (local copper / global optical, and the baseline's terminal cables)
+//! ≈ 20 pJ/bit, on-wafer short-reach hops ≈ 2 pJ/bit, on-chip hops
+//! ≈ 0.1 pJ/bit. For Fig. 15 the paper simplifies intra-C-group hops to an
+//! average 1 pJ/bit; both modes are provided.
+
+use serde::{Deserialize, Serialize};
+use wsdf_sim::{ChannelClass, Metrics};
+
+/// Long-reach hop energy (Table II), pJ/bit.
+pub const HOP_ENERGY_LR: f64 = 20.0;
+/// Short-reach on-wafer hop energy (Table II), pJ/bit.
+pub const HOP_ENERGY_SR: f64 = 2.0;
+/// On-chip hop energy (Table II), pJ/bit.
+pub const HOP_ENERGY_ONCHIP: f64 = 0.1;
+/// The paper's Fig. 15 simplification: average intra-C-group hop, pJ/bit.
+pub const HOP_ENERGY_INTRA_CG_AVG: f64 = 1.0;
+
+/// Per-channel-class energy in pJ/bit.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct EnergyModel {
+    /// Energy per flit-hop by [`ChannelClass`] (dense index), pJ/bit.
+    pub per_class: [f64; 6],
+}
+
+impl EnergyModel {
+    /// Fig. 15 model for the switch-less fabric: intra-C-group hops
+    /// (on-chip, short-reach) at the 1 pJ/bit average, long-reach at
+    /// 20 pJ/bit, injection/ejection on-chip (the endpoint is an on-chip
+    /// node — no terminal cable exists).
+    pub fn switchless_paper() -> Self {
+        let mut per_class = [0.0; 6];
+        per_class[ChannelClass::OnChip.index()] = HOP_ENERGY_INTRA_CG_AVG;
+        per_class[ChannelClass::ShortReach.index()] = HOP_ENERGY_INTRA_CG_AVG;
+        per_class[ChannelClass::LongReachLocal.index()] = HOP_ENERGY_LR;
+        per_class[ChannelClass::LongReachGlobal.index()] = HOP_ENERGY_LR;
+        per_class[ChannelClass::Injection.index()] = HOP_ENERGY_ONCHIP;
+        per_class[ChannelClass::Ejection.index()] = HOP_ENERGY_ONCHIP;
+        EnergyModel { per_class }
+    }
+
+    /// Fig. 15 model for the switch-based baseline: every switch hop is a
+    /// long-reach cable, and the terminal links (injection/ejection, the
+    /// paper's H*_l) cost like local hops.
+    pub fn switchbased_paper() -> Self {
+        let mut per_class = [0.0; 6];
+        per_class[ChannelClass::LongReachLocal.index()] = HOP_ENERGY_LR;
+        per_class[ChannelClass::LongReachGlobal.index()] = HOP_ENERGY_LR;
+        per_class[ChannelClass::Injection.index()] = HOP_ENERGY_LR;
+        per_class[ChannelClass::Ejection.index()] = HOP_ENERGY_LR;
+        EnergyModel { per_class }
+    }
+
+    /// Fine-grained Table II model (distinguishes on-chip 0.1 from
+    /// short-reach 2 pJ/bit).
+    pub fn fine_grained_switchless() -> Self {
+        let mut m = Self::switchless_paper();
+        m.per_class[ChannelClass::OnChip.index()] = HOP_ENERGY_ONCHIP;
+        m.per_class[ChannelClass::ShortReach.index()] = HOP_ENERGY_SR;
+        m
+    }
+
+    /// Average energy per transmitted bit given average per-class hop
+    /// counts (pJ/bit).
+    pub fn energy_per_bit(&self, avg_hops: &[f64; 6]) -> f64 {
+        avg_hops
+            .iter()
+            .zip(self.per_class.iter())
+            .map(|(h, e)| h * e)
+            .sum()
+    }
+
+    /// Split into (inter-C-group, intra-C-group) energy — the two stacked
+    /// components of Fig. 15. Long-reach hops and terminal cables count as
+    /// inter-C-group; on-chip/short-reach as intra-C-group.
+    pub fn energy_split(&self, avg_hops: &[f64; 6]) -> (f64, f64) {
+        let inter: f64 = [
+            ChannelClass::LongReachLocal,
+            ChannelClass::LongReachGlobal,
+            ChannelClass::Injection,
+            ChannelClass::Ejection,
+        ]
+        .iter()
+        .map(|c| avg_hops[c.index()] * self.per_class[c.index()])
+        .sum();
+        let intra: f64 = [ChannelClass::OnChip, ChannelClass::ShortReach]
+            .iter()
+            .map(|c| avg_hops[c.index()] * self.per_class[c.index()])
+            .sum();
+        (inter, intra)
+    }
+
+    /// Convenience: energy per bit straight from simulation metrics.
+    pub fn from_metrics(&self, m: &Metrics) -> f64 {
+        self.energy_per_bit(&m.avg_hops_per_flit())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hops(
+        on_chip: f64,
+        sr: f64,
+        lr_local: f64,
+        lr_global: f64,
+        inj: f64,
+        ej: f64,
+    ) -> [f64; 6] {
+        let mut h = [0.0; 6];
+        h[ChannelClass::OnChip.index()] = on_chip;
+        h[ChannelClass::ShortReach.index()] = sr;
+        h[ChannelClass::LongReachLocal.index()] = lr_local;
+        h[ChannelClass::LongReachGlobal.index()] = lr_global;
+        h[ChannelClass::Injection.index()] = inj;
+        h[ChannelClass::Ejection.index()] = ej;
+        h
+    }
+
+    #[test]
+    fn switchbased_minimal_route_energy() {
+        // Avg minimal Dragonfly route: inj + ~2 local + 1 global + ej
+        // at 20 pJ each ≈ 100 pJ/bit — the scale of Fig. 15's SW-based bar.
+        let m = EnergyModel::switchbased_paper();
+        let e = m.energy_per_bit(&hops(0.0, 0.0, 2.0, 1.0, 1.0, 1.0));
+        assert!((e - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn switchless_energy_is_lower_with_same_lr_hops() {
+        // Same LR structure but on-wafer injection and ~10 intra-C hops:
+        // 2·20 + 20 + 10·1 + 0.2·0.1 ≈ 70 < 100.
+        let m = EnergyModel::switchless_paper();
+        let e = m.energy_per_bit(&hops(4.0, 6.0, 2.0, 1.0, 1.0, 1.0));
+        assert!(e < 100.0);
+        assert!((e - (60.0 + 10.0 + 0.2)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn split_sums_to_total() {
+        let m = EnergyModel::switchless_paper();
+        let h = hops(3.0, 5.0, 1.5, 1.0, 1.0, 1.0);
+        let (inter, intra) = m.energy_split(&h);
+        assert!((inter + intra - m.energy_per_bit(&h)).abs() < 1e-9);
+        assert!(inter > intra, "LR hops dominate at these counts");
+    }
+
+    #[test]
+    fn fine_grained_distinguishes_onchip() {
+        let m = EnergyModel::fine_grained_switchless();
+        let cheap = m.energy_per_bit(&hops(10.0, 0.0, 0.0, 0.0, 0.0, 0.0));
+        let pricier = m.energy_per_bit(&hops(0.0, 10.0, 0.0, 0.0, 0.0, 0.0));
+        assert!((cheap - 1.0).abs() < 1e-9);
+        assert!((pricier - 20.0).abs() < 1e-9);
+    }
+}

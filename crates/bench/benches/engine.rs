@@ -1,0 +1,78 @@
+//! Engine microbenchmarks: router-cycle throughput, topology construction,
+//! and small end-to-end simulations.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use wsdf::routing::{RouteMode, VcScheme};
+use wsdf::{Bench, PatternSpec};
+use wsdf_sim::SimConfig;
+use wsdf_topo::{SlParams, SwParams, SwitchFabric, SwitchlessFabric};
+
+fn quick_cfg() -> SimConfig {
+    SimConfig {
+        warmup_cycles: 50,
+        measure_cycles: 200,
+        drain_cycles: 0,
+        ..Default::default()
+    }
+}
+
+fn bench_topology_build(c: &mut Criterion) {
+    let mut g = c.benchmark_group("topology_build");
+    g.sample_size(20);
+    g.bench_function("switchless_radix16_full", |b| {
+        let p = SlParams::radix16();
+        b.iter(|| SwitchlessFabric::build(&p));
+    });
+    g.bench_function("switchbased_radix16_full", |b| {
+        let p = SwParams::radix16();
+        b.iter(|| SwitchFabric::build(&p));
+    });
+    g.finish();
+}
+
+fn bench_simulation_cycles(c: &mut Criterion) {
+    let mut g = c.benchmark_group("simulation");
+    g.sample_size(10);
+    for load in [0.2f64, 0.6] {
+        g.bench_with_input(
+            BenchmarkId::new("wgroup_uniform", format!("{load}")),
+            &load,
+            |b, &load| {
+                let p = SlParams::radix16().with_wgroups(1);
+                let bench = Bench::switchless(&p, RouteMode::Minimal, VcScheme::Baseline);
+                let pat = bench.pattern(PatternSpec::Uniform, load);
+                b.iter(|| bench.run(&quick_cfg(), pat.as_ref()).unwrap());
+            },
+        );
+    }
+    g.bench_function("mesh4x4_uniform_0.5", |b| {
+        let bench = Bench::single_mesh(4, 2, 1);
+        let pat = bench.pattern(PatternSpec::Uniform, 0.5);
+        b.iter(|| bench.run(&quick_cfg(), pat.as_ref()).unwrap());
+    });
+    g.finish();
+}
+
+fn bench_parallel_scaling(c: &mut Criterion) {
+    let mut g = c.benchmark_group("bsp_partitions");
+    g.sample_size(10);
+    let p = SlParams::radix16().with_wgroups(5);
+    let bench = Bench::switchless(&p, RouteMode::Minimal, VcScheme::Baseline);
+    for parts in [1usize, 4] {
+        g.bench_with_input(BenchmarkId::from_parameter(parts), &parts, |b, &parts| {
+            let mut cfg = quick_cfg();
+            cfg.partitions = parts;
+            let pat = bench.pattern(PatternSpec::Uniform, 0.15);
+            b.iter(|| bench.run(&cfg, pat.as_ref()).unwrap());
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_topology_build,
+    bench_simulation_cycles,
+    bench_parallel_scaling
+);
+criterion_main!(benches);

@@ -1,0 +1,19 @@
+//! Table benches: the analytic models are cheap; these benches both time
+//! them and act as a regression guard that they keep producing output.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use wsdf_bench::tables;
+
+fn bench_tables(c: &mut Criterion) {
+    let mut g = c.benchmark_group("tables");
+    g.bench_function("table_i", |b| b.iter(tables::table_i));
+    g.bench_function("table_ii", |b| b.iter(tables::table_ii));
+    g.bench_function("table_iii", |b| b.iter(tables::table_iii_text));
+    g.bench_function("table_iv", |b| b.iter(tables::table_iv));
+    g.bench_function("fig9_layout", |b| b.iter(tables::fig9));
+    g.bench_function("equations", |b| b.iter(tables::equations_summary));
+    g.finish();
+}
+
+criterion_group!(benches, bench_tables);
+criterion_main!(benches);

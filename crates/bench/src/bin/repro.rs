@@ -1,0 +1,132 @@
+//! The reproduction harness: regenerates every table and figure of the
+//! paper's evaluation.
+//!
+//! ```text
+//! repro <target> [--smoke|--full] [--json DIR]
+//!
+//! targets: table1 table2 table3 table4 fig9 fig10ab fig10cf fig11 fig12
+//!          fig13 fig14 fig15 equations tables figures all
+//! ```
+//!
+//! Text goes to stdout; with `--json DIR`, figures are also serialized to
+//! `DIR/<figure-id>.json`.
+
+use std::io::Write;
+use wsdf_bench::{figures, tables, Effort};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() {
+        usage();
+        std::process::exit(2);
+    }
+    let mut target = None;
+    let mut effort = Effort::Standard;
+    let mut json_dir: Option<String> = None;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--smoke" => effort = Effort::Smoke,
+            "--full" => effort = Effort::Full,
+            "--json" => match it.next() {
+                Some(d) => json_dir = Some(d.clone()),
+                None => {
+                    eprintln!("--json needs a directory");
+                    std::process::exit(2);
+                }
+            },
+            t if target.is_none() => target = Some(t.to_string()),
+            other => {
+                eprintln!("unexpected argument: {other}");
+                std::process::exit(2);
+            }
+        }
+    }
+    let Some(target) = target else {
+        usage();
+        std::process::exit(2);
+    };
+
+    let run_figures = |which: &str| {
+        let figs = match which {
+            "fig10ab" => figures::fig10ab(effort),
+            "fig10cf" => figures::fig10cf(effort),
+            "fig11" => figures::fig11(effort),
+            "fig12" => figures::fig12(effort),
+            "fig13" => figures::fig13(effort),
+            "fig14" => figures::fig14(effort),
+            "ablation" => figures::vc_ablation(effort),
+            _ => unreachable!(),
+        };
+        for f in &figs {
+            println!("{}", f.render());
+            if let Some(dir) = &json_dir {
+                write_json(dir, &f.id, &f.to_json());
+            }
+        }
+    };
+    let run_fig15 = || {
+        let groups = figures::fig15(effort);
+        print!("{}", figures::render_fig15(&groups));
+        if let Some(dir) = &json_dir {
+            let json = serde_json::to_string_pretty(&groups).unwrap();
+            write_json(dir, "fig15", &json);
+        }
+    };
+    let print_tables = || {
+        print!("{}", tables::table_i());
+        print!("{}", tables::table_ii());
+        print!("{}", tables::table_iii_text());
+        print!("{}", tables::table_iv());
+        print!("{}", tables::equations_summary());
+        print!("{}", tables::fig9());
+    };
+
+    match target.as_str() {
+        "table1" => print!("{}", tables::table_i()),
+        "table2" => print!("{}", tables::table_ii()),
+        "table3" => print!("{}", tables::table_iii_text()),
+        "table4" => print!("{}", tables::table_iv()),
+        "equations" => print!("{}", tables::equations_summary()),
+        "fig9" => print!("{}", tables::fig9()),
+        "tables" => print_tables(),
+        "fig10ab" | "fig10cf" | "fig11" | "fig12" | "fig13" | "fig14" | "ablation" => {
+            run_figures(&target)
+        }
+        "fig15" => run_fig15(),
+        "figures" => {
+            for which in ["fig10ab", "fig10cf", "fig11", "fig12", "fig13", "fig14", "ablation"] {
+                run_figures(which);
+            }
+            run_fig15();
+        }
+        "all" => {
+            print_tables();
+            for which in ["fig10ab", "fig10cf", "fig11", "fig12", "fig13", "fig14", "ablation"] {
+                run_figures(which);
+            }
+            run_fig15();
+        }
+        other => {
+            eprintln!("unknown target: {other}");
+            usage();
+            std::process::exit(2);
+        }
+    }
+}
+
+fn write_json(dir: &str, id: &str, json: &str) {
+    std::fs::create_dir_all(dir).expect("create json dir");
+    let path = format!("{dir}/{id}.json");
+    let mut f = std::fs::File::create(&path).expect("create json file");
+    f.write_all(json.as_bytes()).expect("write json");
+    eprintln!("wrote {path}");
+}
+
+fn usage() {
+    eprintln!(
+        "usage: repro <target> [--smoke|--full] [--json DIR]\n\
+         targets: table1 table2 table3 table4 equations fig9 fig10ab fig10cf\n\
+         \t fig11 fig12 fig13 fig14 fig15 ablation tables figures all"
+    );
+}

@@ -1,0 +1,149 @@
+//! Table regeneration: Tables I, II, III and IV plus the Fig. 9 layout.
+
+use wsdf_analysis::equations::{HopLatency, SlAnalytic};
+use wsdf_analysis::{table_iii, CGroupLayout, HOP_ENERGY_LR, HOP_ENERGY_ONCHIP, HOP_ENERGY_SR};
+use wsdf_sim::SimConfig;
+
+/// Table I: external communication and switching capability of datacenter
+/// chips — published spec constants, printed for completeness.
+pub fn table_i() -> String {
+    let rows: [(&str, &str, u32, u32, f64); 6] = [
+        ("Switching", "NVSwitch", 128, 100, 12.8),
+        ("Switching", "Tofino2", 256, 50, 12.8),
+        ("Switching", "Rosetta", 256, 50, 12.8),
+        ("Computing", "H100", 36, 100, 3.6),
+        ("Computing", "EPYC", 128, 32, 4.0),
+        ("Computing", "DOJO D1", 576, 112, 63.0),
+    ];
+    let mut s = String::from(
+        "== Table I — IO capability of datacenter chips ==\n\
+         category   chip       lanes  rate(Gbps)  throughput(Tb/s)\n",
+    );
+    for (cat, chip, lanes, rate, tput) in rows {
+        s.push_str(&format!(
+            "{cat:<10} {chip:<10} {lanes:>5} {rate:>11} {tput:>17.1}\n"
+        ));
+        // Consistency check: lanes × rate ≈ throughput (D1 uses duplex
+        // counting in the paper; allow 2×).
+        let computed = lanes as f64 * rate as f64 / 1000.0;
+        debug_assert!(
+            (computed - tput).abs() / tput < 1.05,
+            "{chip}: {computed} vs {tput}"
+        );
+    }
+    s
+}
+
+/// Table II: hop cost comparison (latency ns, energy pJ/bit).
+pub fn table_ii() -> String {
+    let lat = HopLatency::default();
+    format!(
+        "== Table II — hop cost comparison ==\n\
+         hop        medium         latency(ns)   energy(pJ/bit)\n\
+         Hg         optical        {:>8.0}+ToF   {:>6.0}+\n\
+         Hl         copper cable   {:>8.0}+ToF   {:>6.0}+\n\
+         Hsr        RDL            {:>11.0}   {:>6.0}\n\
+         Hon-chip   metal layer    {:>11.0}   {:>8.1}\n",
+        lat.global,
+        HOP_ENERGY_LR,
+        lat.local,
+        HOP_ENERGY_LR,
+        lat.short_reach,
+        HOP_ENERGY_SR,
+        lat.on_chip,
+        HOP_ENERGY_ONCHIP,
+    )
+}
+
+/// Table III: the full topology comparison (computed; see
+/// `wsdf_analysis::table3`).
+pub fn table_iii_text() -> String {
+    format!(
+        "== Table III — topology comparison at Slingshot scale ==\n{}",
+        wsdf_analysis::table3::render(&table_iii())
+    )
+}
+
+/// Table IV: simulator default parameters.
+pub fn table_iv() -> String {
+    let c = SimConfig::default();
+    format!(
+        "== Table IV — simulation defaults ==\n\
+         packet length          {} flits\n\
+         input buffer size      {} flits\n\
+         base link bandwidth    1 flit/cycle\n\
+         short-reach delay      1 cycle\n\
+         long-reach delay       8 cycles\n\
+         simulation time        {} cycles after {} warm-up\n",
+        c.packet_len, c.buffer_flits, c.measure_cycles, c.warmup_cycles
+    )
+}
+
+/// Fig. 9: C-group layout feasibility summary.
+pub fn fig9() -> String {
+    let l = CGroupLayout::paper();
+    format!(
+        "== Fig. 9 — C-group wafer layout ==\n{}\nshoreline routable (1 RDL layer): {}\nconversion module bump-feasible: {}\n",
+        l.summary(),
+        l.shoreline_feasible(1),
+        l.conv_module_feasible()
+    )
+}
+
+/// Analytic summary (Eqs. 1–7) for the case-study configuration.
+pub fn equations_summary() -> String {
+    let s = SlAnalytic::case_study();
+    format!(
+        "== Analytical model (Sec. III-B, case study n=12 m=4 a=4 b=8) ==\n\
+         k = {} ports, h = {} global ports, g = {} W-groups\n\
+         N = {} chiplets (Eq. 1)\n\
+         T_global < {:.2} flits/cycle/chip (Eq. 2)\n\
+         T_local  < {:.2} flits/cycle/chip (Eq. 4)\n\
+         T_cg     < {:.2} flits/cycle/chip (Eq. 5)\n\
+         B_cg     = {:.0} flits/cycle (Eq. 6)\n\
+         diameter = {} (Eq. 7)\n\
+         balanced per Eq. (3): {}\n",
+        s.k(),
+        s.h(),
+        s.g(),
+        s.total_chiplets(),
+        s.t_global(),
+        s.t_local(),
+        s.t_cgroup(),
+        s.b_cgroup(),
+        s.diameter_hops(),
+        s.is_balanced(),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn tables_render() {
+        for t in [
+            super::table_i(),
+            super::table_ii(),
+            super::table_iii_text(),
+            super::table_iv(),
+            super::fig9(),
+            super::equations_summary(),
+        ] {
+            assert!(!t.is_empty());
+        }
+    }
+
+    #[test]
+    fn table_iv_matches_paper() {
+        let t = super::table_iv();
+        assert!(t.contains("4 flits"));
+        assert!(t.contains("32 flits"));
+        assert!(t.contains("5000 warm-up"));
+    }
+
+    #[test]
+    fn table_iii_headline() {
+        let t = super::table_iii_text();
+        assert!(t.contains("Switch-less Dragonfly"));
+        assert!(t.contains("279040"));
+    }
+}

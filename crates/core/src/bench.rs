@@ -1,0 +1,283 @@
+//! Fabric + oracle bundles and workload construction.
+
+use wsdf_routing::{MeshOracle, RouteMode, SlOracle, SwOracle, SwitchNodeOracle, VcScheme};
+use wsdf_sim::{Metrics, NetworkDesc, RouteOracle, SimConfig, SimResult, TrafficPattern};
+use wsdf_topo::{single_mesh, single_switch, MeshFabric, SlParams, SwParams, SwitchFabric, SwitchNode, SwitchlessFabric};
+use wsdf_traffic::{
+    HotspotPattern, PermKind, PermutationPattern, RingAllReduce, RingDirection, Scope,
+    UniformPattern, WorstCasePattern,
+};
+
+/// A built network of one of the four evaluated kinds.
+pub enum Fabric {
+    /// Switch-less Dragonfly on wafers.
+    Switchless(SwitchlessFabric),
+    /// Switch-based Dragonfly baseline.
+    Switchbased(SwitchFabric),
+    /// Standalone m×m mesh C-group (Fig. 10(a,b) left side).
+    Mesh(MeshFabric),
+    /// Single ideal switch (Fig. 10(a,b) right side).
+    SingleSwitch(SwitchNode),
+}
+
+impl Fabric {
+    /// The simulator network description.
+    pub fn net(&self) -> &NetworkDesc {
+        match self {
+            Fabric::Switchless(f) => &f.net,
+            Fabric::Switchbased(f) => &f.net,
+            Fabric::Mesh(f) => &f.net,
+            Fabric::SingleSwitch(f) => &f.net,
+        }
+    }
+}
+
+/// Workload selector; see [`Bench::pattern`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PatternSpec {
+    /// Uniform random.
+    Uniform,
+    /// Bit permutation.
+    Permutation(PermKind),
+    /// Hotspot over four evenly spread W-groups.
+    Hotspot,
+    /// Worst-case Wi → Wi+1.
+    WorstCase,
+    /// Ring AllReduce over the chips of each C-group.
+    RingCGroup(RingDirection),
+    /// Ring AllReduce over the chips of each W-group.
+    RingWGroup(RingDirection),
+}
+
+/// A fabric, its routing oracle, and its endpoint scoping — everything a
+/// simulation run needs besides the workload and rates.
+pub struct Bench {
+    /// The built network.
+    pub fabric: Fabric,
+    /// The routing oracle driving it.
+    pub oracle: Box<dyn RouteOracle>,
+    /// Endpoint grouping (W-groups, chips).
+    pub scope: Scope,
+    /// Nodes per chip for per-chip rate conversion (may be fractional for
+    /// the radix-32 configuration; see DESIGN.md).
+    pub nodes_per_chip: f64,
+    /// Display label ("SW-less-2B", "SW-based", ...).
+    pub label: String,
+}
+
+impl Bench {
+    /// Switch-less Dragonfly with the given routing mode and VC scheme.
+    pub fn switchless(p: &SlParams, mode: RouteMode, scheme: VcScheme) -> Self {
+        let fabric = SwitchlessFabric::build(p);
+        let oracle = SlOracle::new(p, mode, scheme);
+        let scope = Scope::switchless(p);
+        let width_tag = match p.mesh_width {
+            2 => "-2B",
+            4 => "-4B",
+            _ => "",
+        };
+        let mode_tag = match mode {
+            RouteMode::Minimal => "",
+            RouteMode::Valiant => "-Mis",
+        };
+        Bench {
+            fabric: Fabric::Switchless(fabric),
+            oracle: Box::new(oracle),
+            scope,
+            nodes_per_chip: p.nodes_per_chip,
+            label: format!("SW-less{width_tag}{mode_tag}"),
+        }
+    }
+
+    /// Switch-based Dragonfly baseline.
+    pub fn switchbased(p: &SwParams, mode: RouteMode) -> Self {
+        let fabric = SwitchFabric::build(p);
+        let oracle = match mode {
+            RouteMode::Minimal => SwOracle::minimal(p),
+            RouteMode::Valiant => SwOracle::valiant(p),
+        };
+        let scope = Scope::switchbased(p);
+        let mode_tag = match mode {
+            RouteMode::Minimal => "",
+            RouteMode::Valiant => "-Mis",
+        };
+        Bench {
+            fabric: Fabric::Switchbased(fabric),
+            oracle: Box::new(oracle),
+            scope,
+            nodes_per_chip: 1.0,
+            label: format!("SW-based{mode_tag}"),
+        }
+    }
+
+    /// Standalone mesh C-group (the "2D-Mesh" curve of Fig. 10(a,b)).
+    pub fn single_mesh(m: u32, chiplet: u32, width: u8) -> Self {
+        let fabric = single_mesh(m, chiplet, width);
+        let oracle = MeshOracle::new(m);
+        // Build a scope by treating the mesh as one C-group of one W-group.
+        let p = SlParams {
+            a: 1,
+            b: 1,
+            m,
+            chiplet,
+            wgroups: 1,
+            mesh_width: width,
+            nodes_per_chip: (chiplet * chiplet) as f64,
+        };
+        let scope = mesh_scope(&p);
+        Bench {
+            fabric: Fabric::Mesh(fabric),
+            oracle: Box::new(oracle),
+            scope,
+            nodes_per_chip: (chiplet * chiplet) as f64,
+            label: "2D-Mesh".into(),
+        }
+    }
+
+    /// Single ideal switch with `terminals` chips (the "Switch" curve of
+    /// Fig. 10(a,b)).
+    pub fn single_switch(terminals: u32) -> Self {
+        let fabric = single_switch(terminals);
+        // locals = 0 → exactly one switch per "group", so the scope's
+        // endpoint count matches the fabric's.
+        let scope = Scope::switchbased(&SwParams {
+            terminals,
+            locals: 0,
+            globals: 0,
+            groups: 1,
+        });
+        Bench {
+            fabric: Fabric::SingleSwitch(fabric),
+            oracle: Box::new(SwitchNodeOracle::new(terminals.min(16) as u8)),
+            scope,
+            nodes_per_chip: 1.0,
+            label: "Switch".into(),
+        }
+    }
+
+    /// Number of endpoints.
+    pub fn endpoints(&self) -> u32 {
+        self.fabric.net().num_endpoints() as u32
+    }
+
+    /// Number of chips (endpoints / nodes-per-chip).
+    pub fn chips(&self) -> f64 {
+        self.endpoints() as f64 / self.nodes_per_chip
+    }
+
+    /// Minimum VC count this bench's oracle needs.
+    pub fn num_vcs(&self) -> u8 {
+        self.oracle.num_vcs()
+    }
+
+    /// Build the traffic generator for `spec` at `rate_node`
+    /// flits/cycle/endpoint.
+    pub fn pattern(&self, spec: PatternSpec, rate_node: f64) -> Box<dyn TrafficPattern> {
+        let n = self.endpoints();
+        match spec {
+            PatternSpec::Uniform => Box::new(UniformPattern::new(n, rate_node)),
+            PatternSpec::Permutation(kind) => {
+                Box::new(PermutationPattern::new(kind, n, rate_node))
+            }
+            PatternSpec::Hotspot => {
+                Box::new(HotspotPattern::paper_default(&self.scope, rate_node))
+            }
+            PatternSpec::WorstCase => Box::new(WorstCasePattern::new(&self.scope, rate_node)),
+            PatternSpec::RingCGroup(dir) => Box::new(RingAllReduce::new(
+                &self.scope,
+                self.scope.chips_per_cgroup,
+                dir,
+                rate_node,
+            )),
+            PatternSpec::RingWGroup(dir) => Box::new(RingAllReduce::new(
+                &self.scope,
+                self.scope.chips_per_wgroup,
+                dir,
+                rate_node,
+            )),
+        }
+    }
+
+    /// Run one simulation with an explicit config and pattern. The config's
+    /// VC count is raised to the oracle's requirement automatically.
+    pub fn run(&self, cfg: &SimConfig, pattern: &dyn TrafficPattern) -> SimResult<Metrics> {
+        let mut cfg = cfg.clone();
+        cfg.num_vcs = cfg.num_vcs.max(self.oracle.num_vcs());
+        wsdf_sim::simulate(self.fabric.net(), &cfg, self.oracle.as_ref(), pattern)
+    }
+}
+
+/// Scope for a standalone mesh (single C-group): chips tile the mesh in
+/// chiplet blocks, everything in W-group 0.
+fn mesh_scope(p: &SlParams) -> Scope {
+    Scope::switchless(p)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wsdf_sim::SimConfig;
+
+    fn quick_cfg() -> SimConfig {
+        SimConfig {
+            warmup_cycles: 300,
+            measure_cycles: 700,
+            drain_cycles: 200,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn mesh_bench_runs_uniform() {
+        let b = Bench::single_mesh(4, 2, 1);
+        assert_eq!(b.endpoints(), 16);
+        assert_eq!(b.chips(), 4.0);
+        let pat = b.pattern(PatternSpec::Uniform, 0.2);
+        let m = b.run(&quick_cfg(), pat.as_ref()).unwrap();
+        assert!(m.packets_ejected > 0);
+        assert!(!m.deadlocked);
+    }
+
+    #[test]
+    fn switch_bench_runs_uniform() {
+        let b = Bench::single_switch(16);
+        assert_eq!(b.chips(), 16.0);
+        let pat = b.pattern(PatternSpec::Uniform, 0.3);
+        let m = b.run(&quick_cfg(), pat.as_ref()).unwrap();
+        assert!(m.packets_ejected > 0);
+    }
+
+    #[test]
+    fn switchless_wgroup_runs_all_patterns() {
+        let p = SlParams::radix16().with_wgroups(1);
+        let b = Bench::switchless(&p, RouteMode::Minimal, VcScheme::Baseline);
+        assert_eq!(b.label, "SW-less");
+        for spec in [
+            PatternSpec::Uniform,
+            PatternSpec::Permutation(PermKind::BitReverse),
+            PatternSpec::RingCGroup(RingDirection::Unidirectional),
+            PatternSpec::RingWGroup(RingDirection::Bidirectional),
+        ] {
+            let pat = b.pattern(spec, 0.1);
+            let m = b.run(&quick_cfg(), pat.as_ref()).unwrap();
+            assert!(m.packets_ejected > 0, "{spec:?} delivered nothing");
+        }
+    }
+
+    #[test]
+    fn switchbased_group_runs() {
+        let p = SwParams::radix16().with_groups(1);
+        let b = Bench::switchbased(&p, RouteMode::Minimal);
+        assert_eq!(b.label, "SW-based");
+        let pat = b.pattern(PatternSpec::Uniform, 0.3);
+        let m = b.run(&quick_cfg(), pat.as_ref()).unwrap();
+        assert!(m.packets_ejected > 0);
+    }
+
+    #[test]
+    fn labels_encode_width_and_mode() {
+        let p = SlParams::radix16().with_wgroups(1).with_mesh_width(2);
+        let b = Bench::switchless(&p, RouteMode::Valiant, VcScheme::Baseline);
+        assert_eq!(b.label, "SW-less-2B-Mis");
+    }
+}

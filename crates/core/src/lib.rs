@@ -1,0 +1,46 @@
+//! # wsdf — Switch-Less Dragonfly on Wafers: high-level API
+//!
+//! The facade crate of the reproduction. It glues the substrate crates
+//! together behind three concepts:
+//!
+//! * [`Bench`] — a built fabric (switch-less Dragonfly, switch-based
+//!   baseline, standalone mesh or single switch) bundled with its routing
+//!   oracle and endpoint scoping.
+//! * [`PatternSpec`] — a workload selector that [`Bench::pattern`] turns
+//!   into a concrete traffic generator at a given per-node rate.
+//! * [`sweep`] — the load-latency sweep runner that regenerates the
+//!   paper's figures: it walks a list of per-chip injection rates, runs a
+//!   full simulation per point, converts units, and stops once the fabric
+//!   is clearly past saturation.
+//!
+//! ```no_run
+//! use wsdf::{Bench, PatternSpec, SweepConfig};
+//! use wsdf_topo::SlParams;
+//!
+//! // Fig. 10(a), switch-less side: a 4×4-core C-group under uniform load.
+//! let bench = Bench::single_mesh(4, 2, 1);
+//! let points = wsdf::sweep(
+//!     &bench,
+//!     &SweepConfig::default(),
+//!     PatternSpec::Uniform,
+//!     &[0.4, 0.8, 1.2, 1.6, 2.0, 2.4, 2.8, 3.2],
+//! );
+//! for p in &points {
+//!     println!("{:.2} flits/cycle/chip → {:.1} cycles", p.offered_chip, p.latency);
+//! }
+//! # let _ = SlParams::radix16();
+//! ```
+
+pub mod bench;
+pub mod report;
+pub mod sweep;
+
+pub use bench::{Bench, Fabric, PatternSpec};
+pub use report::{Curve, Point};
+pub use sweep::{saturation_rate, sweep, SweepConfig, SweepPoint};
+
+pub use wsdf_analysis as analysis;
+pub use wsdf_routing as routing;
+pub use wsdf_sim as sim;
+pub use wsdf_topo as topo;
+pub use wsdf_traffic as traffic;

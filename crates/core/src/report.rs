@@ -1,0 +1,154 @@
+//! Result containers and plain-text/JSON rendering for the harness.
+
+use crate::sweep::SweepPoint;
+use serde::{Deserialize, Serialize};
+
+/// An (x, y) pair of a rendered series.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct Point {
+    /// X value (offered load, flits/cycle/chip).
+    pub x: f64,
+    /// Y value (latency in cycles, or accepted rate).
+    pub y: f64,
+}
+
+/// One labeled series of a figure.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Curve {
+    /// Legend label (matches the paper's: "SW-based", "SW-less-2B", ...).
+    pub label: String,
+    /// Measured sweep points.
+    pub points: Vec<SweepPoint>,
+}
+
+impl Curve {
+    /// Wrap sweep output.
+    pub fn new(label: impl Into<String>, points: Vec<SweepPoint>) -> Self {
+        Curve {
+            label: label.into(),
+            points,
+        }
+    }
+
+    /// Latency-vs-offered-load series (the paper's figure axes).
+    pub fn latency_series(&self) -> Vec<Point> {
+        self.points
+            .iter()
+            .map(|p| Point {
+                x: p.offered_chip,
+                y: p.latency,
+            })
+            .collect()
+    }
+
+    /// Highest accepted throughput, flits/cycle/chip.
+    pub fn saturation(&self) -> f64 {
+        crate::sweep::saturation_rate(&self.points)
+    }
+
+    /// Render as aligned text rows.
+    pub fn render(&self) -> String {
+        let mut s = format!(
+            "  {:<18} {:>10} {:>12} {:>12} {:>6}\n",
+            self.label, "offered", "latency(cyc)", "accepted", "sat"
+        );
+        for p in &self.points {
+            s.push_str(&format!(
+                "  {:<18} {:>10.3} {:>12.1} {:>12.3} {:>6}\n",
+                "",
+                p.offered_chip,
+                p.latency,
+                p.accepted_chip,
+                if p.saturated { "*" } else { "" }
+            ));
+        }
+        s
+    }
+}
+
+/// A whole figure: several curves plus context.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Figure {
+    /// Figure id ("fig10a", "fig13b", ...).
+    pub id: String,
+    /// Human title.
+    pub title: String,
+    /// All series.
+    pub curves: Vec<Curve>,
+}
+
+impl Figure {
+    /// Create an empty figure.
+    pub fn new(id: impl Into<String>, title: impl Into<String>) -> Self {
+        Figure {
+            id: id.into(),
+            title: title.into(),
+            curves: Vec::new(),
+        }
+    }
+
+    /// Add a series.
+    pub fn push(&mut self, curve: Curve) {
+        self.curves.push(curve);
+    }
+
+    /// Render the figure as text (harness output).
+    pub fn render(&self) -> String {
+        let mut s = format!("== {} — {} ==\n", self.id, self.title);
+        for c in &self.curves {
+            s.push_str(&c.render());
+        }
+        let sats: Vec<String> = self
+            .curves
+            .iter()
+            .map(|c| format!("{} = {:.2}", c.label, c.saturation()))
+            .collect();
+        s.push_str(&format!(
+            "  saturation throughput (flits/cycle/chip): {}\n",
+            sats.join(", ")
+        ));
+        s
+    }
+
+    /// Serialize to pretty JSON.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("figures serialize")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pt(offered: f64, lat: f64, acc: f64) -> SweepPoint {
+        SweepPoint {
+            offered_chip: offered,
+            offered_node: offered / 4.0,
+            latency: lat,
+            accepted_chip: acc,
+            accepted_node: acc / 4.0,
+            delivered: 1.0,
+            saturated: false,
+        }
+    }
+
+    #[test]
+    fn curve_saturation_is_max_accepted() {
+        let c = Curve::new("x", vec![pt(0.4, 10.0, 0.4), pt(0.8, 12.0, 0.8), pt(1.2, 80.0, 0.9)]);
+        assert_eq!(c.saturation(), 0.9);
+        assert_eq!(c.latency_series().len(), 3);
+    }
+
+    #[test]
+    fn figure_renders_and_serializes() {
+        let mut f = Figure::new("fig10a", "Intra-C-group: Uniform");
+        f.push(Curve::new("2D-Mesh", vec![pt(0.4, 9.0, 0.4)]));
+        f.push(Curve::new("Switch", vec![pt(0.4, 8.0, 0.4)]));
+        let txt = f.render();
+        assert!(txt.contains("fig10a"));
+        assert!(txt.contains("2D-Mesh"));
+        let json = f.to_json();
+        let back: Figure = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.curves.len(), 2);
+    }
+}

@@ -1,0 +1,192 @@
+//! Load-latency sweeps: the engine behind every latency-vs-injection-rate
+//! figure in the paper.
+
+use crate::bench::{Bench, PatternSpec};
+use serde::{Deserialize, Serialize};
+use wsdf_sim::SimConfig;
+
+/// One measured point of a sweep.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SweepPoint {
+    /// Offered load in flits/cycle/chip (paper x-axis).
+    pub offered_chip: f64,
+    /// Offered load in flits/cycle/endpoint.
+    pub offered_node: f64,
+    /// Mean packet latency in cycles (paper y-axis).
+    pub latency: f64,
+    /// Accepted throughput, flits/cycle/chip.
+    pub accepted_chip: f64,
+    /// Accepted throughput, flits/cycle/endpoint.
+    pub accepted_node: f64,
+    /// Fraction of measured packets delivered.
+    pub delivered: f64,
+    /// True once the run is considered past saturation.
+    pub saturated: bool,
+}
+
+/// Sweep configuration.
+#[derive(Debug, Clone)]
+pub struct SweepConfig {
+    /// Simulation config template (VCs raised per bench automatically).
+    pub sim: SimConfig,
+    /// Stop the sweep once latency exceeds this multiple of the
+    /// zero-load (first point) latency.
+    pub latency_blowup: f64,
+    /// Stop once accepted/offered drops below this.
+    pub min_acceptance: f64,
+    /// Keep at most this many points past saturation (the figures show
+    /// the "knee" and one diverging point).
+    pub post_saturation_points: usize,
+}
+
+impl Default for SweepConfig {
+    fn default() -> Self {
+        let sim = SimConfig {
+            // Sweeps over large fabrics benefit from the BSP-parallel
+            // engine; results are partition-count independent.
+            partitions: 0,
+            ..Default::default()
+        };
+        SweepConfig {
+            sim,
+            latency_blowup: 12.0,
+            min_acceptance: 0.80,
+            post_saturation_points: 1,
+        }
+    }
+}
+
+impl SweepConfig {
+    /// Scale simulation windows (quick modes for tests/benches).
+    pub fn scaled(mut self, f: f64) -> Self {
+        self.sim = self.sim.scaled(f);
+        self
+    }
+}
+
+/// Run the sweep: one simulation per offered per-chip rate, in order,
+/// stopping early past saturation. Deadlocked points (which indicate a
+/// routing bug, not congestion) panic — the routing disciplines are
+/// supposed to make them impossible.
+pub fn sweep(bench: &Bench, cfg: &SweepConfig, spec: PatternSpec, rates_chip: &[f64]) -> Vec<SweepPoint> {
+    let mut out = Vec::new();
+    let mut past_saturation = 0usize;
+    let mut zero_load = None;
+    // Ring collectives progress at the pace of their slowest chip: report
+    // bottleneck-chip throughput, not the average (an open-loop average
+    // would let interior chips mask a saturated C-group boundary link).
+    let bottleneck = matches!(
+        spec,
+        PatternSpec::RingCGroup(_) | PatternSpec::RingWGroup(_)
+    );
+    let mut sim = cfg.sim.clone();
+    sim.per_endpoint_stats = bottleneck;
+    for &rate_chip in rates_chip {
+        let rate_node = rate_chip / bench.nodes_per_chip;
+        let pattern = bench.pattern(spec, rate_node);
+        let metrics = bench
+            .run(&sim, pattern.as_ref())
+            .unwrap_or_else(|e| panic!("[{}] {spec:?} @ {rate_chip}: {e}", bench.label));
+        let latency = metrics.avg_latency().unwrap_or(f64::INFINITY);
+        if zero_load.is_none() {
+            zero_load = Some(latency);
+        }
+        // Normalize to *injecting* endpoints: the paper's per-chip axes
+        // count only chips that generate traffic (hotspot W-groups,
+        // non-palindromic permutation sources).
+        let af = pattern.active_fraction().max(1e-9);
+        let accepted_node = if bottleneck {
+            // Slowest chip: min over chips of its nodes' ejected flits.
+            let per_ep = &metrics.ejected_per_endpoint;
+            let mut per_chip = vec![0u64; bench.scope.num_chips() as usize];
+            for (ep, &flits) in per_ep.iter().enumerate() {
+                per_chip[bench.scope.chip[ep] as usize] += flits as u64;
+            }
+            let min_chip = per_chip.iter().copied().min().unwrap_or(0);
+            min_chip as f64
+                / (metrics.measure_cycles as f64 * bench.scope.nodes_per_chip as f64)
+        } else {
+            metrics.accepted_rate() / af
+        };
+        // Compare against the realized injection (source queues may clip).
+        let offered_effective = (metrics.injected_rate() / af).max(1e-12);
+        let acceptance = accepted_node / offered_effective;
+        let saturated = latency > zero_load.unwrap() * cfg.latency_blowup
+            || acceptance < cfg.min_acceptance;
+        out.push(SweepPoint {
+            offered_chip: rate_chip,
+            offered_node: rate_node,
+            latency,
+            accepted_chip: accepted_node * bench.nodes_per_chip,
+            accepted_node,
+            delivered: metrics.ejection_fraction(),
+            saturated,
+        });
+        if saturated {
+            past_saturation += 1;
+            if past_saturation > cfg.post_saturation_points {
+                break;
+            }
+        }
+    }
+    out
+}
+
+/// Saturation throughput estimate: the highest accepted per-chip rate
+/// over the sweep (flits/cycle/chip).
+pub fn saturation_rate(points: &[SweepPoint]) -> f64 {
+    points.iter().map(|p| p.accepted_chip).fold(0.0, f64::max)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bench::Bench;
+
+    fn quick() -> SweepConfig {
+        SweepConfig::default().scaled(0.12)
+    }
+
+    #[test]
+    fn mesh_sweep_saturates_above_switch() {
+        // The core Fig. 10(a) claim at miniature scale: a 4×4 mesh C-group
+        // saturates well above 1 flit/cycle/chip; a single switch at ~1.
+        let mesh = Bench::single_mesh(4, 2, 1);
+        let sw = Bench::single_switch(16);
+        let rates: Vec<f64> = (1..=8).map(|i| i as f64 * 0.4).collect();
+        let pm = sweep(&mesh, &quick(), PatternSpec::Uniform, &rates);
+        let ps = sweep(&sw, &quick(), PatternSpec::Uniform, &rates);
+        let sat_mesh = saturation_rate(&pm);
+        let sat_sw = saturation_rate(&ps);
+        assert!(
+            sat_mesh > 1.5 * sat_sw,
+            "mesh {sat_mesh:.2} should beat switch {sat_sw:.2}"
+        );
+        assert!(sat_sw <= 1.05, "switch cannot exceed 1 flit/cycle/chip");
+    }
+
+    #[test]
+    fn sweep_stops_after_saturation() {
+        let sw = Bench::single_switch(8);
+        let rates: Vec<f64> = (1..=20).map(|i| i as f64 * 0.25).collect();
+        let pts = sweep(&sw, &quick(), PatternSpec::Uniform, &rates);
+        assert!(pts.len() < rates.len(), "sweep must stop early");
+        assert!(pts.last().unwrap().saturated);
+    }
+
+    #[test]
+    fn latency_grows_monotonically_near_saturation() {
+        let mesh = Bench::single_mesh(4, 2, 1);
+        let pts = sweep(
+            &mesh,
+            &quick(),
+            PatternSpec::Uniform,
+            &[0.4, 1.2, 2.0, 2.8],
+        );
+        assert!(pts.len() >= 3);
+        assert!(
+            pts.last().unwrap().latency > pts[0].latency,
+            "latency must rise with load"
+        );
+    }
+}

@@ -1,0 +1,315 @@
+//! Routing on the switch-based Dragonfly baseline (Kim et al. 2008).
+//!
+//! Minimal routing uses 2 VCs: VC 0 in the source group, VC 1 from the
+//! global hop onward. Valiant routing uses 3 VCs: VC 0 source group, VC 1
+//! intermediate group, VC 2 destination group. The VC is re-derived at
+//! every hop from the packet header and the downstream switch's group, so
+//! no per-packet state is needed.
+
+use crate::RouteMode;
+use wsdf_sim::{flit::NO_INTERMEDIATE, PacketHeader, RouteChoice, RouteOracle, SplitMix64};
+use wsdf_topo::{SwParams, SwitchFabric};
+
+/// Routing oracle for [`SwitchFabric`].
+///
+/// `spread` sub-VCs per deadlock class act as virtual output queues inside
+/// the ideal single-router switches: the deadlock argument only needs the
+/// class ordering (2 classes minimal, 3 Valiant), while the sub-VC (chosen
+/// by packet-id hash) removes head-of-line blocking that a literal one-VC-
+/// per-class input-queued crossbar would add — the paper models switches
+/// as *ideal* high-radix routers.
+#[derive(Debug, Clone)]
+pub struct SwOracle {
+    p: SwParams,
+    mode: RouteMode,
+    spread: u8,
+}
+
+/// Default sub-VCs per class (see [`SwOracle`]).
+const DEFAULT_SPREAD: u8 = 8;
+
+impl SwOracle {
+    /// Minimal-routing oracle.
+    pub fn minimal(p: &SwParams) -> Self {
+        SwOracle {
+            p: *p,
+            mode: RouteMode::Minimal,
+            spread: DEFAULT_SPREAD,
+        }
+    }
+
+    /// Valiant (non-minimal) oracle.
+    pub fn valiant(p: &SwParams) -> Self {
+        SwOracle {
+            p: *p,
+            mode: RouteMode::Valiant,
+            spread: DEFAULT_SPREAD,
+        }
+    }
+
+    /// Override the sub-VC spread (1 = literal Kim VC counts).
+    pub fn with_spread(mut self, spread: u8) -> Self {
+        assert!(spread >= 1);
+        self.spread = spread;
+        self
+    }
+
+    /// Concrete VC for a class: class-major, hash-spread within.
+    fn vc(&self, class: u8, pkt: &PacketHeader) -> u8 {
+        let h = (SplitMix64::new(pkt.id ^ 0x51C0).next_u64() % self.spread as u64) as u8;
+        class * self.spread + h
+    }
+
+    /// The group a packet currently heads for: the intermediate group while
+    /// misrouting, the destination group afterwards.
+    fn target_group(&self, g: u32, pkt: &PacketHeader) -> u32 {
+        let gd = self.p.group_of_endpoint(pkt.dst);
+        if g == gd {
+            gd
+        } else if pkt.inter_w != NO_INTERMEDIATE && g != pkt.inter_w {
+            pkt.inter_w
+        } else {
+            gd
+        }
+    }
+
+    /// Exit switch index and its global-port `j` toward `target` from group
+    /// `g`, choosing among trunked ports by packet-id hash.
+    fn exit_toward(&self, g: u32, target: u32, pkt: &PacketHeader) -> (u32, u32) {
+        let gn = self.p.groups;
+        let ports = self.p.switches_per_group() * self.p.globals;
+        let off = (target + gn - g - 1) % gn;
+        debug_assert!(off < gn - 1, "target_group == g");
+        // Valid trunks: q = off + t(gn-1) < ports and paired.
+        let mut trunks = 0;
+        let mut q = off;
+        while q < ports {
+            if self.p.global_peer(g, q).is_some() {
+                trunks += 1;
+            }
+            q += gn - 1;
+        }
+        debug_assert!(trunks > 0, "palmtree must keep groups all-to-all");
+        let pick = (SplitMix64::new(pkt.id).next_u64() % trunks as u64) as u32;
+        let mut seen = 0;
+        let mut q = off;
+        loop {
+            if self.p.global_peer(g, q).is_some() {
+                if seen == pick {
+                    break;
+                }
+                seen += 1;
+            }
+            q += gn - 1;
+        }
+        (q / self.p.globals, q % self.p.globals)
+    }
+
+    /// VC class of a packet at group `g` (downstream location).
+    fn vc_class(&self, g: u32, pkt: &PacketHeader) -> u8 {
+        let gs = self.p.group_of_endpoint(pkt.src);
+        let gd = self.p.group_of_endpoint(pkt.dst);
+        match self.mode {
+            RouteMode::Minimal => u8::from(g != gs),
+            RouteMode::Valiant => {
+                if g == gs && g != gd {
+                    0
+                } else if g == gd {
+                    2
+                } else if pkt.inter_w != NO_INTERMEDIATE && g == pkt.inter_w {
+                    1
+                } else {
+                    // Source group of intra-group traffic.
+                    0
+                }
+            }
+        }
+    }
+}
+
+impl RouteOracle for SwOracle {
+    fn route(
+        &self,
+        router: u32,
+        _in_port: u8,
+        _in_vc: u8,
+        pkt: &PacketHeader,
+        _rng: &mut SplitMix64,
+    ) -> RouteChoice {
+        let p = &self.p;
+        let (g, i) = p.switch_location(router);
+        let (gd, id, td) = p.endpoint_location(pkt.dst);
+        if g == gd {
+            if i == id {
+                // Eject.
+                return RouteChoice {
+                    out_port: SwitchFabric::terminal_port(p, td),
+                    out_vc: self.vc(self.vc_class(g, pkt), pkt),
+                };
+            }
+            // Local hop to the destination switch.
+            return RouteChoice {
+                out_port: SwitchFabric::local_port(p, i, id),
+                out_vc: self.vc(self.vc_class(gd, pkt), pkt),
+            };
+        }
+        let target = self.target_group(g, pkt);
+        let (ib, j) = self.exit_toward(g, target, pkt);
+        if i == ib {
+            // Global hop: downstream group is `target`.
+            RouteChoice {
+                out_port: SwitchFabric::global_port(p, j),
+                out_vc: self.vc(self.vc_class(target, pkt), pkt),
+            }
+        } else {
+            // Local hop toward the exit switch (stays in group g).
+            RouteChoice {
+                out_port: SwitchFabric::local_port(p, i, ib),
+                out_vc: self.vc(self.vc_class(g, pkt), pkt),
+            }
+        }
+    }
+
+    fn initial_vc(&self, pkt: &PacketHeader) -> u8 {
+        self.vc(0, pkt)
+    }
+
+    fn num_vcs(&self) -> u8 {
+        let classes = match self.mode {
+            RouteMode::Minimal => 2,
+            RouteMode::Valiant => 3,
+        };
+        classes * self.spread
+    }
+
+    fn tag_packet(&self, pkt: &mut PacketHeader, rng: &mut SplitMix64) {
+        if self.mode != RouteMode::Valiant {
+            return;
+        }
+        let gs = self.p.group_of_endpoint(pkt.src);
+        let gd = self.p.group_of_endpoint(pkt.dst);
+        if gs == gd || self.p.groups < 3 {
+            return;
+        }
+        // Uniform over groups other than gs and gd.
+        let mut g = rng.next_below(self.p.groups as u64 - 2) as u32;
+        for excl in [gs.min(gd), gs.max(gd)] {
+            if g >= excl {
+                g += 1;
+            }
+        }
+        pkt.inter_w = g;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hdr(src: u32, dst: u32) -> PacketHeader {
+        PacketHeader {
+            id: 7,
+            src,
+            dst,
+            inter_w: NO_INTERMEDIATE,
+            created: 0,
+            len: 4,
+        }
+    }
+
+    #[test]
+    fn vc_counts_are_classes_times_spread() {
+        let p = SwParams::radix16();
+        assert_eq!(SwOracle::minimal(&p).with_spread(1).num_vcs(), 2);
+        assert_eq!(SwOracle::valiant(&p).with_spread(1).num_vcs(), 3);
+        assert_eq!(SwOracle::minimal(&p).num_vcs(), 16);
+        assert_eq!(SwOracle::valiant(&p).num_vcs(), 24);
+    }
+
+    #[test]
+    fn sub_vcs_stay_inside_their_class() {
+        let p = SwParams::radix16();
+        let o = SwOracle::minimal(&p);
+        for id in 0..64u64 {
+            let mut pkt = hdr(0, p.endpoint_of(3, 0, 0));
+            pkt.id = id;
+            let vc0 = o.vc(0, &pkt);
+            let vc1 = o.vc(1, &pkt);
+            assert!(vc0 < 8, "class-0 sub-VC {vc0} out of band");
+            assert!((8..16).contains(&vc1), "class-1 sub-VC {vc1} out of band");
+        }
+    }
+
+    #[test]
+    fn intra_switch_ejects() {
+        let p = SwParams::radix16();
+        let o = SwOracle::minimal(&p);
+        let mut rng = SplitMix64::new(0);
+        // src and dst on switch (0,0): terminals 0..4 → endpoints 0..4.
+        let c = o.route(0, 0, 0, &hdr(0, 3), &mut rng);
+        assert_eq!(c.out_port, 3);
+    }
+
+    #[test]
+    fn intra_group_takes_one_local_hop() {
+        let p = SwParams::radix16();
+        let o = SwOracle::minimal(&p);
+        let mut rng = SplitMix64::new(0);
+        // dst endpoint on switch (0,2).
+        let dst = p.endpoint_of(0, 2, 1);
+        let c = o.route(p.switch_router(0, 0), 0, 0, &hdr(0, dst), &mut rng);
+        assert_eq!(c.out_port, SwitchFabric::local_port(&p, 0, 2));
+        // Intra-group traffic never leaves the source group: class 0 (Kim's
+        // scheme only increments the VC after the global hop).
+        assert!(c.out_vc < 8, "class-0 band");
+    }
+
+    #[test]
+    fn valiant_tags_inter_group_packets_only() {
+        let p = SwParams::radix16();
+        let o = SwOracle::valiant(&p);
+        let mut rng = SplitMix64::new(5);
+        // Intra-group: no tag.
+        let mut pkt = hdr(0, p.endpoint_of(0, 3, 0));
+        o.tag_packet(&mut pkt, &mut rng);
+        assert_eq!(pkt.inter_w, NO_INTERMEDIATE);
+        // Inter-group: tagged, never gs or gd.
+        for _ in 0..200 {
+            let mut pkt = hdr(0, p.endpoint_of(7, 0, 0));
+            o.tag_packet(&mut pkt, &mut rng);
+            assert_ne!(pkt.inter_w, NO_INTERMEDIATE);
+            assert_ne!(pkt.inter_w, 0);
+            assert_ne!(pkt.inter_w, 7);
+            assert!(pkt.inter_w < p.groups);
+        }
+    }
+
+    #[test]
+    fn trunk_selection_is_deterministic_per_packet() {
+        let p = SwParams::radix16().with_groups(5);
+        let o = SwOracle::minimal(&p);
+        let pkt = hdr(0, p.endpoint_of(3, 0, 0));
+        let (a1, b1) = o.exit_toward(0, 3, &pkt);
+        let (a2, b2) = o.exit_toward(0, 3, &pkt);
+        assert_eq!((a1, b1), (a2, b2));
+        // And the chosen port really reaches group 3.
+        let q = a1 * p.globals + b1;
+        let (v, _) = p.global_peer(0, q).unwrap();
+        assert_eq!(v, 3);
+    }
+
+    #[test]
+    fn trunks_spread_across_packet_ids() {
+        // At 5 groups there are 40/4 = 10 trunks per peer; different packet
+        // ids should not all pick the same one.
+        let p = SwParams::radix16().with_groups(5);
+        let o = SwOracle::minimal(&p);
+        let mut picks = std::collections::HashSet::new();
+        for id in 0..64 {
+            let mut pkt = hdr(0, p.endpoint_of(3, 0, 0));
+            pkt.id = id;
+            picks.insert(o.exit_toward(0, 3, &pkt));
+        }
+        assert!(picks.len() > 3, "trunk selection not spreading: {picks:?}");
+    }
+}

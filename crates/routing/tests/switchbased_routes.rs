@@ -1,0 +1,145 @@
+//! Whole-fabric routing correctness for the switch-based Dragonfly
+//! baseline: reachability, Dragonfly hop structure (≤ local, global,
+//! local), and Valiant behavior.
+
+use wsdf_routing::{PortMap, SwOracle, Walker};
+use wsdf_sim::flit::NO_INTERMEDIATE;
+use wsdf_sim::ChannelClass;
+use wsdf_topo::{SwParams, SwitchFabric};
+
+fn fabric(groups: u32) -> (SwParams, SwitchFabric) {
+    let p = SwParams::radix16().with_groups(groups);
+    let f = SwitchFabric::build(&p);
+    (p, f)
+}
+
+#[test]
+fn all_pairs_reachable_minimal() {
+    let (p, f) = fabric(5);
+    let map = PortMap::new(&f.net);
+    let o = SwOracle::minimal(&p);
+    let walker = Walker::new(&map, &o);
+    let n = p.num_endpoints();
+    for s in 0..n {
+        for d in 0..n {
+            if s == d {
+                continue;
+            }
+            walker
+                .walk(s, d, NO_INTERMEDIATE)
+                .unwrap_or_else(|e| panic!("{e}"));
+        }
+    }
+}
+
+#[test]
+fn minimal_routes_have_dragonfly_structure() {
+    let (p, f) = fabric(5);
+    let map = PortMap::new(&f.net);
+    let o = SwOracle::minimal(&p);
+    let walker = Walker::new(&map, &o);
+    let n = p.num_endpoints();
+    for s in (0..n).step_by(3) {
+        for d in (0..n).step_by(5) {
+            if s == d {
+                continue;
+            }
+            let t = walker.walk(s, d, NO_INTERMEDIATE).unwrap();
+            let gl = t.hops_of(ChannelClass::LongReachGlobal);
+            let lo = t.hops_of(ChannelClass::LongReachLocal);
+            let gs = p.group_of_endpoint(s);
+            let gd = p.group_of_endpoint(d);
+            if gs == gd {
+                assert_eq!(gl, 0);
+                assert!(lo <= 1);
+            } else {
+                assert_eq!(gl, 1, "{s}→{d}");
+                assert!(lo <= 2, "{s}→{d}");
+            }
+            // Total switch-to-switch hops ≤ 3 (Dragonfly diameter).
+            assert!(t.network_hops() <= 3, "{s}→{d}: {}", t.network_hops());
+        }
+    }
+}
+
+#[test]
+fn valiant_routes_bounded_and_reach() {
+    let (p, f) = fabric(5);
+    let map = PortMap::new(&f.net);
+    let o = SwOracle::valiant(&p);
+    let walker = Walker::new(&map, &o);
+    let n = p.num_endpoints();
+    for s in (0..n).step_by(7) {
+        for d in (0..n).step_by(11) {
+            if s == d {
+                continue;
+            }
+            let gs = p.group_of_endpoint(s);
+            let gd = p.group_of_endpoint(d);
+            if gs == gd {
+                continue;
+            }
+            for inter in 0..p.groups {
+                if inter == gs || inter == gd {
+                    continue;
+                }
+                let t = walker.walk(s, d, inter).unwrap();
+                assert_eq!(t.hops_of(ChannelClass::LongReachGlobal), 2);
+                assert!(t.hops_of(ChannelClass::LongReachLocal) <= 4);
+                assert!(t.network_hops() <= 6);
+            }
+        }
+    }
+}
+
+#[test]
+fn vc_sequence_is_monotone() {
+    let (p, f) = fabric(5);
+    let map = PortMap::new(&f.net);
+    for (oracle, name) in [
+        (SwOracle::minimal(&p), "minimal"),
+        (SwOracle::valiant(&p), "valiant"),
+    ] {
+        let walker = Walker::new(&map, &oracle);
+        let n = p.num_endpoints();
+        for s in (0..n).step_by(13) {
+            for d in (0..n).step_by(3) {
+                if s == d {
+                    continue;
+                }
+                let gs = p.group_of_endpoint(s);
+                let gd = p.group_of_endpoint(d);
+                let inter = if name == "valiant" && gs != gd {
+                    (0..p.groups).find(|&g| g != gs && g != gd).unwrap()
+                } else {
+                    NO_INTERMEDIATE
+                };
+                // VCs are class-major with 8 sub-VCs per class; the phase
+                // rank is the class.
+                walker
+                    .walk_checking_vcs(s, d, inter, &|vc| vc / 8)
+                    .unwrap_or_else(|e| panic!("[{name}] {e}"));
+            }
+        }
+    }
+}
+
+#[test]
+fn full_scale_radix16_spot_check() {
+    // Build the full 41-group, 1312-chip system and walk a sample.
+    let (p, f) = fabric(SwParams::radix16().max_groups());
+    let map = PortMap::new(&f.net);
+    let o = SwOracle::minimal(&p);
+    let walker = Walker::new(&map, &o);
+    let n = p.num_endpoints();
+    assert_eq!(n, 1312);
+    for s in (0..n).step_by(111) {
+        for d in (0..n).step_by(77) {
+            if s == d {
+                continue;
+            }
+            let t = walker.walk(s, d, NO_INTERMEDIATE).unwrap();
+            assert!(t.network_hops() <= 3);
+        }
+    }
+}

@@ -1,0 +1,344 @@
+//! Whole-fabric routing correctness for the switch-less Dragonfly:
+//! reachability of every (src, dst) pair, hop structure against Eq. (7),
+//! VC-phase monotonicity, and up*/down* legality of the Reduced scheme.
+
+use wsdf_routing::{PortMap, RouteMode, SlOracle, VcScheme, Walker};
+use wsdf_sim::flit::NO_INTERMEDIATE;
+use wsdf_sim::ChannelClass;
+use wsdf_topo::{SlParams, SwitchlessFabric};
+
+/// A small but fully featured config: m=4 (k=12), ab=4, h=9, 5 W-groups.
+fn small() -> (SlParams, SwitchlessFabric) {
+    let p = SlParams {
+        a: 2,
+        b: 2,
+        m: 4,
+        chiplet: 2,
+        wgroups: 5,
+        mesh_width: 1,
+        nodes_per_chip: 4.0,
+    };
+    let f = SwitchlessFabric::build(&p);
+    (p, f)
+}
+
+/// The paper's radix-16 config at reduced W-group count.
+fn radix16_partial(wgroups: u32) -> (SlParams, SwitchlessFabric) {
+    let p = SlParams::radix16().with_wgroups(wgroups);
+    let f = SwitchlessFabric::build(&p);
+    (p, f)
+}
+
+#[test]
+fn all_pairs_reachable_minimal_baseline() {
+    let (p, f) = small();
+    let map = PortMap::new(&f.net);
+    let o = SlOracle::minimal(&p);
+    let walker = Walker::new(&map, &o);
+    let n = p.num_endpoints();
+    for s in (0..n).step_by(7) {
+        for d in 0..n {
+            if s == d {
+                continue;
+            }
+            walker
+                .walk(s, d, NO_INTERMEDIATE)
+                .unwrap_or_else(|e| panic!("{e}"));
+        }
+    }
+}
+
+#[test]
+fn all_pairs_reachable_minimal_reduced() {
+    let (p, f) = small();
+    let map = PortMap::new(&f.net);
+    let o = SlOracle::new(&p, RouteMode::Minimal, VcScheme::Reduced);
+    let walker = Walker::new(&map, &o);
+    let n = p.num_endpoints();
+    for s in (0..n).step_by(7) {
+        for d in 0..n {
+            if s == d {
+                continue;
+            }
+            walker
+                .walk(s, d, NO_INTERMEDIATE)
+                .unwrap_or_else(|e| panic!("{e}"));
+        }
+    }
+}
+
+#[test]
+fn all_pairs_reachable_valiant_both_schemes() {
+    let (p, f) = small();
+    let map = PortMap::new(&f.net);
+    for scheme in [VcScheme::Baseline, VcScheme::Reduced] {
+        let o = SlOracle::new(&p, RouteMode::Valiant, scheme);
+        let walker = Walker::new(&map, &o);
+        let n = p.num_endpoints();
+        // Explicitly misroute through every possible intermediate W-group.
+        for s in (0..n).step_by(31) {
+            for d in (0..n).step_by(13) {
+                if s == d {
+                    continue;
+                }
+                let ws = p.wgroup_of_endpoint(s);
+                let wd = p.wgroup_of_endpoint(d);
+                for inter in 0..p.wgroups {
+                    if inter == ws || inter == wd || ws == wd {
+                        continue;
+                    }
+                    walker
+                        .walk(s, d, inter)
+                        .unwrap_or_else(|e| panic!("[{scheme:?}] {e}"));
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn minimal_route_has_dragonfly_hop_structure() {
+    let (p, f) = radix16_partial(5);
+    let map = PortMap::new(&f.net);
+    let o = SlOracle::minimal(&p);
+    let walker = Walker::new(&map, &o);
+    // Pick a worst-position pair: distinct W-groups.
+    let src = p.endpoint_of(0, 0, 1, 1);
+    let dst = p.endpoint_of(3, 7, 2, 2);
+    let t = walker.walk(src, dst, NO_INTERMEDIATE).unwrap();
+    // Exactly one global hop, at most two local hops (Dragonfly diameter).
+    assert_eq!(t.hops_of(ChannelClass::LongReachGlobal), 1);
+    assert!(t.hops_of(ChannelClass::LongReachLocal) <= 2);
+    // Eq. (7): intra-C-group hops bounded by (8m − 2) SR/on-chip hops.
+    let sr = t.hops_of(ChannelClass::ShortReach) + t.hops_of(ChannelClass::OnChip);
+    assert!(
+        sr <= (8 * p.m - 2) as usize,
+        "SR hops {sr} exceed Eq. (7) bound {}",
+        8 * p.m - 2
+    );
+}
+
+#[test]
+fn diameter_bound_eq7_holds_over_sampled_pairs() {
+    let (p, f) = radix16_partial(5);
+    let map = PortMap::new(&f.net);
+    let o = SlOracle::minimal(&p);
+    let walker = Walker::new(&map, &o);
+    let n = p.num_endpoints();
+    let bound_sr = (8 * p.m - 2) as usize;
+    for s in (0..n).step_by(97) {
+        for d in (0..n).step_by(41) {
+            if s == d {
+                continue;
+            }
+            let t = walker.walk(s, d, NO_INTERMEDIATE).unwrap();
+            assert!(t.hops_of(ChannelClass::LongReachGlobal) <= 1);
+            assert!(t.hops_of(ChannelClass::LongReachLocal) <= 2);
+            let sr = t.hops_of(ChannelClass::ShortReach) + t.hops_of(ChannelClass::OnChip);
+            assert!(sr <= bound_sr, "{s}→{d}: {sr} SR hops > {bound_sr}");
+        }
+    }
+}
+
+#[test]
+fn vc_phases_never_regress() {
+    let (p, f) = small();
+    let map = PortMap::new(&f.net);
+    // Baseline: the deadlock class (VC / spread, spread = 2) is the phase.
+    let o = SlOracle::minimal(&p);
+    let walker = Walker::new(&map, &o);
+    let n = p.num_endpoints();
+    for s in (0..n).step_by(13) {
+        for d in (0..n).step_by(7) {
+            if s == d {
+                continue;
+            }
+            walker
+                .walk_checking_vcs(s, d, NO_INTERMEDIATE, &|vc| vc / 2)
+                .unwrap_or_else(|e| panic!("{e}"));
+        }
+    }
+    // Reduced: phase order of classes is 0 → 1 → 3 → 2 (class 3 is the
+    // intermediate W-group, class 2 the destination W-group).
+    let o = SlOracle::new(&p, RouteMode::Valiant, VcScheme::Reduced);
+    let walker = Walker::new(&map, &o);
+    let rank = |vc: u8| match vc / 2 {
+        0 => 0,
+        1 => 1,
+        3 => 2,
+        2 => 3,
+        v => panic!("unexpected VC class {v}"),
+    };
+    for s in (0..n).step_by(29) {
+        for d in (0..n).step_by(17) {
+            if s == d {
+                continue;
+            }
+            let ws = p.wgroup_of_endpoint(s);
+            let wd = p.wgroup_of_endpoint(d);
+            let inter = if ws == wd {
+                NO_INTERMEDIATE
+            } else {
+                (0..p.wgroups).find(|&w| w != ws && w != wd).unwrap()
+            };
+            walker
+                .walk_checking_vcs(s, d, inter, &rank)
+                .unwrap_or_else(|e| panic!("{e}"));
+        }
+    }
+}
+
+/// Up*/down* order value of a router inside its W-group (see DESIGN.md):
+/// C-group-major, converters above cores, cores row-major.
+fn updown_value(p: &SlParams, router: u32) -> (u32, u64) {
+    let (w, c, local) = p.router_location(router);
+    let block = (p.m * p.m + p.k() + 10) as u64;
+    (w, c as u64 * block + local as u64)
+}
+
+#[test]
+fn reduced_routes_are_updown_legal() {
+    let (p, f) = small();
+    let map = PortMap::new(&f.net);
+    for mode in [RouteMode::Minimal, RouteMode::Valiant] {
+        let o = SlOracle::new(&p, mode, VcScheme::Reduced);
+        let walker = Walker::new(&map, &o);
+        let n = p.num_endpoints();
+        for s in (0..n).step_by(11) {
+            for d in (0..n).step_by(5) {
+                if s == d {
+                    continue;
+                }
+                let ws = p.wgroup_of_endpoint(s);
+                let wd = p.wgroup_of_endpoint(d);
+                let inter = if mode == RouteMode::Valiant && ws != wd {
+                    (0..p.wgroups).find(|&w| w != ws && w != wd).unwrap()
+                } else {
+                    NO_INTERMEDIATE
+                };
+                let t = walker.walk(s, d, inter).unwrap_or_else(|e| panic!("{e}"));
+                // Within every shared-VC W-group segment (VC 2 or 3), the
+                // hop sequence must be up* then down* in the order value.
+                let mut phase_down = false;
+                let mut prev: Option<(u32, u64)> = None;
+                let mut prev_vc = 255u8;
+                for h in &t.hops {
+                    if h.class == ChannelClass::Ejection {
+                        break;
+                    }
+                    // Deadlock class = VC / spread (spread = 2).
+                    let merged = h.out_vc / 2 == 2 || h.out_vc / 2 == 3;
+                    if h.out_vc / 2 != prev_vc {
+                        // New VC-class segment: reset the phase tracker.
+                        phase_down = false;
+                        prev = None;
+                        prev_vc = h.out_vc / 2;
+                    }
+                    if !merged {
+                        prev = None;
+                        continue;
+                    }
+                    // Intra-W-group channels only (the global channel into
+                    // the W-group is a dependency source, not in a cycle).
+                    let here = updown_value(&p, h.router);
+                    if let Some(prev_v) = prev {
+                        if prev_v.0 == here.0 {
+                            // Same W-group: direction of the hop prev → here.
+                            let up = here.1 > prev_v.1;
+                            if up && phase_down {
+                                panic!(
+                                    "up-after-down on VC class {} route {s}→{d} (inter {inter})",
+                                    h.out_vc / 2
+                                );
+                            }
+                            if !up {
+                                phase_down = true;
+                            }
+                        } else {
+                            // Crossed a W-group boundary: fresh phase.
+                            phase_down = false;
+                        }
+                    }
+                    prev = Some(here);
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn valiant_visits_intermediate_wgroup() {
+    let (p, f) = small();
+    let map = PortMap::new(&f.net);
+    let o = SlOracle::valiant(&p);
+    let walker = Walker::new(&map, &o);
+    let src = p.endpoint_of(0, 0, 0, 0);
+    let dst = p.endpoint_of(2, 3, 1, 1);
+    let t = walker.walk(src, dst, 4).unwrap();
+    // Two global hops (to W4, then to W2).
+    assert_eq!(t.hops_of(ChannelClass::LongReachGlobal), 2);
+    // The route passes through W-group 4.
+    let visits_inter = t.hops.iter().any(|h| {
+        let (w, _, _) = p.router_location(h.router);
+        w == 4
+    });
+    assert!(visits_inter);
+}
+
+#[test]
+fn single_wgroup_has_single_local_hop_diameter() {
+    // Architecture variation of Sec. III-D1: one fully connected W-group,
+    // diameter H_l + (4m − 2) H_sr.
+    let p = SlParams::radix16().with_wgroups(1);
+    let f = SwitchlessFabric::build(&p);
+    let map = PortMap::new(&f.net);
+    let o = SlOracle::minimal(&p);
+    let walker = Walker::new(&map, &o);
+    let n = p.num_endpoints();
+    for s in (0..n).step_by(17) {
+        for d in (0..n).step_by(3) {
+            if s == d {
+                continue;
+            }
+            let t = walker.walk(s, d, NO_INTERMEDIATE).unwrap();
+            assert_eq!(t.hops_of(ChannelClass::LongReachGlobal), 0);
+            assert!(t.hops_of(ChannelClass::LongReachLocal) <= 1);
+            let sr = t.hops_of(ChannelClass::ShortReach) + t.hops_of(ChannelClass::OnChip);
+            assert!(sr <= (4 * p.m - 2) as usize);
+        }
+    }
+}
+
+#[test]
+fn reduced_paths_are_longer_but_bounded() {
+    // The Reduced scheme trades path length for VCs; quantify the bound:
+    // chain walks add at most k hops per C-group visited.
+    let (p, f) = small();
+    let map = PortMap::new(&f.net);
+    let base = SlOracle::minimal(&p);
+    let redu = SlOracle::new(&p, RouteMode::Minimal, VcScheme::Reduced);
+    let wb = Walker::new(&map, &base);
+    let wr = Walker::new(&map, &redu);
+    let n = p.num_endpoints();
+    let mut total_base = 0usize;
+    let mut total_red = 0usize;
+    for s in (0..n).step_by(23) {
+        for d in (0..n).step_by(9) {
+            if s == d {
+                continue;
+            }
+            let tb = wb.walk(s, d, NO_INTERMEDIATE).unwrap();
+            let tr = wr.walk(s, d, NO_INTERMEDIATE).unwrap();
+            total_base += tb.network_hops();
+            total_red += tr.network_hops();
+            assert!(
+                tr.network_hops() <= tb.network_hops() + 4 * p.k() as usize,
+                "reduced path unexpectedly long: {s}→{d}"
+            );
+        }
+    }
+    assert!(
+        total_red >= total_base,
+        "reduced paths should not be shorter on average"
+    );
+}

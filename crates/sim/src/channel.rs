@@ -1,0 +1,192 @@
+//! Channel descriptions: the static wiring of the network.
+//!
+//! Channels are unidirectional. A physical full-duplex link in the paper is
+//! two `ChannelDesc`s in opposite directions. Each channel has a latency in
+//! cycles and a width in flits/cycle; the paper's `2B`/`4B` configurations
+//! (doubled/quadrupled intra-C-group bandwidth) are expressed purely through
+//! `width`.
+
+use serde::{Deserialize, Serialize};
+
+/// Index of a channel in [`crate::network::NetworkDesc::channels`].
+pub type ChannelId = u32;
+
+/// Physical class of a channel; drives latency defaults and the energy model
+/// (Table II of the paper).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ChannelClass {
+    /// Hop inside a chiplet's NoC (RDL metal, ~0.1 pJ/bit, 1 cycle).
+    OnChip,
+    /// On-wafer short-reach hop between chiplets or to an SR-LR converter
+    /// (~2 pJ/bit, 1 cycle).
+    ShortReach,
+    /// Long-reach local (intra-W-group) hop, copper (~20 pJ/bit, 8 cycles).
+    LongReachLocal,
+    /// Long-reach global (inter-W-group) hop, optical (~20 pJ/bit, 8 cycles).
+    LongReachGlobal,
+    /// Endpoint→router injection hop (terminal link; counts as local hop
+    /// `H*_l` in switch-based networks, on-chip in switch-less ones).
+    Injection,
+    /// Router→endpoint ejection hop.
+    Ejection,
+}
+
+impl ChannelClass {
+    /// All classes, for iteration in metrics/energy accounting.
+    pub const ALL: [ChannelClass; 6] = [
+        ChannelClass::OnChip,
+        ChannelClass::ShortReach,
+        ChannelClass::LongReachLocal,
+        ChannelClass::LongReachGlobal,
+        ChannelClass::Injection,
+        ChannelClass::Ejection,
+    ];
+
+    /// Dense index for array-backed counters.
+    #[inline]
+    pub fn index(self) -> usize {
+        match self {
+            ChannelClass::OnChip => 0,
+            ChannelClass::ShortReach => 1,
+            ChannelClass::LongReachLocal => 2,
+            ChannelClass::LongReachGlobal => 3,
+            ChannelClass::Injection => 4,
+            ChannelClass::Ejection => 5,
+        }
+    }
+
+    /// Human-readable name (used by harness output).
+    pub fn name(self) -> &'static str {
+        match self {
+            ChannelClass::OnChip => "on-chip",
+            ChannelClass::ShortReach => "short-reach",
+            ChannelClass::LongReachLocal => "lr-local",
+            ChannelClass::LongReachGlobal => "lr-global",
+            ChannelClass::Injection => "injection",
+            ChannelClass::Ejection => "ejection",
+        }
+    }
+}
+
+/// One side of a channel: a router port or an endpoint.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Terminus {
+    /// A specific port of a router.
+    Router {
+        /// Router index.
+        router: u32,
+        /// Port index within the router.
+        port: u8,
+    },
+    /// An endpoint (traffic source/sink).
+    Endpoint {
+        /// Endpoint index.
+        endpoint: u32,
+    },
+}
+
+impl Terminus {
+    /// Router index if this side is a router.
+    #[inline]
+    pub fn router(&self) -> Option<u32> {
+        match self {
+            Terminus::Router { router, .. } => Some(*router),
+            Terminus::Endpoint { .. } => None,
+        }
+    }
+
+    /// Port index if this side is a router.
+    #[inline]
+    pub fn port(&self) -> Option<u8> {
+        match self {
+            Terminus::Router { port, .. } => Some(*port),
+            Terminus::Endpoint { .. } => None,
+        }
+    }
+
+    /// Endpoint index if this side is an endpoint.
+    #[inline]
+    pub fn endpoint(&self) -> Option<u32> {
+        match self {
+            Terminus::Endpoint { endpoint } => Some(*endpoint),
+            Terminus::Router { .. } => None,
+        }
+    }
+}
+
+/// Static description of a unidirectional channel.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct ChannelDesc {
+    /// Sending side.
+    pub src: Terminus,
+    /// Receiving side.
+    pub dst: Terminus,
+    /// Latency in cycles (≥ 1). Credits travel back with the same latency.
+    pub latency: u32,
+    /// Bandwidth in flits per cycle (≥ 1).
+    pub width: u8,
+    /// Physical class (energy model + sanity checks).
+    pub class: ChannelClass,
+}
+
+impl ChannelDesc {
+    /// Convenience constructor for a router-to-router channel.
+    pub fn router_to_router(
+        src_router: u32,
+        src_port: u8,
+        dst_router: u32,
+        dst_port: u8,
+        latency: u32,
+        width: u8,
+        class: ChannelClass,
+    ) -> Self {
+        ChannelDesc {
+            src: Terminus::Router {
+                router: src_router,
+                port: src_port,
+            },
+            dst: Terminus::Router {
+                router: dst_router,
+                port: dst_port,
+            },
+            latency,
+            width,
+            class,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn class_indices_are_dense_and_unique() {
+        let mut seen = [false; 6];
+        for c in ChannelClass::ALL {
+            let i = c.index();
+            assert!(!seen[i], "duplicate index {i}");
+            seen[i] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn terminus_accessors() {
+        let r = Terminus::Router { router: 3, port: 2 };
+        let e = Terminus::Endpoint { endpoint: 9 };
+        assert_eq!(r.router(), Some(3));
+        assert_eq!(r.port(), Some(2));
+        assert_eq!(r.endpoint(), None);
+        assert_eq!(e.endpoint(), Some(9));
+        assert_eq!(e.router(), None);
+        assert_eq!(e.port(), None);
+    }
+
+    #[test]
+    fn names_are_distinct() {
+        let names: std::collections::HashSet<_> =
+            ChannelClass::ALL.iter().map(|c| c.name()).collect();
+        assert_eq!(names.len(), ChannelClass::ALL.len());
+    }
+}

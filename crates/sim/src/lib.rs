@@ -1,0 +1,51 @@
+//! # wsdf-sim — cycle-accurate flit-level network simulator
+//!
+//! This crate is the simulation substrate for the *Switch-Less Dragonfly on
+//! Wafers* reproduction. The paper evaluates its architecture with CNSim, a
+//! cycle-accurate packet-parallel simulator; no equivalent exists in the Rust
+//! ecosystem, so this crate rebuilds one from scratch.
+//!
+//! The model is a classic input-queued virtual-channel (VC) router network:
+//!
+//! * **Flits** move over **channels** with configurable latency (cycles) and
+//!   width (flits/cycle) — Table IV of the paper: 1-cycle short-reach links,
+//!   8-cycle long-reach links, 1 flit/cycle base bandwidth, 4-flit packets.
+//! * **Routers** have per-(port, VC) input buffers (32 flits by default),
+//!   credit-based flow control, and a single-cycle pipeline of route
+//!   computation → VC allocation → switch allocation → traversal, with
+//!   round-robin separable allocators.
+//! * **Endpoints** inject packets from unbounded source queues (so measured
+//!   latency includes source queueing, the standard open-loop methodology)
+//!   and eject flits at a bounded per-port rate.
+//! * Routing is delegated to a [`RouteOracle`] implemented by downstream
+//!   crates (`wsdf-routing`); traffic to a [`TrafficPattern`]
+//!   (`wsdf-traffic`).
+//!
+//! The engine runs either sequentially or as a BSP-parallel simulation
+//! (rayon) with per-partition mailboxes, which keeps the hot path free of
+//! locks: each partition exclusively owns its routers' state, and cross-
+//! partition flit/credit transfer happens through transposed mailbox vectors
+//! between cycles. Determinism is preserved in both modes (per-endpoint
+//! counter-based RNG, fixed arbitration order).
+
+pub mod arbiter;
+pub mod channel;
+pub mod config;
+pub mod engine;
+pub mod flit;
+pub mod metrics;
+pub mod network;
+pub mod oracle;
+pub mod pattern;
+pub mod rng;
+pub mod router;
+
+pub use channel::{ChannelClass, ChannelDesc, ChannelId, Terminus};
+pub use config::SimConfig;
+pub use engine::{simulate, SimError, SimResult, Simulation};
+pub use flit::{Flit, FlitKind, PacketHeader};
+pub use metrics::{ClassCounters, Metrics};
+pub use network::{EndpointDesc, NetworkDesc, RouterDesc};
+pub use oracle::{RouteChoice, RouteOracle};
+pub use pattern::TrafficPattern;
+pub use rng::SplitMix64;

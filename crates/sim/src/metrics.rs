@@ -1,0 +1,275 @@
+//! Simulation statistics.
+//!
+//! Collected per partition without synchronization, then merged. Latency is
+//! packet latency: creation (entry into the source queue) to tail ejection,
+//! over packets *created* in the measurement window — the standard open-loop
+//! methodology, which makes source queueing visible and latency diverge past
+//! saturation exactly as in the paper's figures.
+
+use crate::channel::ChannelClass;
+use serde::{Deserialize, Serialize};
+
+/// Per-channel-class traversal counters (flit-hops), the input to the
+/// energy model of Fig. 15.
+#[derive(Debug, Clone, Copy, Default, Serialize, Deserialize)]
+pub struct ClassCounters {
+    /// Flit traversals per [`ChannelClass`] (dense index).
+    pub flit_hops: [u64; 6],
+}
+
+impl ClassCounters {
+    /// Record one flit traversing a channel of class `c`.
+    #[inline]
+    pub fn record(&mut self, c: ChannelClass) {
+        self.flit_hops[c.index()] += 1;
+    }
+
+    /// Merge another counter set into this one.
+    pub fn merge(&mut self, other: &ClassCounters) {
+        for i in 0..6 {
+            self.flit_hops[i] += other.flit_hops[i];
+        }
+    }
+
+    /// Traversals of one class.
+    pub fn get(&self, c: ChannelClass) -> u64 {
+        self.flit_hops[c.index()]
+    }
+
+    /// Total flit-hops over all classes.
+    pub fn total(&self) -> u64 {
+        self.flit_hops.iter().sum()
+    }
+}
+
+/// Aggregated results of one simulation run.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct Metrics {
+    /// Packets created in the measurement window.
+    pub packets_created: u64,
+    /// Measured packets that fully ejected (tail received).
+    pub packets_ejected: u64,
+    /// Sum of packet latencies (cycles) over ejected measured packets.
+    pub latency_sum: u64,
+    /// Maximum packet latency observed.
+    pub latency_max: u64,
+    /// Flits ejected during the measurement window (any packet) — the
+    /// accepted-throughput numerator.
+    pub flits_ejected_measured: u64,
+    /// Flits injected into the network during the measurement window.
+    pub flits_injected_measured: u64,
+    /// Flit-hop counters by channel class, measurement window only.
+    pub class_hops: ClassCounters,
+    /// Measured cycles (denominator for rates).
+    pub measure_cycles: u64,
+    /// Number of endpoints (denominator for per-endpoint rates).
+    pub endpoints: u64,
+    /// Cycles actually simulated (incl. warm-up and drain).
+    pub cycles_run: u64,
+    /// True if the deadlock watchdog fired (results then meaningless).
+    pub deadlocked: bool,
+    /// Measured-window flits ejected per endpoint (empty unless
+    /// `SimConfig::per_endpoint_stats`); lets collectives report the
+    /// bottleneck chip instead of the average.
+    pub ejected_per_endpoint: Vec<u32>,
+    /// Measured-window flits sent per channel (empty unless
+    /// `SimConfig::per_channel_stats`); divide by `measure_cycles ×
+    /// width` for utilization. Indexed by channel id.
+    pub flits_per_channel: Vec<u32>,
+}
+
+impl Metrics {
+    /// Mean packet latency in cycles, or `None` if nothing ejected.
+    pub fn avg_latency(&self) -> Option<f64> {
+        if self.packets_ejected == 0 {
+            None
+        } else {
+            Some(self.latency_sum as f64 / self.packets_ejected as f64)
+        }
+    }
+
+    /// Accepted throughput in flits/cycle/endpoint.
+    pub fn accepted_rate(&self) -> f64 {
+        if self.measure_cycles == 0 || self.endpoints == 0 {
+            return 0.0;
+        }
+        self.flits_ejected_measured as f64 / (self.measure_cycles * self.endpoints) as f64
+    }
+
+    /// Injected throughput in flits/cycle/endpoint (what actually entered
+    /// the network; < offered when source queues back up).
+    pub fn injected_rate(&self) -> f64 {
+        if self.measure_cycles == 0 || self.endpoints == 0 {
+            return 0.0;
+        }
+        self.flits_injected_measured as f64 / (self.measure_cycles * self.endpoints) as f64
+    }
+
+    /// Fraction of measured packets that made it out (drain completeness).
+    pub fn ejection_fraction(&self) -> f64 {
+        if self.packets_created == 0 {
+            return 1.0;
+        }
+        self.packets_ejected as f64 / self.packets_created as f64
+    }
+
+    /// Average flit-hops per ejected flit, by class — feeds the energy model.
+    pub fn avg_hops_per_flit(&self) -> [f64; 6] {
+        let mut out = [0.0; 6];
+        if self.flits_ejected_measured == 0 {
+            return out;
+        }
+        for (i, o) in out.iter_mut().enumerate() {
+            *o = self.class_hops.flit_hops[i] as f64 / self.flits_ejected_measured as f64;
+        }
+        out
+    }
+
+    /// Merge a partition-local metrics block into the global one.
+    pub fn merge(&mut self, other: &Metrics) {
+        self.packets_created += other.packets_created;
+        self.packets_ejected += other.packets_ejected;
+        self.latency_sum += other.latency_sum;
+        self.latency_max = self.latency_max.max(other.latency_max);
+        self.flits_ejected_measured += other.flits_ejected_measured;
+        self.flits_injected_measured += other.flits_injected_measured;
+        self.class_hops.merge(&other.class_hops);
+        self.deadlocked |= other.deadlocked;
+        if !other.ejected_per_endpoint.is_empty() {
+            if self.ejected_per_endpoint.is_empty() {
+                self.ejected_per_endpoint = vec![0; other.ejected_per_endpoint.len()];
+            }
+            for (a, b) in self
+                .ejected_per_endpoint
+                .iter_mut()
+                .zip(other.ejected_per_endpoint.iter())
+            {
+                *a += b;
+            }
+        }
+        if !other.flits_per_channel.is_empty() {
+            if self.flits_per_channel.is_empty() {
+                self.flits_per_channel = vec![0; other.flits_per_channel.len()];
+            }
+            for (a, b) in self
+                .flits_per_channel
+                .iter_mut()
+                .zip(other.flits_per_channel.iter())
+            {
+                *a += b;
+            }
+        }
+    }
+
+    /// Utilization of channel `ch` (flits sent / capacity) over the
+    /// measurement window; `None` without per-channel stats.
+    pub fn channel_utilization(&self, ch: usize, width: u8) -> Option<f64> {
+        if self.flits_per_channel.is_empty() || self.measure_cycles == 0 {
+            return None;
+        }
+        Some(
+            self.flits_per_channel[ch] as f64
+                / (self.measure_cycles as f64 * width as f64),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_metrics_are_sane() {
+        let m = Metrics::default();
+        assert_eq!(m.avg_latency(), None);
+        assert_eq!(m.accepted_rate(), 0.0);
+        assert_eq!(m.ejection_fraction(), 1.0);
+    }
+
+    #[test]
+    fn rates_and_latency() {
+        let m = Metrics {
+            packets_created: 10,
+            packets_ejected: 8,
+            latency_sum: 160,
+            latency_max: 40,
+            flits_ejected_measured: 32,
+            flits_injected_measured: 40,
+            measure_cycles: 100,
+            endpoints: 4,
+            ..Default::default()
+        };
+        assert_eq!(m.avg_latency(), Some(20.0));
+        assert!((m.accepted_rate() - 32.0 / 400.0).abs() < 1e-12);
+        assert!((m.injected_rate() - 0.1).abs() < 1e-12);
+        assert!((m.ejection_fraction() - 0.8).abs() < 1e-12);
+    }
+
+    #[test]
+    fn merge_accumulates() {
+        let mut a = Metrics {
+            packets_ejected: 1,
+            latency_sum: 5,
+            latency_max: 5,
+            ..Default::default()
+        };
+        let b = Metrics {
+            packets_ejected: 2,
+            latency_sum: 20,
+            latency_max: 15,
+            deadlocked: true,
+            ..Default::default()
+        };
+        a.merge(&b);
+        assert_eq!(a.packets_ejected, 3);
+        assert_eq!(a.latency_sum, 25);
+        assert_eq!(a.latency_max, 15);
+        assert!(a.deadlocked);
+    }
+
+    #[test]
+    fn class_counters_roundtrip() {
+        let mut c = ClassCounters::default();
+        c.record(ChannelClass::OnChip);
+        c.record(ChannelClass::OnChip);
+        c.record(ChannelClass::LongReachGlobal);
+        assert_eq!(c.get(ChannelClass::OnChip), 2);
+        assert_eq!(c.get(ChannelClass::LongReachGlobal), 1);
+        assert_eq!(c.total(), 3);
+        let mut d = ClassCounters::default();
+        d.merge(&c);
+        d.merge(&c);
+        assert_eq!(d.total(), 6);
+    }
+}
+
+#[cfg(test)]
+mod channel_stats_tests {
+    use super::*;
+
+    #[test]
+    fn per_channel_merge_and_utilization() {
+        let mut a = Metrics {
+            flits_per_channel: vec![10, 0, 5],
+            measure_cycles: 100,
+            ..Default::default()
+        };
+        let b = Metrics {
+            flits_per_channel: vec![5, 5, 0],
+            ..Default::default()
+        };
+        a.merge(&b);
+        assert_eq!(a.flits_per_channel, vec![15, 5, 5]);
+        assert_eq!(a.channel_utilization(0, 1), Some(0.15));
+        assert_eq!(a.channel_utilization(1, 2), Some(0.025));
+    }
+
+    #[test]
+    fn utilization_none_without_stats() {
+        let m = Metrics {
+            measure_cycles: 100,
+            ..Default::default()
+        };
+        assert_eq!(m.channel_utilization(0, 1), None);
+    }
+}

@@ -1,0 +1,882 @@
+//! Runtime router and endpoint state machines.
+//!
+//! One [`RouterRt`] is an input-queued virtual-channel router with
+//! credit-based flow control and separable round-robin allocation:
+//!
+//! * **RC** — at each input VC whose front flit is a head without a route,
+//!   query the [`crate::RouteOracle`].
+//! * **VA** — input VCs request the exact output VC the oracle chose;
+//!   a rotating-priority arbiter per output VC picks one winner.
+//! * **SA** — each output port grants up to `width(out_channel)` flits per
+//!   cycle among input VCs holding that port, rotating priority; each input
+//!   port may forward at most `width(in_channel)` flits per cycle.
+//! * **ST/LT** — granted flits move onto the output channel (arriving
+//!   `latency` cycles later), a credit returns upstream, and a tail flit
+//!   releases its output VC.
+//!
+//! Endpoints ([`EndpointRt`]) are open-loop sources with unbounded packet
+//! queues plus sinks with bounded ejection bandwidth. All cross-router
+//! communication flows through per-partition queues or [`Msg`] mailboxes so
+//! the engine can run partitions in parallel without locks.
+
+use crate::channel::ChannelClass;
+use crate::flit::{Flit, PacketHeader};
+use crate::metrics::Metrics;
+use crate::oracle::{RouteChoice, RouteOracle};
+use crate::rng::SplitMix64;
+use std::collections::VecDeque;
+
+/// Cross-partition message: a flit or credit addressed to a channel queue
+/// owned by another partition.
+#[derive(Debug, Clone, Copy)]
+pub enum Msg {
+    /// Deliver `flit` into channel `ch`'s flit queue at cycle `arrive`.
+    Flit {
+        /// Global channel id.
+        ch: u32,
+        /// Arrival cycle.
+        arrive: u64,
+        /// The flit.
+        flit: Flit,
+    },
+    /// Deliver one credit for VC `vc` into channel `ch`'s credit queue.
+    Credit {
+        /// Global channel id.
+        ch: u32,
+        /// Arrival cycle.
+        arrive: u64,
+        /// Virtual channel the credit frees.
+        vc: u8,
+    },
+}
+
+/// Where a flit sent on an output port lands.
+#[derive(Debug, Clone, Copy)]
+pub enum FlitTarget {
+    /// Flit queue owned by this partition (dense local index).
+    Local(u32),
+    /// Flit queue owned by another partition; route via mailbox.
+    Remote {
+        /// Owning partition.
+        part: u32,
+        /// Global channel id (owner resolves its own local index).
+        ch: u32,
+    },
+}
+
+/// Where a credit for a consumed flit goes (upstream of an input port).
+#[derive(Debug, Clone, Copy)]
+pub enum CreditTarget {
+    /// Credit queue owned by this partition.
+    Local(u32),
+    /// Credit queue owned by another partition.
+    Remote {
+        /// Owning partition.
+        part: u32,
+        /// Global channel id.
+        ch: u32,
+    },
+}
+
+/// Compiled input-port wiring.
+#[derive(Debug, Clone, Copy)]
+pub struct PortIn {
+    /// Local index of the incoming channel's flit queue (owned here).
+    pub flit_q: u32,
+    /// Upstream credit destination.
+    pub credit_to: CreditTarget,
+    /// Credit return latency (= channel latency).
+    pub credit_latency: u32,
+    /// Incoming channel width — the input port's forwarding quota.
+    pub width: u8,
+}
+
+/// Compiled output-port wiring.
+#[derive(Debug, Clone, Copy)]
+pub struct PortOut {
+    /// Global channel id (per-channel statistics).
+    pub ch: u32,
+    /// Local index of the outgoing channel's credit queue (owned here).
+    pub credit_q: u32,
+    /// Downstream flit destination.
+    pub flit_to: FlitTarget,
+    /// Channel latency in cycles.
+    pub latency: u32,
+    /// Channel width — the output port's grant quota per cycle.
+    pub width: u8,
+    /// Channel class for metrics/energy accounting.
+    pub class: ChannelClass,
+    /// True if the channel ends at an endpoint (ejection).
+    pub is_ejection: bool,
+}
+
+/// Per-input-VC state.
+#[derive(Debug, Clone)]
+struct InputVc {
+    buf: VecDeque<Flit>,
+    /// Routing decision for the packet whose flits are at the front.
+    route: Option<RouteChoice>,
+    /// True once VA granted the requested output VC.
+    granted: bool,
+}
+
+impl InputVc {
+    fn new() -> Self {
+        InputVc {
+            buf: VecDeque::new(),
+            route: None,
+            granted: false,
+        }
+    }
+}
+
+/// Per-output-VC state.
+#[derive(Debug, Clone, Copy)]
+struct OutputVc {
+    /// Input VC (flat index) currently holding this output VC.
+    owner: Option<u16>,
+    /// Remaining credits (free downstream buffer slots).
+    credits: u16,
+}
+
+/// Mutable per-cycle context handed to routers/endpoints by the engine.
+/// All slices are partition-local.
+pub struct CycleCtx<'a> {
+    /// Current cycle.
+    pub now: u64,
+    /// Flit queues owned by this partition (indexed by local id).
+    pub flit_qs: &'a mut [VecDeque<(u64, Flit)>],
+    /// Credit queues owned by this partition.
+    pub credit_qs: &'a mut [VecDeque<(u64, u8)>],
+    /// Outgoing mailboxes, one per destination partition.
+    pub outboxes: &'a mut [Vec<Msg>],
+    /// Partition-local metrics.
+    pub metrics: &'a mut Metrics,
+    /// Count of flit movements this cycle (watchdog).
+    pub moved: &'a mut u64,
+    /// Net change in in-network flits this cycle (watchdog bookkeeping).
+    pub in_flight: &'a mut i64,
+    /// True while inside the measurement window.
+    pub measuring: bool,
+    /// True while injection is allowed (false during drain).
+    pub injecting: bool,
+    /// First cycle of the measurement window (latency filter).
+    pub measure_start: u64,
+    /// First cycle after the measurement window.
+    pub measure_end: u64,
+}
+
+impl CycleCtx<'_> {
+    #[inline]
+    fn emit(&mut self, part: u32, msg: Msg) {
+        self.outboxes[part as usize].push(msg);
+    }
+}
+
+/// Runtime state of one router.
+#[derive(Debug, Clone)]
+pub struct RouterRt {
+    /// Global router id (passed to the oracle).
+    pub id: u32,
+    ports: u8,
+    vcs: u8,
+    in_ports: Vec<Option<PortIn>>,
+    out_ports: Vec<Option<PortOut>>,
+    inputs: Vec<InputVc>,
+    outputs: Vec<OutputVc>,
+    /// Rotating priority pointer per output VC (VA).
+    va_ptr: Vec<u16>,
+    /// Rotating priority pointer per output port (SA).
+    sa_ptr: Vec<u16>,
+    /// Buffered flits across all input VCs (idle-skip fast path).
+    buffered: u32,
+    /// Crossbar input speedup (flits one input port may forward per cycle).
+    speedup: u8,
+    /// Deterministic stream for adaptive oracles.
+    rng: SplitMix64,
+    /// Scratch: VA requests (out-VC flat id, in-VC flat id).
+    va_scratch: Vec<(u16, u16)>,
+    /// Scratch: SA candidates (out port, in-VC flat id).
+    sa_scratch: Vec<(u8, u16)>,
+    /// Scratch: SA rotated candidate order.
+    sa_order: Vec<u16>,
+    /// Occupancy bitmap per port: bit v set ⇔ input VC v has buffered
+    /// flits. Keeps RC/VA/SA scans proportional to occupied VCs, not to
+    /// ports × VCs (the hot-path cost at scale).
+    occ: Vec<u64>,
+}
+
+impl RouterRt {
+    /// Build a router with all ports unwired; the engine compiler attaches
+    /// [`PortIn`]/[`PortOut`] afterwards.
+    pub fn new(id: u32, ports: u8, vcs: u8, buffer_flits: u16, speedup: u8, seed: u64) -> Self {
+        let nflat = ports as usize * vcs as usize;
+        RouterRt {
+            id,
+            ports,
+            vcs,
+            in_ports: vec![None; ports as usize],
+            out_ports: vec![None; ports as usize],
+            inputs: (0..nflat).map(|_| InputVc::new()).collect(),
+            outputs: vec![
+                OutputVc {
+                    owner: None,
+                    credits: buffer_flits,
+                };
+                nflat
+            ],
+            va_ptr: vec![0; nflat],
+            sa_ptr: vec![0; ports as usize],
+            buffered: 0,
+            speedup: speedup.max(1),
+            rng: SplitMix64::for_agent(seed, 0x5157 ^ (id as u64) << 1),
+            va_scratch: Vec::new(),
+            sa_scratch: Vec::new(),
+            sa_order: Vec::new(),
+            occ: vec![0; ports as usize],
+        }
+    }
+
+    /// Attach input wiring to `port`.
+    pub fn wire_in(&mut self, port: u8, pin: PortIn) {
+        self.in_ports[port as usize] = Some(pin);
+    }
+
+    /// Attach output wiring to `port`.
+    pub fn wire_out(&mut self, port: u8, pout: PortOut) {
+        self.out_ports[port as usize] = Some(pout);
+    }
+
+    /// Number of ports.
+    pub fn ports(&self) -> u8 {
+        self.ports
+    }
+
+    /// Flits currently buffered in this router.
+    pub fn buffered(&self) -> u32 {
+        self.buffered
+    }
+
+    #[inline]
+    fn flat(&self, port: u8, vc: u8) -> usize {
+        port as usize * self.vcs as usize + vc as usize
+    }
+
+    /// One simulation cycle: arrivals, credit returns, RC, VA, SA, traversal.
+    pub fn cycle(&mut self, ctx: &mut CycleCtx<'_>, oracle: &dyn RouteOracle) {
+        self.absorb_credits(ctx);
+        self.absorb_arrivals(ctx);
+        if self.buffered == 0 {
+            return;
+        }
+        self.route_compute(oracle, ctx.now);
+        self.vc_allocate();
+        self.switch_allocate(ctx);
+    }
+
+    /// Pull returned credits into output VC counters.
+    fn absorb_credits(&mut self, ctx: &mut CycleCtx<'_>) {
+        for port in 0..self.ports as usize {
+            let Some(pout) = self.out_ports[port] else {
+                continue;
+            };
+            let q = &mut ctx.credit_qs[pout.credit_q as usize];
+            while let Some(&(arrive, vc)) = q.front() {
+                if arrive > ctx.now {
+                    break;
+                }
+                q.pop_front();
+                let f = self.flat(port as u8, vc);
+                self.outputs[f].credits += 1;
+            }
+        }
+    }
+
+    /// Pull arrived flits into input buffers.
+    fn absorb_arrivals(&mut self, ctx: &mut CycleCtx<'_>) {
+        for port in 0..self.ports as usize {
+            let Some(pin) = self.in_ports[port] else {
+                continue;
+            };
+            let q = &mut ctx.flit_qs[pin.flit_q as usize];
+            while let Some(&(arrive, flit)) = q.front() {
+                if arrive > ctx.now {
+                    break;
+                }
+                q.pop_front();
+                // The sender stamped its allocated VC into the flit (see the
+                // VC-stamping section below); that VC selects the input buffer.
+                let vc = flit_vc(&flit);
+                let f = self.flat(port as u8, vc);
+                self.inputs[f].buf.push_back(strip_vc(flit));
+                self.occ[port] |= 1 << vc;
+                self.buffered += 1;
+                *ctx.moved += 1;
+            }
+        }
+    }
+
+    /// Route computation for fresh head flits.
+    fn route_compute(&mut self, oracle: &dyn RouteOracle, _now: u64) {
+        for port in 0..self.ports {
+            let mut bits = self.occ[port as usize];
+            while bits != 0 {
+                let vc = bits.trailing_zeros() as u8;
+                bits &= bits - 1;
+                let f = self.flat(port, vc);
+                if self.inputs[f].route.is_some() {
+                    continue;
+                }
+                let Some(front) = self.inputs[f].buf.front() else {
+                    continue;
+                };
+                debug_assert!(
+                    front.kind.is_head(),
+                    "non-head flit {:?} at front of unrouted VC (router {}, port {port}, vc {vc})",
+                    front.kind,
+                    self.id
+                );
+                let choice = oracle.route(self.id, port, vc, &front.pkt, &mut self.rng);
+                debug_assert!(
+                    (choice.out_port as usize) < self.ports as usize,
+                    "oracle chose invalid port {} on router {} ({} ports)",
+                    choice.out_port,
+                    self.id,
+                    self.ports
+                );
+                debug_assert!(choice.out_vc < self.vcs);
+                self.inputs[f].route = Some(choice);
+                self.inputs[f].granted = false;
+            }
+        }
+    }
+
+    /// VC allocation: rotating-priority arbitration per requested output VC.
+    fn vc_allocate(&mut self) {
+        self.va_scratch.clear();
+        for port in 0..self.ports as usize {
+            let mut bits = self.occ[port];
+            while bits != 0 {
+                let vc = bits.trailing_zeros() as usize;
+                bits &= bits - 1;
+                let f = port * self.vcs as usize + vc;
+                let iu = &self.inputs[f];
+                if iu.granted || iu.buf.is_empty() {
+                    continue;
+                }
+                let Some(rc) = iu.route else { continue };
+                let ovc = self.flat(rc.out_port, rc.out_vc) as u16;
+                if self.outputs[ovc as usize].owner.is_none() {
+                    self.va_scratch.push((ovc, f as u16));
+                }
+            }
+        }
+        if self.va_scratch.is_empty() {
+            return;
+        }
+        self.va_scratch.sort_unstable();
+        let n = self.inputs.len() as u16;
+        let mut i = 0;
+        while i < self.va_scratch.len() {
+            let ovc = self.va_scratch[i].0;
+            let mut j = i;
+            while j < self.va_scratch.len() && self.va_scratch[j].0 == ovc {
+                j += 1;
+            }
+            // Winner: requester with the smallest rotated index.
+            let ptr = self.va_ptr[ovc as usize];
+            let winner = self.va_scratch[i..j]
+                .iter()
+                .map(|&(_, ivc)| ivc)
+                .min_by_key(|&ivc| (ivc + n - ptr) % n)
+                .expect("non-empty group");
+            self.outputs[ovc as usize].owner = Some(winner);
+            self.inputs[winner as usize].granted = true;
+            self.va_ptr[ovc as usize] = (winner + 1) % n;
+            i = j;
+        }
+    }
+
+    /// Switch allocation + traversal: grant up to `width` flits per output
+    /// port and per input port, rotating priority, then send.
+    fn switch_allocate(&mut self, ctx: &mut CycleCtx<'_>) {
+        self.sa_scratch.clear();
+        for port in 0..self.ports as usize {
+            let mut bits = self.occ[port];
+            while bits != 0 {
+                let vc = bits.trailing_zeros() as usize;
+                bits &= bits - 1;
+                let f = port * self.vcs as usize + vc;
+                let iu = &self.inputs[f];
+                if !iu.granted || iu.buf.is_empty() {
+                    continue;
+                }
+                let rc = iu.route.expect("granted VC must have a route");
+                self.sa_scratch.push((rc.out_port, f as u16));
+            }
+        }
+        if self.sa_scratch.is_empty() {
+            return;
+        }
+        self.sa_scratch.sort_unstable();
+        // Per-input-port quotas (only the ports this router has — a fixed
+        // 256-entry array would memset 512 B per busy router per cycle).
+        let mut in_quota = [0u16; 64];
+        debug_assert!(self.ports as usize <= in_quota.len());
+        for p in 0..self.ports as usize {
+            in_quota[p] =
+                self.in_ports[p].map_or(0, |pi| pi.width as u16 * self.speedup as u16);
+        }
+        let n = self.inputs.len() as u16;
+        let mut i = 0;
+        while i < self.sa_scratch.len() {
+            let oport = self.sa_scratch[i].0;
+            let mut j = i;
+            while j < self.sa_scratch.len() && self.sa_scratch[j].0 == oport {
+                j += 1;
+            }
+            let pout = self.out_ports[oport as usize].expect("route to unwired output port");
+            let mut quota = pout.width;
+            let ptr = self.sa_ptr[oport as usize];
+            // Rotate the candidate group so priority moves each cycle.
+            self.sa_order.clear();
+            self.sa_order
+                .extend(self.sa_scratch[i..j].iter().map(|&(_, f)| f));
+            self.sa_order.sort_unstable_by_key(|&f| (f + n - ptr) % n);
+            let order = std::mem::take(&mut self.sa_order);
+            let mut granted_any = None;
+            // Keep sweeping the rotated order until quota or progress runs out
+            // (a wide link may take several flits from one VC per cycle).
+            while quota > 0 {
+                let mut progressed = false;
+                for &f in &order {
+                    if quota == 0 {
+                        break;
+                    }
+                    let port_of_f = (f as usize / self.vcs as usize) as u8;
+                    if in_quota[port_of_f as usize] == 0 {
+                        continue;
+                    }
+                    // Re-validate: a tail sent earlier in this sweep clears
+                    // the VC's route/grant; the next packet must go through
+                    // RC/VA again before it can compete.
+                    if !self.inputs[f as usize].granted {
+                        continue;
+                    }
+                    let Some(rc) = self.inputs[f as usize].route else {
+                        continue;
+                    };
+                    let ovc_flat = self.flat(rc.out_port, rc.out_vc);
+                    if self.outputs[ovc_flat].credits == 0 {
+                        continue;
+                    }
+                    if self.inputs[f as usize].buf.is_empty() {
+                        continue;
+                    }
+                    self.send_one(f, rc, oport, pout, ctx);
+                    quota -= 1;
+                    in_quota[port_of_f as usize] -= 1;
+                    granted_any = Some(f);
+                    progressed = true;
+                }
+                if !progressed {
+                    break;
+                }
+            }
+            self.sa_order = order;
+            if let Some(f) = granted_any {
+                self.sa_ptr[oport as usize] = (f + 1) % n;
+            }
+            i = j;
+        }
+    }
+
+    /// Move one flit from input VC `f` onto output port `oport`.
+    fn send_one(
+        &mut self,
+        f: u16,
+        rc: RouteChoice,
+        _oport: u8,
+        pout: PortOut,
+        ctx: &mut CycleCtx<'_>,
+    ) {
+        let flit = self.inputs[f as usize]
+            .buf
+            .pop_front()
+            .expect("send_one on empty buffer");
+        if self.inputs[f as usize].buf.is_empty() {
+            let port = f as usize / self.vcs as usize;
+            let vc = f as usize % self.vcs as usize;
+            self.occ[port] &= !(1 << vc);
+        }
+        self.buffered -= 1;
+        *ctx.moved += 1;
+        let ovc_flat = self.flat(rc.out_port, rc.out_vc);
+        self.outputs[ovc_flat].credits -= 1;
+
+        // Metrics: hop accounting during the measurement window.
+        if ctx.measuring {
+            ctx.metrics.class_hops.record(pout.class);
+            if !ctx.metrics.flits_per_channel.is_empty() {
+                ctx.metrics.flits_per_channel[pout.ch as usize] += 1;
+            }
+        }
+
+        // Credit back upstream for the freed buffer slot.
+        let in_port = f as usize / self.vcs as usize;
+        let in_vc = (f as usize % self.vcs as usize) as u8;
+        let pin = self.in_ports[in_port].expect("flit came from a wired input");
+        let credit_arrive = ctx.now + pin.credit_latency as u64;
+        match pin.credit_to {
+            CreditTarget::Local(q) => {
+                ctx.credit_qs[q as usize].push_back((credit_arrive, in_vc));
+            }
+            CreditTarget::Remote { part, ch } => ctx.emit(
+                part,
+                Msg::Credit {
+                    ch,
+                    arrive: credit_arrive,
+                    vc: in_vc,
+                },
+            ),
+        }
+
+        // Deliver the flit downstream (or eject).
+        let arrive = ctx.now + pout.latency as u64;
+        if pout.is_ejection {
+            // Ejection is final: record, free in-flight, return the
+            // downstream credit immediately (the endpoint sink is
+            // always ready; bandwidth is already bounded by SA width).
+            eject(flit, arrive, ctx);
+            self.outputs[ovc_flat].credits += 1;
+        } else {
+            let stamped = stamp_vc(flit, rc.out_vc);
+            match pout.flit_to {
+                FlitTarget::Local(q) => {
+                    ctx.flit_qs[q as usize].push_back((arrive, stamped));
+                }
+                FlitTarget::Remote { part, ch } => ctx.emit(
+                    part,
+                    Msg::Flit {
+                        ch,
+                        arrive,
+                        flit: stamped,
+                    },
+                ),
+            }
+        }
+
+        // Tail: release the output VC and the input VC's packet state.
+        if flit.kind.is_tail() {
+            self.outputs[ovc_flat].owner = None;
+            self.inputs[f as usize].route = None;
+            self.inputs[f as usize].granted = false;
+        }
+    }
+}
+
+/// Record an ejected flit: throughput always, latency for measured packets.
+fn eject(flit: Flit, arrive: u64, ctx: &mut CycleCtx<'_>) {
+    *ctx.in_flight -= 1;
+    let in_window = arrive >= ctx.measure_start && arrive < ctx.measure_end;
+    if in_window {
+        ctx.metrics.flits_ejected_measured += 1;
+        if !ctx.metrics.ejected_per_endpoint.is_empty() {
+            ctx.metrics.ejected_per_endpoint[flit.pkt.dst as usize] += 1;
+        }
+    }
+    if flit.kind.is_tail() {
+        let created = flit.pkt.created;
+        if created >= ctx.measure_start && created < ctx.measure_end {
+            let lat = arrive - created;
+            ctx.metrics.packets_ejected += 1;
+            ctx.metrics.latency_sum += lat;
+            ctx.metrics.latency_max = ctx.metrics.latency_max.max(lat);
+        }
+    }
+}
+
+// --- VC stamping -----------------------------------------------------------
+//
+// A flit on the wire must tell the receiver which input VC to buffer it in.
+// Rather than widening the queue entry, the VC rides in unused high bits of
+// the packet id (bits 56..62 — endpoint ids use the low bits); `stamp_vc`
+// and `flit_vc`/`strip_vc` encode and decode it. Packet ids are generated
+// with those bits clear.
+
+const VC_SHIFT: u32 = 56;
+const VC_MASK: u64 = 0x3F << VC_SHIFT;
+
+#[inline]
+fn stamp_vc(mut flit: Flit, vc: u8) -> Flit {
+    flit.pkt.id = (flit.pkt.id & !VC_MASK) | ((vc as u64) << VC_SHIFT);
+    flit
+}
+
+#[inline]
+fn flit_vc(flit: &Flit) -> u8 {
+    ((flit.pkt.id & VC_MASK) >> VC_SHIFT) as u8
+}
+
+#[inline]
+fn strip_vc(mut flit: Flit) -> Flit {
+    flit.pkt.id &= !VC_MASK;
+    flit
+}
+
+// --- Endpoint --------------------------------------------------------------
+
+/// Runtime state of one endpoint: open-loop source + sink.
+#[derive(Debug, Clone)]
+pub struct EndpointRt {
+    /// Global endpoint id.
+    pub id: u32,
+    /// Packets waiting to be serialized into the network.
+    queue: VecDeque<PacketHeader>,
+    /// Next flit sequence number of the packet at the queue front.
+    send_seq: u8,
+    /// VC chosen for the packet at the queue front (set when its head goes).
+    send_vc: u8,
+    /// Credits per VC of the injection channel (downstream input buffer).
+    credits: Vec<u16>,
+    /// Global channel id of the injection channel (statistics).
+    inj_ch: u32,
+    /// Local flit-queue index of the injection channel (dst side is the
+    /// router — but the *credit* queue for it is ours). Flit delivery target:
+    inj_to: FlitTarget,
+    /// Local credit-queue index of the injection channel (owned here).
+    inj_credit_q: u32,
+    /// Injection channel latency/width.
+    inj_latency: u32,
+    inj_width: u8,
+    /// Local flit-queue index of the ejection channel (owned here).
+    ej_q: u32,
+    /// Ejection channel global id + latency for the credit return.
+    ej_credit_to: CreditTarget,
+    ej_credit_latency: u32,
+    /// Traffic RNG.
+    rng: SplitMix64,
+    /// Monotone packet id (endpoint id in low bits — see VC stamping note).
+    next_pkt: u64,
+    /// Accumulated fractional packets (deterministic rate conversion).
+    acc: f64,
+}
+
+impl EndpointRt {
+    /// Create an endpoint; wiring indices are attached by the compiler.
+    #[allow(clippy::too_many_arguments)]
+    pub fn new(
+        id: u32,
+        vcs: u8,
+        buffer_flits: u16,
+        inj_ch: u32,
+        inj_to: FlitTarget,
+        inj_credit_q: u32,
+        inj_latency: u32,
+        inj_width: u8,
+        ej_q: u32,
+        ej_credit_to: CreditTarget,
+        ej_credit_latency: u32,
+        seed: u64,
+    ) -> Self {
+        EndpointRt {
+            id,
+            queue: VecDeque::new(),
+            send_seq: 0,
+            send_vc: 0,
+            credits: vec![buffer_flits; vcs as usize],
+            inj_ch,
+            inj_to,
+            inj_credit_q,
+            inj_latency,
+            inj_width,
+            ej_q,
+            ej_credit_to,
+            ej_credit_latency,
+            rng: SplitMix64::for_agent(seed, 0xE9D0 ^ ((id as u64) << 1 | 1)),
+            next_pkt: (id as u64) << 20,
+            acc: 0.0,
+        }
+    }
+
+    /// Packets waiting in the source queue (backpressure indicator).
+    pub fn backlog(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// One cycle: eject arrived flits, generate new packets, inject flits.
+    pub fn cycle(
+        &mut self,
+        ctx: &mut CycleCtx<'_>,
+        oracle: &dyn RouteOracle,
+        pattern: &dyn crate::pattern::TrafficPattern,
+        packet_len: u8,
+    ) {
+        self.eject_arrived(ctx);
+        if ctx.injecting {
+            self.generate(ctx, oracle, pattern, packet_len);
+        }
+        self.inject_flits(ctx, oracle);
+    }
+
+    /// Drain the ejection queue: flits already became statistics inside
+    /// `send_one`/`eject`; here we only return credits upstream.
+    fn eject_arrived(&mut self, ctx: &mut CycleCtx<'_>) {
+        // Ejected flits are fully accounted at send time (see `send_one`);
+        // the ejection flit queue is unused and stays empty by construction.
+        debug_assert!(ctx.flit_qs[self.ej_q as usize].is_empty());
+        let _ = self.ej_credit_to;
+        let _ = self.ej_credit_latency;
+    }
+
+    /// Open-loop generation: accumulate `rate/len` packets per cycle and
+    /// emit whole packets (deterministic smoothing + Bernoulli remainder
+    /// would add variance; the accumulator alone reproduces mean rates
+    /// exactly and keeps runs deterministic).
+    fn generate(
+        &mut self,
+        ctx: &mut CycleCtx<'_>,
+        oracle: &dyn RouteOracle,
+        pattern: &dyn crate::pattern::TrafficPattern,
+        packet_len: u8,
+    ) {
+        let rate = pattern.rate(self.id);
+        if rate <= 0.0 {
+            return;
+        }
+        self.acc += rate / packet_len as f64;
+        while self.acc >= 1.0 {
+            self.acc -= 1.0;
+            let seq = self.next_pkt & 0xF_FFFF;
+            let Some(dst) = pattern.dest(self.id, seq, &mut self.rng) else {
+                continue;
+            };
+            debug_assert_ne!(dst, self.id, "pattern produced self-traffic");
+            let mut pkt = PacketHeader {
+                id: self.next_pkt,
+                src: self.id,
+                dst,
+                inter_w: crate::flit::NO_INTERMEDIATE,
+                created: ctx.now,
+                len: packet_len,
+            };
+            self.next_pkt += 1;
+            debug_assert_eq!(self.next_pkt & VC_MASK, 0, "packet id overflowed into VC bits");
+            oracle.tag_packet(&mut pkt, &mut self.rng);
+            if ctx.measuring {
+                ctx.metrics.packets_created += 1;
+            }
+            self.queue.push_back(pkt);
+        }
+    }
+
+    /// Serialize queued packets into the injection channel, up to
+    /// `inj_width` flits/cycle, respecting downstream credits.
+    fn inject_flits(&mut self, ctx: &mut CycleCtx<'_>, oracle: &dyn RouteOracle) {
+        let mut budget = self.inj_width;
+        while budget > 0 {
+            let Some(&pkt) = self.queue.front() else {
+                break;
+            };
+            if self.send_seq == 0 {
+                // Head flit: the routing policy fixes the VC for the packet.
+                self.send_vc = oracle.initial_vc(&pkt);
+            }
+            let vc = self.send_vc;
+            if self.credits[vc as usize] == 0 {
+                break;
+            }
+            self.credits[vc as usize] -= 1;
+            let flit = Flit::new(pkt, self.send_seq);
+            let arrive = ctx.now + self.inj_latency as u64;
+            let stamped = stamp_vc(flit, vc);
+            match self.inj_to {
+                FlitTarget::Local(q) => ctx.flit_qs[q as usize].push_back((arrive, stamped)),
+                FlitTarget::Remote { part, ch } => ctx.emit(
+                    part,
+                    Msg::Flit {
+                        ch,
+                        arrive,
+                        flit: stamped,
+                    },
+                ),
+            }
+            *ctx.in_flight += 1;
+            *ctx.moved += 1;
+            if ctx.measuring {
+                ctx.metrics.flits_injected_measured += 1;
+                if !ctx.metrics.flits_per_channel.is_empty() {
+                    ctx.metrics.flits_per_channel[self.inj_ch as usize] += 1;
+                }
+            }
+            budget -= 1;
+            self.send_seq += 1;
+            if self.send_seq == pkt.len {
+                self.queue.pop_front();
+                self.send_seq = 0;
+            }
+        }
+    }
+
+    /// Absorb returned injection credits.
+    pub fn absorb_credits(&mut self, ctx: &mut CycleCtx<'_>) {
+        let q = &mut ctx.credit_qs[self.inj_credit_q as usize];
+        while let Some(&(arrive, vc)) = q.front() {
+            if arrive > ctx.now {
+                break;
+            }
+            q.pop_front();
+            self.credits[vc as usize] += 1;
+        }
+    }
+
+    /// Override the initial VC chooser's default stream (used in tests).
+    pub fn rng_mut(&mut self) -> &mut SplitMix64 {
+        &mut self.rng
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::flit::{FlitKind, NO_INTERMEDIATE};
+
+    fn mk_flit(id: u64) -> Flit {
+        Flit {
+            pkt: PacketHeader {
+                id,
+                src: 0,
+                dst: 1,
+                inter_w: NO_INTERMEDIATE,
+                created: 0,
+                len: 1,
+            },
+            kind: FlitKind::Single,
+            seq: 0,
+        }
+    }
+
+    #[test]
+    fn vc_stamping_roundtrip() {
+        for vc in 0..16u8 {
+            let f = stamp_vc(mk_flit(0xABCD), vc);
+            assert_eq!(flit_vc(&f), vc);
+            assert_eq!(strip_vc(f).pkt.id, 0xABCD);
+        }
+    }
+
+    #[test]
+    fn vc_stamp_does_not_clobber_id_low_bits() {
+        let id = ((7u64) << 20) | 12345;
+        let f = stamp_vc(mk_flit(id), 3);
+        assert_eq!(strip_vc(f).pkt.id, id);
+    }
+
+    #[test]
+    fn router_new_has_full_credits() {
+        let r = RouterRt::new(0, 4, 2, 32, 1, 1);
+        assert!(r.outputs.iter().all(|o| o.credits == 32 && o.owner.is_none()));
+        assert_eq!(r.inputs.len(), 8);
+        assert_eq!(r.buffered(), 0);
+    }
+}

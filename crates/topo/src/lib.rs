@@ -1,0 +1,97 @@
+//! # wsdf-topo — topology construction for the switch-less Dragonfly
+//!
+//! Builders that turn paper configurations into [`wsdf_sim::NetworkDesc`]
+//! graphs plus the metadata routing oracles need:
+//!
+//! * [`address`] — parameter sets ([`SlParams`], [`SwParams`]), the
+//!   hierarchical (W-group, C-group, node) address arithmetic, perimeter
+//!   ring geometry, Property-2 port labeling and palmtree global wiring.
+//! * [`mesh`] — standalone m×m mesh C-groups and single ideal switches
+//!   (the Fig. 10(a,b) intra-C-group comparison).
+//! * [`switchless`] — the full wafer-based switch-less Dragonfly
+//!   (Sec. III-A): core meshes, SR-LR converters with perimeter chaining,
+//!   all-to-all local wiring inside W-groups, palmtree global wiring.
+//! * [`switchbased`] — the traditional switch-based Dragonfly baseline
+//!   (Kim et al. / Slingshot-style) with ideal single-router switches.
+//!
+//! ## Router/port conventions
+//!
+//! Core (on-chip) routers have 6 ports: `0` endpoint, `1` +x, `2` −x, `3`
+//! +y, `4` −y, `5` converter. Converters have 4 ports: `0` core side, `1`
+//! long-reach external side, `2` chain toward label−1, `3` chain toward
+//! label+1. Switch routers have `radix` ports: terminals, then locals, then
+//! globals.
+
+pub mod address;
+pub mod mesh;
+pub mod switchbased;
+pub mod switchless;
+
+pub use address::{RingPos, SlParams, SwParams};
+pub use mesh::{single_mesh, single_switch, MeshFabric, SwitchNode};
+pub use switchbased::SwitchFabric;
+pub use switchless::SwitchlessFabric;
+
+/// What a router in a built fabric is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RouterKind {
+    /// On-chip router inside a C-group mesh.
+    Core {
+        /// W-group index.
+        w: u32,
+        /// C-group index within the W-group.
+        c: u32,
+        /// Mesh x coordinate.
+        x: u16,
+        /// Mesh y coordinate.
+        y: u16,
+    },
+    /// SR-LR conversion module on the C-group perimeter.
+    Converter {
+        /// W-group index.
+        w: u32,
+        /// C-group index within the W-group.
+        c: u32,
+        /// External port label (= perimeter ring position).
+        label: u16,
+    },
+    /// High-radix switch of the baseline Dragonfly.
+    Switch {
+        /// Dragonfly group index.
+        group: u32,
+        /// Switch index within the group.
+        idx: u32,
+    },
+}
+
+/// Core-router port indices (see module docs).
+pub mod core_port {
+    /// Endpoint injection/ejection port.
+    pub const EP: u8 = 0;
+    /// +x neighbor.
+    pub const XP: u8 = 1;
+    /// −x neighbor.
+    pub const XM: u8 = 2;
+    /// +y neighbor.
+    pub const YP: u8 = 3;
+    /// −y neighbor.
+    pub const YM: u8 = 4;
+    /// Attached SR-LR converter (perimeter cores only).
+    pub const CONV: u8 = 5;
+    /// Port count of a core router.
+    pub const COUNT: u8 = 6;
+}
+
+/// Converter port indices (see module docs).
+pub mod conv_port {
+    /// Short-reach side toward the attached core.
+    pub const CORE: u8 = 0;
+    /// Long-reach external side (local or global link).
+    pub const EXT: u8 = 1;
+    /// Chain link toward label−1.
+    pub const PREV: u8 = 2;
+    /// Chain link toward label+1.
+    pub const NEXT: u8 = 3;
+    /// Port count of a converter.
+    pub const COUNT: u8 = 4;
+}

@@ -1,0 +1,207 @@
+//! The traditional switch-based Dragonfly baseline (Kim et al. 2008; the
+//! paper's Sec. V-A4 experiment setup).
+//!
+//! Every switch is modeled as a single ideal input-queued high-radix router
+//! — exactly the paper's (self-admittedly favorable-to-the-baseline)
+//! methodology: "all the switches are modeled as single ideal high-radix
+//! routers". Terminal links use latency 1 for the same reason (the paper
+//! notes it underestimates the baseline's latency "for easier comparison").
+
+use crate::address::SwParams;
+use crate::RouterKind;
+use wsdf_sim::{ChannelClass, NetworkDesc};
+
+/// Latency of long-reach (local/global) links in cycles.
+pub const LR_LATENCY: u32 = 8;
+
+/// A fully built switch-based Dragonfly.
+#[derive(Debug, Clone)]
+pub struct SwitchFabric {
+    /// The simulator network.
+    pub net: NetworkDesc,
+    /// The configuration it was built from.
+    pub params: SwParams,
+    /// Router kinds, indexed by router id (all `Switch`).
+    pub kinds: Vec<RouterKind>,
+}
+
+impl SwitchFabric {
+    /// Port of a switch for terminal `t`.
+    pub fn terminal_port(p: &SwParams, t: u32) -> u8 {
+        debug_assert!(t < p.terminals);
+        t as u8
+    }
+
+    /// Port of switch `i` toward switch `j` in the same group.
+    pub fn local_port(p: &SwParams, i: u32, j: u32) -> u8 {
+        debug_assert_ne!(i, j);
+        let off = if j < i { j } else { j - 1 };
+        (p.terminals + off) as u8
+    }
+
+    /// Port of a switch for its `j`-th global port.
+    pub fn global_port(p: &SwParams, j: u32) -> u8 {
+        debug_assert!(j < p.globals);
+        (p.terminals + p.locals + j) as u8
+    }
+
+    /// Build the fabric described by `params`.
+    pub fn build(params: &SwParams) -> Self {
+        params.validate().expect("invalid SwParams");
+        let p = *params;
+        let spg = p.switches_per_group();
+        let mut net = NetworkDesc::new();
+        let mut kinds = Vec::with_capacity(p.num_switches() as usize);
+
+        for g in 0..p.groups {
+            for i in 0..spg {
+                // Ideal high-radix router: full crossbar input speedup.
+                let r = net.add_router_speedup(p.radix() as u8, p.radix() as u8);
+                debug_assert_eq!(r, p.switch_router(g, i));
+                kinds.push(RouterKind::Switch { group: g, idx: i });
+                for t in 0..p.terminals {
+                    let e = net.add_endpoint(r);
+                    debug_assert_eq!(e, p.endpoint_of(g, i, t));
+                    net.attach_endpoint(e, r, Self::terminal_port(&p, t), 1, 1);
+                }
+            }
+        }
+
+        // Local all-to-all within each group.
+        for g in 0..p.groups {
+            for i in 0..spg {
+                for j in (i + 1)..spg {
+                    net.connect(
+                        (p.switch_router(g, i), Self::local_port(&p, i, j)),
+                        (p.switch_router(g, j), Self::local_port(&p, j, i)),
+                        LR_LATENCY,
+                        1,
+                        ChannelClass::LongReachLocal,
+                    );
+                }
+            }
+        }
+
+        // Global palmtree.
+        for g in 0..p.groups {
+            for q in 0..spg * p.globals {
+                let Some((v, qb)) = p.global_peer(g, q) else {
+                    continue;
+                };
+                if (v, qb) < (g, q) {
+                    continue;
+                }
+                let (i1, j1) = (q / p.globals, q % p.globals);
+                let (i2, j2) = (qb / p.globals, qb % p.globals);
+                net.connect(
+                    (p.switch_router(g, i1), Self::global_port(&p, j1)),
+                    (p.switch_router(v, i2), Self::global_port(&p, j2)),
+                    LR_LATENCY,
+                    1,
+                    ChannelClass::LongReachGlobal,
+                );
+            }
+        }
+
+        net.validate()
+            .expect("switch-based construction is structurally valid");
+        SwitchFabric {
+            net,
+            params: p,
+            kinds,
+        }
+    }
+
+    /// Kind of a router.
+    pub fn kind(&self, router: u32) -> RouterKind {
+        self.kinds[router as usize]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wsdf_sim::Terminus;
+
+    #[test]
+    fn radix16_full_counts() {
+        let p = SwParams::radix16();
+        let f = SwitchFabric::build(&p);
+        assert_eq!(f.net.num_routers(), 41 * 8);
+        assert_eq!(f.net.num_endpoints(), 1312);
+        let globals = f
+            .net
+            .channels
+            .iter()
+            .filter(|c| c.class == ChannelClass::LongReachGlobal)
+            .count();
+        // 41 groups × 40 ports / 2 bidirectional links.
+        assert_eq!(globals, 41 * 40);
+        let locals = f
+            .net
+            .channels
+            .iter()
+            .filter(|c| c.class == ChannelClass::LongReachLocal)
+            .count();
+        // Per group: C(8,2)=28 links → 56 channels.
+        assert_eq!(locals, 41 * 56);
+    }
+
+    #[test]
+    fn single_group_has_no_globals() {
+        let p = SwParams::radix16().with_groups(1);
+        let f = SwitchFabric::build(&p);
+        assert!(!f
+            .net
+            .channels
+            .iter()
+            .any(|c| c.class == ChannelClass::LongReachGlobal));
+        assert_eq!(f.net.num_endpoints(), 32);
+    }
+
+    #[test]
+    fn port_map_is_injective_per_switch() {
+        let p = SwParams::radix16();
+        let mut used = std::collections::HashSet::new();
+        for t in 0..p.terminals {
+            assert!(used.insert(SwitchFabric::terminal_port(&p, t)));
+        }
+        for j in 0..p.switches_per_group() {
+            if j != 3 {
+                assert!(used.insert(SwitchFabric::local_port(&p, 3, j)));
+            }
+        }
+        for j in 0..p.globals {
+            assert!(used.insert(SwitchFabric::global_port(&p, j)));
+        }
+        assert_eq!(used.len() as u32, p.radix());
+    }
+
+    #[test]
+    fn every_switch_port_wired_at_full_scale() {
+        let p = SwParams::radix16();
+        let f = SwitchFabric::build(&p);
+        let mut out_ports = std::collections::HashSet::new();
+        for ch in &f.net.channels {
+            if let Terminus::Router { router, port } = ch.src {
+                out_ports.insert((router, port));
+            }
+        }
+        assert_eq!(out_ports.len() as u32, p.num_switches() * p.radix());
+    }
+
+    #[test]
+    fn terminal_links_have_unit_latency() {
+        let p = SwParams::radix16().with_groups(2);
+        let f = SwitchFabric::build(&p);
+        for ch in &f.net.channels {
+            match ch.class {
+                ChannelClass::Injection | ChannelClass::Ejection => assert_eq!(ch.latency, 1),
+                ChannelClass::LongReachLocal | ChannelClass::LongReachGlobal => {
+                    assert_eq!(ch.latency, 8)
+                }
+                _ => {}
+            }
+        }
+    }
+}

@@ -1,0 +1,366 @@
+//! The wafer-based switch-less Dragonfly (Sec. III-A, IV-A of the paper).
+//!
+//! Each C-group is an m×m mesh of core routers plus `k = 4m−4` SR-LR
+//! converter modules, one per perimeter core. Converters are chained along
+//! the perimeter (the physical layout of Fig. 9 places them side by side at
+//! the wafer edge; the chain is what makes the paper's port-to-port
+//! up-only/down-only paths of Property 1(c2) realizable — see DESIGN.md).
+//! The `ab` C-groups of a W-group are fully connected through local
+//! long-reach links, and W-groups are fully connected through global
+//! long-reach links in the relative (palmtree) arrangement.
+//!
+//! Channel classes and latencies (Table II / Table IV):
+//!
+//! | link                | class           | latency | width        |
+//! |---------------------|-----------------|---------|--------------|
+//! | mesh, intra-chiplet | `OnChip`        | 1       | `mesh_width` |
+//! | mesh, inter-chiplet | `ShortReach`    | 1       | `mesh_width` |
+//! | core ↔ converter    | `ShortReach`    | 1       | 1            |
+//! | converter chain     | `ShortReach`    | 1       | 1            |
+//! | local (intra-W)     | `LongReachLocal`| 8       | 1            |
+//! | global (inter-W)    | `LongReachGlobal`| 8      | 1            |
+
+use crate::address::SlParams;
+use crate::mesh::wire_mesh;
+use crate::{conv_port, core_port, RouterKind};
+use wsdf_sim::{ChannelClass, NetworkDesc};
+
+/// Latency of long-reach links in cycles (Table IV).
+pub const LR_LATENCY: u32 = 8;
+/// Latency of short-reach links in cycles (Table IV).
+pub const SR_LATENCY: u32 = 1;
+
+/// A fully built switch-less Dragonfly fabric.
+#[derive(Debug, Clone)]
+pub struct SwitchlessFabric {
+    /// The simulator network.
+    pub net: NetworkDesc,
+    /// The configuration it was built from.
+    pub params: SlParams,
+    /// Router kinds, indexed by router id.
+    pub kinds: Vec<RouterKind>,
+}
+
+impl SwitchlessFabric {
+    /// Build the fabric described by `params`.
+    pub fn build(params: &SlParams) -> Self {
+        params.validate().expect("invalid SlParams");
+        let p = *params;
+        let m = p.m;
+        let k = p.k();
+        let ab = p.ab();
+        let h = p.h();
+        let wn = p.wgroups;
+
+        let mut net = NetworkDesc::new();
+        let mut kinds = Vec::with_capacity(p.num_routers() as usize);
+
+        // Routers + endpoints, C-group by C-group (ids must match the
+        // arithmetic in SlParams).
+        for w in 0..wn {
+            for c in 0..ab {
+                for y in 0..m {
+                    for x in 0..m {
+                        let r = net.add_router(core_port::COUNT);
+                        debug_assert_eq!(r, p.core_router(w, c, x, y));
+                        kinds.push(RouterKind::Core {
+                            w,
+                            c,
+                            x: x as u16,
+                            y: y as u16,
+                        });
+                        let e = net.add_endpoint(r);
+                        debug_assert_eq!(e, p.endpoint_of(w, c, x, y));
+                        net.attach_endpoint(e, r, core_port::EP, 1, 1);
+                    }
+                }
+                for label in 0..k {
+                    let r = net.add_router(conv_port::COUNT);
+                    debug_assert_eq!(r, p.converter_router(w, c, label));
+                    kinds.push(RouterKind::Converter {
+                        w,
+                        c,
+                        label: label as u16,
+                    });
+                }
+            }
+        }
+
+        // Intra-C-group wiring: mesh + converter attach + perimeter chain.
+        for w in 0..wn {
+            for c in 0..ab {
+                wire_mesh(&mut net, m, p.chiplet, p.mesh_width, |x, y| {
+                    p.core_router(w, c, x, y)
+                });
+                for label in 0..k {
+                    let conv = p.converter_router(w, c, label);
+                    let (x, y) = p.ring_to_xy(label);
+                    let core = p.core_router(w, c, x, y);
+                    net.connect(
+                        (conv, conv_port::CORE),
+                        (core, core_port::CONV),
+                        SR_LATENCY,
+                        1,
+                        ChannelClass::ShortReach,
+                    );
+                    if label + 1 < k {
+                        let next = p.converter_router(w, c, label + 1);
+                        net.connect(
+                            (conv, conv_port::NEXT),
+                            (next, conv_port::PREV),
+                            SR_LATENCY,
+                            1,
+                            ChannelClass::ShortReach,
+                        );
+                    }
+                }
+            }
+        }
+
+        // Local links: all-to-all C-groups within each W-group, at the
+        // Property-2 port labels.
+        for w in 0..wn {
+            for c in 0..ab {
+                for d in (c + 1)..ab {
+                    let conv_c = p.converter_router(w, c, p.local_port_label(c, d));
+                    let conv_d = p.converter_router(w, d, p.local_port_label(d, c));
+                    net.connect(
+                        (conv_c, conv_port::EXT),
+                        (conv_d, conv_port::EXT),
+                        LR_LATENCY,
+                        1,
+                        ChannelClass::LongReachLocal,
+                    );
+                }
+            }
+        }
+
+        // Global links: palmtree over instantiated W-groups.
+        for w in 0..wn {
+            for q in 0..ab * h {
+                let Some((v, qb)) = p.global_peer(w, q) else {
+                    continue;
+                };
+                // Add each undirected link once.
+                if (v, qb) < (w, q) {
+                    continue;
+                }
+                let (c1, j1) = (q / h, q % h);
+                let (c2, j2) = (qb / h, qb % h);
+                let conv1 = p.converter_router(w, c1, p.global_port_label(c1, j1));
+                let conv2 = p.converter_router(v, c2, p.global_port_label(c2, j2));
+                net.connect(
+                    (conv1, conv_port::EXT),
+                    (conv2, conv_port::EXT),
+                    LR_LATENCY,
+                    1,
+                    ChannelClass::LongReachGlobal,
+                );
+            }
+        }
+
+        net.validate()
+            .expect("switch-less construction is structurally valid");
+        SwitchlessFabric {
+            net,
+            params: p,
+            kinds,
+        }
+    }
+
+    /// Kind of a router.
+    pub fn kind(&self, router: u32) -> RouterKind {
+        self.kinds[router as usize]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::address::PortRole;
+    use wsdf_sim::Terminus;
+
+    fn tiny() -> SlParams {
+        // m=4 (k=12), ab=4 → h=9, up to 37 W-groups; build 3.
+        SlParams {
+            a: 2,
+            b: 2,
+            m: 4,
+            chiplet: 2,
+            wgroups: 3,
+            mesh_width: 1,
+            nodes_per_chip: 4.0,
+        }
+    }
+
+    #[test]
+    fn tiny_builds_and_validates() {
+        let f = SwitchlessFabric::build(&tiny());
+        let p = f.params;
+        assert_eq!(f.net.num_routers() as u32, p.num_routers());
+        assert_eq!(f.net.num_endpoints() as u32, p.num_endpoints());
+        assert_eq!(f.kinds.len(), f.net.num_routers());
+    }
+
+    #[test]
+    fn radix16_single_wgroup_counts() {
+        let p = SlParams::radix16().with_wgroups(1);
+        let f = SwitchlessFabric::build(&p);
+        // 8 C-groups × (16 cores + 12 converters).
+        assert_eq!(f.net.num_routers(), 8 * 28);
+        assert_eq!(f.net.num_endpoints(), 128);
+        // Local links: C(8,2) = 28 bidirectional LR-local links.
+        let lr_local = f
+            .net
+            .channels
+            .iter()
+            .filter(|ch| ch.class == ChannelClass::LongReachLocal)
+            .count();
+        assert_eq!(lr_local, 28 * 2);
+        // No globals at wgroups=1.
+        assert!(!f
+            .net
+            .channels
+            .iter()
+            .any(|ch| ch.class == ChannelClass::LongReachGlobal));
+    }
+
+    #[test]
+    fn full_radix16_global_link_count() {
+        let p = SlParams::radix16();
+        let f = SwitchlessFabric::build(&p);
+        // 41 W-groups × 40 ports / 2 = 820 bidirectional global links.
+        let lr_global = f
+            .net
+            .channels
+            .iter()
+            .filter(|ch| ch.class == ChannelClass::LongReachGlobal)
+            .count();
+        assert_eq!(lr_global, 820 * 2);
+        assert_eq!(f.net.num_endpoints(), 5248);
+    }
+
+    #[test]
+    fn every_external_port_is_wired_at_full_scale() {
+        let p = SlParams::radix16();
+        let f = SwitchlessFabric::build(&p);
+        // Each converter's EXT port must appear as a channel src exactly once.
+        let mut ext_out = std::collections::HashSet::new();
+        for ch in &f.net.channels {
+            if let Terminus::Router { router, port } = ch.src {
+                if port == conv_port::EXT
+                    && matches!(f.kind(router), RouterKind::Converter { .. })
+                {
+                    ext_out.insert(router);
+                }
+            }
+        }
+        let converters = f
+            .kinds
+            .iter()
+            .filter(|k| matches!(k, RouterKind::Converter { .. }))
+            .count();
+        assert_eq!(ext_out.len(), converters);
+    }
+
+    #[test]
+    fn local_links_follow_property2_labels() {
+        let p = SlParams::radix16().with_wgroups(1);
+        let f = SwitchlessFabric::build(&p);
+        // The link between C-groups 2 and 5 must sit at label 2 (on 5's
+        // side: down-local peer 2 → label 2... wait, on 2's side the peer 5
+        // is up-local) — verify both endpoints via the role decoder.
+        for ch in &f.net.channels {
+            if ch.class != ChannelClass::LongReachLocal {
+                continue;
+            }
+            let (Terminus::Router { router: r1, .. }, Terminus::Router { router: r2, .. }) =
+                (ch.src, ch.dst)
+            else {
+                panic!("LR-local between non-routers")
+            };
+            let RouterKind::Converter { c: c1, label: l1, .. } = f.kind(r1) else {
+                panic!("LR-local src not a converter")
+            };
+            let RouterKind::Converter { c: c2, label: l2, .. } = f.kind(r2) else {
+                panic!("LR-local dst not a converter")
+            };
+            assert_eq!(p.port_role(c1, l1 as u32), PortRole::Local(c2));
+            assert_eq!(p.port_role(c2, l2 as u32), PortRole::Local(c1));
+        }
+    }
+
+    #[test]
+    fn global_links_connect_distinct_wgroups_all_to_all() {
+        let p = tiny();
+        let f = SwitchlessFabric::build(&p);
+        let mut pairs = std::collections::HashSet::new();
+        for ch in &f.net.channels {
+            if ch.class != ChannelClass::LongReachGlobal {
+                continue;
+            }
+            let (Terminus::Router { router: r1, .. }, Terminus::Router { router: r2, .. }) =
+                (ch.src, ch.dst)
+            else {
+                panic!()
+            };
+            let RouterKind::Converter { w: w1, .. } = f.kind(r1) else {
+                panic!()
+            };
+            let RouterKind::Converter { w: w2, .. } = f.kind(r2) else {
+                panic!()
+            };
+            assert_ne!(w1, w2, "global link within one W-group");
+            pairs.insert((w1.min(w2), w1.max(w2)));
+        }
+        // 3 W-groups: all 3 unordered pairs must exist.
+        assert_eq!(pairs.len(), 3);
+    }
+
+    #[test]
+    fn mesh_width_applies_to_mesh_only() {
+        let p = SlParams::radix16().with_wgroups(1).with_mesh_width(2);
+        let f = SwitchlessFabric::build(&p);
+        for ch in &f.net.channels {
+            match ch.class {
+                ChannelClass::OnChip => assert_eq!(ch.width, 2),
+                ChannelClass::LongReachLocal | ChannelClass::LongReachGlobal => {
+                    assert_eq!(ch.width, 1)
+                }
+                _ => {}
+            }
+        }
+        // Core↔converter and chain links stay width 1; mesh inter-chiplet
+        // links are width 2. Both are ShortReach, so check by endpoint kind.
+        for ch in &f.net.channels {
+            if ch.class != ChannelClass::ShortReach {
+                continue;
+            }
+            let (Terminus::Router { router: r1, .. }, Terminus::Router { router: r2, .. }) =
+                (ch.src, ch.dst)
+            else {
+                continue;
+            };
+            let both_cores = matches!(f.kind(r1), RouterKind::Core { .. })
+                && matches!(f.kind(r2), RouterKind::Core { .. });
+            if both_cores {
+                assert_eq!(ch.width, 2);
+            } else {
+                assert_eq!(ch.width, 1);
+            }
+        }
+    }
+
+    #[test]
+    fn latencies_match_table_iv() {
+        let f = SwitchlessFabric::build(&tiny());
+        for ch in &f.net.channels {
+            match ch.class {
+                ChannelClass::LongReachLocal | ChannelClass::LongReachGlobal => {
+                    assert_eq!(ch.latency, 8)
+                }
+                _ => assert_eq!(ch.latency, 1),
+            }
+        }
+    }
+}

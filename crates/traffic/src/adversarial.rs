@@ -1,0 +1,181 @@
+//! Adversarial traffic patterns (Sec. V-A3(b)).
+//!
+//! * **Hotspot** — all communication confined to four of the W-groups:
+//!   only their nodes inject, destinations are uniform over the other
+//!   active W-groups. Minimal routing can then use only a few of the
+//!   global links between the active pairs, which is what Fig. 13(a)
+//!   punishes ("only 3/40 global links are used").
+//! * **Worst-case** — every node of W-group *i* sends to a uniformly
+//!   random node of W-group *i+1*: all traffic of a W-group funnels into
+//!   the single minimal global link (1/40 used), the canonical Dragonfly
+//!   adversarial pattern from Kim et al.
+
+use crate::scope::Scope;
+use wsdf_sim::{SplitMix64, TrafficPattern};
+
+/// Hotspot: traffic within a set of active W-groups.
+#[derive(Debug, Clone)]
+pub struct HotspotPattern {
+    /// W-group of each endpoint.
+    wgroup: Vec<u32>,
+    /// Active flag per W-group.
+    active: Vec<bool>,
+    /// Endpoints of active W-groups, as draw candidates.
+    candidates: Vec<u32>,
+    rate: f64,
+}
+
+impl HotspotPattern {
+    /// Traffic confined to `active` W-groups at `rate` flits/cycle per
+    /// active endpoint. The paper uses four active W-groups, spread evenly.
+    pub fn new(scope: &Scope, active_wgroups: &[u32], rate: f64) -> Self {
+        assert!(!active_wgroups.is_empty());
+        let mut active = vec![false; scope.num_wgroups as usize];
+        for &w in active_wgroups {
+            assert!(w < scope.num_wgroups, "active W-group {w} out of range");
+            active[w as usize] = true;
+        }
+        let candidates = (0..scope.endpoints())
+            .filter(|&e| active[scope.wgroup[e as usize] as usize])
+            .collect();
+        HotspotPattern {
+            wgroup: scope.wgroup.clone(),
+            active,
+            candidates,
+            rate,
+        }
+    }
+
+    /// The paper's configuration: four evenly spread active W-groups.
+    pub fn paper_default(scope: &Scope, rate: f64) -> Self {
+        let g = scope.num_wgroups;
+        assert!(g >= 4, "hotspot needs at least 4 W-groups");
+        let spread = [0, g / 4, g / 2, 3 * g / 4];
+        Self::new(scope, &spread, rate)
+    }
+}
+
+impl TrafficPattern for HotspotPattern {
+    fn rate(&self, src: u32) -> f64 {
+        if self.active[self.wgroup[src as usize] as usize] {
+            self.rate
+        } else {
+            0.0
+        }
+    }
+
+    fn dest(&self, src: u32, _seq: u64, rng: &mut SplitMix64) -> Option<u32> {
+        if self.candidates.len() <= 1 {
+            return None;
+        }
+        loop {
+            let d = self.candidates[rng.next_below(self.candidates.len() as u64) as usize];
+            if d != src {
+                return Some(d);
+            }
+        }
+    }
+
+    fn active_fraction(&self) -> f64 {
+        self.candidates.len() as f64 / self.wgroup.len() as f64
+    }
+}
+
+/// Worst-case: W-group *i* sends to random nodes of W-group *i+1*.
+#[derive(Debug, Clone)]
+pub struct WorstCasePattern {
+    wgroup: Vec<u32>,
+    endpoints_per_wgroup: u32,
+    num_wgroups: u32,
+    rate: f64,
+}
+
+impl WorstCasePattern {
+    /// Build at `rate` flits/cycle/endpoint.
+    pub fn new(scope: &Scope, rate: f64) -> Self {
+        assert!(scope.num_wgroups >= 2, "worst-case needs >= 2 W-groups");
+        WorstCasePattern {
+            wgroup: scope.wgroup.clone(),
+            endpoints_per_wgroup: scope.endpoints_per_wgroup(),
+            num_wgroups: scope.num_wgroups,
+            rate,
+        }
+    }
+}
+
+impl TrafficPattern for WorstCasePattern {
+    fn rate(&self, _src: u32) -> f64 {
+        self.rate
+    }
+
+    fn dest(&self, src: u32, _seq: u64, rng: &mut SplitMix64) -> Option<u32> {
+        let w = self.wgroup[src as usize];
+        let wn = (w + 1) % self.num_wgroups;
+        // Endpoints of a W-group are contiguous by construction.
+        let base = wn * self.endpoints_per_wgroup;
+        Some(base + rng.next_below(self.endpoints_per_wgroup as u64) as u32)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wsdf_topo::SlParams;
+
+    fn scope() -> Scope {
+        Scope::switchless(&SlParams::radix16().with_wgroups(8))
+    }
+
+    #[test]
+    fn hotspot_silences_inactive_wgroups() {
+        let s = scope();
+        let h = HotspotPattern::new(&s, &[0, 2, 4, 6], 0.5);
+        let mut rng = SplitMix64::new(3);
+        for ep in 0..s.endpoints() {
+            let w = s.wgroup[ep as usize];
+            if w % 2 == 0 {
+                assert_eq!(h.rate(ep), 0.5);
+                let d = h.dest(ep, 0, &mut rng).unwrap();
+                assert_eq!(s.wgroup[d as usize] % 2, 0, "dest in inactive W-group");
+                assert_ne!(d, ep);
+            } else {
+                assert_eq!(h.rate(ep), 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn hotspot_paper_default_uses_four_groups() {
+        let s = scope();
+        let h = HotspotPattern::paper_default(&s, 1.0);
+        let active = h.active.iter().filter(|&&a| a).count();
+        assert_eq!(active, 4);
+    }
+
+    #[test]
+    fn worst_case_targets_next_wgroup() {
+        let s = scope();
+        let wc = WorstCasePattern::new(&s, 0.3);
+        let mut rng = SplitMix64::new(4);
+        for ep in (0..s.endpoints()).step_by(17) {
+            let w = s.wgroup[ep as usize];
+            for i in 0..20 {
+                let d = wc.dest(ep, i, &mut rng).unwrap();
+                assert_eq!(s.wgroup[d as usize], (w + 1) % 8);
+            }
+        }
+    }
+
+    #[test]
+    fn worst_case_covers_target_wgroup() {
+        let s = scope();
+        let wc = WorstCasePattern::new(&s, 0.3);
+        let mut rng = SplitMix64::new(5);
+        let mut seen = std::collections::HashSet::new();
+        for i in 0..5_000 {
+            seen.insert(wc.dest(0, i, &mut rng).unwrap());
+        }
+        // 128 endpoints per W-group; all should be hit in 5000 draws.
+        assert_eq!(seen.len() as u32, s.endpoints_per_wgroup());
+    }
+}

@@ -1,0 +1,29 @@
+//! # wsdf-traffic — workloads for the switch-less Dragonfly evaluation
+//!
+//! The three workload families of Sec. V-A3:
+//!
+//! * [`perm`] — **unicast patterns**: uniform (re-exported from
+//!   `wsdf-sim`), bit-reverse, bit-shuffle, bit-transpose.
+//! * [`adversarial`] — **adversarial patterns**: hotspot (traffic confined
+//!   to four W-groups) and worst-case (every node in W-group *i* sends to a
+//!   random node in W-group *i+1*).
+//! * [`ring`] — **collective patterns**: ring-based AllReduce, uni- and
+//!   bidirectional, scoped to C-groups or W-groups, with one parallel ring
+//!   per intra-chip node position (a chip with four NoC nodes runs four
+//!   parallel rings — how a real 2D-mesh chip uses all its injection
+//!   ports, and what makes the paper's 2/4 flits/cycle/chip possible).
+//!
+//! Rates everywhere in this crate are **flits/cycle/endpoint** (node). The
+//! harness converts the paper's per-chip x-axes by dividing by
+//! `nodes_per_chip`.
+
+pub mod adversarial;
+pub mod perm;
+pub mod ring;
+pub mod scope;
+
+pub use adversarial::{HotspotPattern, WorstCasePattern};
+pub use perm::{PermKind, PermutationPattern};
+pub use ring::{RingAllReduce, RingDirection};
+pub use scope::Scope;
+pub use wsdf_sim::pattern::UniformPattern;

@@ -1,0 +1,192 @@
+//! Bit-permutation traffic patterns (Dally & Towles ch. 3; the paper's
+//! unicast workloads).
+//!
+//! Permutations act on ⌊log₂N⌋ address bits. When N is not a power of two,
+//! endpoints at or above the largest power of two send uniformly instead
+//! (standard practice; noted in EXPERIMENTS.md). Self-mapped sources (e.g.
+//! bit-reverse palindromes) generate no traffic — they would be zero-hop
+//! packets and only distort latency statistics.
+
+use wsdf_sim::{SplitMix64, TrafficPattern};
+
+/// Which bit permutation to apply.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PermKind {
+    /// Reverse the address bits (b₀b₁…b₋₁ → b₋₁…b₁b₀).
+    BitReverse,
+    /// Rotate left by one (perfect shuffle).
+    BitShuffle,
+    /// Swap the high and low halves (matrix transpose); odd bit-widths
+    /// rotate by ⌊q/2⌋.
+    BitTranspose,
+}
+
+impl PermKind {
+    /// Apply the permutation to `x` over `q` bits.
+    pub fn apply(self, x: u32, q: u32) -> u32 {
+        debug_assert!(q >= 1 && x < (1 << q));
+        match self {
+            PermKind::BitReverse => x.reverse_bits() >> (32 - q),
+            PermKind::BitShuffle => ((x << 1) | (x >> (q - 1))) & ((1 << q) - 1),
+            PermKind::BitTranspose => {
+                let h = q / 2;
+                ((x >> h) | (x << (q - h))) & ((1 << q) - 1)
+            }
+        }
+    }
+
+    /// Display name (matches the paper's figure labels).
+    pub fn name(self) -> &'static str {
+        match self {
+            PermKind::BitReverse => "bit-reverse",
+            PermKind::BitShuffle => "bit-shuffle",
+            PermKind::BitTranspose => "bit-transpose",
+        }
+    }
+}
+
+/// A fixed bit-permutation pattern at a uniform offered rate.
+#[derive(Debug, Clone)]
+pub struct PermutationPattern {
+    dest: Vec<Option<u32>>,
+    endpoints: u32,
+    rate: f64,
+}
+
+impl PermutationPattern {
+    /// Build the pattern for `endpoints` endpoints at `rate`
+    /// flits/cycle/endpoint.
+    pub fn new(kind: PermKind, endpoints: u32, rate: f64) -> Self {
+        assert!(endpoints >= 2);
+        let q = 31 - endpoints.leading_zeros(); // floor(log2)
+        let pow2 = 1u32 << q;
+        let dest = (0..endpoints)
+            .map(|src| {
+                if src < pow2 {
+                    let d = kind.apply(src, q);
+                    if d == src {
+                        None
+                    } else {
+                        Some(d)
+                    }
+                } else {
+                    // Outside the power-of-two region: uniform (marked by
+                    // storing u32::MAX and resolving at draw time).
+                    Some(u32::MAX)
+                }
+            })
+            .collect();
+        PermutationPattern {
+            dest,
+            endpoints,
+            rate,
+        }
+    }
+
+    /// Fraction of endpoints that generate traffic (self-mapped sources
+    /// are silent).
+    pub fn active_fraction(&self) -> f64 {
+        let active = self.dest.iter().filter(|d| d.is_some()).count();
+        active as f64 / self.endpoints as f64
+    }
+}
+
+impl TrafficPattern for PermutationPattern {
+    fn rate(&self, src: u32) -> f64 {
+        if self.dest[src as usize].is_some() {
+            self.rate
+        } else {
+            0.0
+        }
+    }
+
+    fn dest(&self, src: u32, _seq: u64, rng: &mut SplitMix64) -> Option<u32> {
+        match self.dest[src as usize] {
+            None => None,
+            Some(u32::MAX) => {
+                let d = rng.next_below(self.endpoints as u64) as u32;
+                if d == src {
+                    Some((d + 1) % self.endpoints)
+                } else {
+                    Some(d)
+                }
+            }
+            Some(d) => Some(d),
+        }
+    }
+
+    fn active_fraction(&self) -> f64 {
+        PermutationPattern::active_fraction(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bit_reverse_is_an_involution() {
+        for q in 1..=10 {
+            for x in 0..(1u32 << q) {
+                let y = PermKind::BitReverse.apply(x, q);
+                assert_eq!(PermKind::BitReverse.apply(y, q), x);
+                assert!(y < (1 << q));
+            }
+        }
+    }
+
+    #[test]
+    fn shuffle_and_transpose_are_bijections() {
+        for kind in [PermKind::BitShuffle, PermKind::BitTranspose] {
+            for q in 1..=10 {
+                let mut seen = vec![false; 1 << q];
+                for x in 0..(1u32 << q) {
+                    let y = kind.apply(x, q) as usize;
+                    assert!(!seen[y], "{kind:?} not injective at q={q}");
+                    seen[y] = true;
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn transpose_swaps_halves_for_even_q() {
+        // q=4: x = hhll → llhh.
+        assert_eq!(PermKind::BitTranspose.apply(0b1100, 4), 0b0011);
+        assert_eq!(PermKind::BitTranspose.apply(0b0110, 4), 0b1001);
+    }
+
+    #[test]
+    fn known_reversals() {
+        assert_eq!(PermKind::BitReverse.apply(0b0001, 4), 0b1000);
+        assert_eq!(PermKind::BitReverse.apply(0b0110, 4), 0b0110);
+        assert_eq!(PermKind::BitShuffle.apply(0b1000, 4), 0b0001);
+    }
+
+    #[test]
+    fn pattern_respects_self_silence() {
+        let p = PermutationPattern::new(PermKind::BitReverse, 16, 0.5);
+        // Palindromes 0, 6, 9, 15 are silent.
+        assert_eq!(p.rate(0), 0.0);
+        assert_eq!(p.rate(6), 0.0);
+        assert_eq!(p.rate(9), 0.0);
+        assert_eq!(p.rate(15), 0.0);
+        assert_eq!(p.rate(1), 0.5);
+        let mut rng = SplitMix64::new(1);
+        assert_eq!(p.dest(1, 0, &mut rng), Some(8));
+        assert_eq!(p.dest(0, 0, &mut rng), None);
+        assert!((p.active_fraction() - 12.0 / 16.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn non_pow2_tail_sends_uniform() {
+        let p = PermutationPattern::new(PermKind::BitReverse, 20, 0.5);
+        let mut rng = SplitMix64::new(2);
+        for i in 0..100 {
+            let d = p.dest(17, i, &mut rng).unwrap();
+            assert!(d < 20);
+            assert_ne!(d, 17);
+        }
+        assert_eq!(p.rate(17), 0.5);
+    }
+}

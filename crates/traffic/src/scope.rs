@@ -1,0 +1,150 @@
+//! Endpoint scoping: which W-group / chip an endpoint belongs to.
+//!
+//! Patterns only need two precomputed tables (W-group per endpoint, chip
+//! per endpoint) plus chip geometry; [`Scope`] builds them from either
+//! fabric's parameters so the pattern types stay independent of topology
+//! crates' internals.
+
+use wsdf_topo::{SlParams, SwParams};
+
+/// Precomputed endpoint grouping for one fabric.
+#[derive(Debug, Clone)]
+pub struct Scope {
+    /// W-group (Dragonfly group) of each endpoint.
+    pub wgroup: Vec<u32>,
+    /// Chip of each endpoint.
+    pub chip: Vec<u32>,
+    /// Intra-chip node position of each endpoint (0 for 1-node chips).
+    pub chip_pos: Vec<u32>,
+    /// Endpoint of (chip, position): `chip * nodes_per_chip + pos` indexed.
+    chip_node: Vec<u32>,
+    /// Nodes per chip (integer; panics at build time if chips don't tile).
+    pub nodes_per_chip: u32,
+    /// Number of W-groups.
+    pub num_wgroups: u32,
+    /// Chips per C-group-equivalent (ring scope "within C-group").
+    pub chips_per_cgroup: u32,
+    /// Side of the chip grid inside a C-group (0 when chips have no grid
+    /// arrangement, e.g. switch terminals).
+    pub chips_side: u32,
+    /// Chips per W-group (ring scope "within W-group").
+    pub chips_per_wgroup: u32,
+}
+
+impl Scope {
+    /// Scope of a switch-less fabric.
+    pub fn switchless(p: &SlParams) -> Self {
+        let n = p.num_endpoints();
+        let per_side = p.m / p.chiplet;
+        let npc = p.chiplet * p.chiplet;
+        let mut wgroup = Vec::with_capacity(n as usize);
+        let mut chip = Vec::with_capacity(n as usize);
+        let mut chip_pos = Vec::with_capacity(n as usize);
+        for ep in 0..n {
+            let (w, _c, x, y) = p.endpoint_location(ep);
+            wgroup.push(w);
+            chip.push(p.chip_of_endpoint(ep));
+            let pos = (y % p.chiplet) * p.chiplet + (x % p.chiplet);
+            chip_pos.push(pos);
+        }
+        let num_chips = (n / npc) as usize;
+        let mut chip_node = vec![u32::MAX; num_chips * npc as usize];
+        for ep in 0..n {
+            chip_node[(chip[ep as usize] * npc + chip_pos[ep as usize]) as usize] = ep;
+        }
+        debug_assert!(chip_node.iter().all(|&e| e != u32::MAX));
+        Scope {
+            wgroup,
+            chip,
+            chip_pos,
+            chip_node,
+            nodes_per_chip: npc,
+            num_wgroups: p.wgroups,
+            chips_per_cgroup: per_side * per_side,
+            chips_side: per_side,
+            chips_per_wgroup: per_side * per_side * p.ab(),
+        }
+    }
+
+    /// Scope of a switch-based fabric (one node per chip; the "C-group"
+    /// ring scope is the terminals of one switch).
+    pub fn switchbased(p: &SwParams) -> Self {
+        let n = p.num_endpoints();
+        let mut wgroup = Vec::with_capacity(n as usize);
+        for ep in 0..n {
+            wgroup.push(p.group_of_endpoint(ep));
+        }
+        Scope {
+            wgroup,
+            chip: (0..n).collect(),
+            chip_pos: vec![0; n as usize],
+            chip_node: (0..n).collect(),
+            nodes_per_chip: 1,
+            num_wgroups: p.groups,
+            chips_per_cgroup: p.terminals,
+            chips_side: 0,
+            chips_per_wgroup: p.terminals * p.switches_per_group(),
+        }
+    }
+
+    /// Number of endpoints.
+    pub fn endpoints(&self) -> u32 {
+        self.wgroup.len() as u32
+    }
+
+    /// Number of chips.
+    pub fn num_chips(&self) -> u32 {
+        self.endpoints() / self.nodes_per_chip
+    }
+
+    /// Endpoint at `pos` within `chip`.
+    pub fn node_of(&self, chip: u32, pos: u32) -> u32 {
+        self.chip_node[(chip * self.nodes_per_chip + pos) as usize]
+    }
+
+    /// Endpoints of one W-group (contiguous by construction).
+    pub fn endpoints_per_wgroup(&self) -> u32 {
+        self.endpoints() / self.num_wgroups
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn switchless_scope_is_consistent() {
+        let p = SlParams::radix16().with_wgroups(3);
+        let s = Scope::switchless(&p);
+        assert_eq!(s.endpoints(), 3 * 8 * 16);
+        assert_eq!(s.nodes_per_chip, 4);
+        assert_eq!(s.num_chips(), 3 * 8 * 4);
+        assert_eq!(s.chips_per_cgroup, 4);
+        assert_eq!(s.chips_per_wgroup, 32);
+        // node_of inverts (chip, pos).
+        for ep in 0..s.endpoints() {
+            assert_eq!(
+                s.node_of(s.chip[ep as usize], s.chip_pos[ep as usize]),
+                ep
+            );
+        }
+        // W-groups are contiguous, 128 endpoints each.
+        for ep in 0..s.endpoints() {
+            assert_eq!(s.wgroup[ep as usize], ep / 128);
+        }
+    }
+
+    #[test]
+    fn switchbased_scope_is_consistent() {
+        let p = SwParams::radix16().with_groups(4);
+        let s = Scope::switchbased(&p);
+        assert_eq!(s.endpoints(), 4 * 32);
+        assert_eq!(s.nodes_per_chip, 1);
+        assert_eq!(s.chips_per_cgroup, 4);
+        assert_eq!(s.chips_per_wgroup, 32);
+        for ep in 0..s.endpoints() {
+            assert_eq!(s.wgroup[ep as usize], ep / 32);
+            assert_eq!(s.node_of(ep, 0), ep);
+        }
+    }
+}

@@ -1,0 +1,56 @@
+//! Design-space exploration with the analytical model (Sec. III-B/III-D):
+//! how scale, throughput bounds, diameter and balance move as the
+//! configuration (n, m, a, b) changes — without running a simulation.
+//!
+//! ```text
+//! cargo run --release --example design_space
+//! ```
+
+use wsdf::analysis::equations::{HopLatency, SlAnalytic};
+
+fn main() {
+    let configs = [
+        ("tiny (Sec. III-B1)", SlAnalytic { n: 6, m: 2, a: 2, b: 4 }),
+        ("radix-16-like", SlAnalytic { n: 12, m: 4, a: 4, b: 2 }),
+        ("case study (Sec. III-C)", SlAnalytic::case_study()),
+        ("balanced m=6", SlAnalytic { n: 18, m: 6, a: 8, b: 9 }),
+        ("wafer-maxed m=8", SlAnalytic { n: 24, m: 8, a: 8, b: 16 }),
+    ];
+
+    println!(
+        "{:<26} {:>9} {:>5} {:>5} {:>11} {:>7} {:>7} {:>7} {:>9}  {}",
+        "configuration", "chiplets", "k", "g", "balanced", "Tglob", "Tloc", "Tcg", "zeroload", "diameter"
+    );
+    let lat = HopLatency::default();
+    for (name, c) in configs {
+        println!(
+            "{:<26} {:>9} {:>5} {:>5} {:>11} {:>7.2} {:>7.2} {:>7.2} {:>7.0}ns  {}",
+            name,
+            c.total_chiplets(),
+            c.k(),
+            c.g(),
+            if c.is_balanced() { "yes (Eq.3)" } else { "no" },
+            c.t_global(),
+            c.t_local(),
+            c.t_cgroup(),
+            c.diameter_latency_ns(&lat),
+            c.diameter_hops(),
+        );
+    }
+
+    println!(
+        "\nSingle-W-group variant (Sec. III-D1): a 333-chip system from one\n\
+         12-port C-group class needs no SR-LR conversion and no global links:"
+    );
+    let small = SlAnalytic { n: 12, m: 1, a: 1, b: 1 };
+    // One chiplet per C-group, k = 12 ports, all used as local links:
+    // up to k+1 = 13 C-groups... the paper quotes up to 333 chips for a
+    // single-chiplet C-group with 12 external ports (ab ≤ k+1, plus the
+    // global tier folded away).
+    println!(
+        "  k = {} ports per chip, diameter {} (vs {} with the global tier)",
+        small.k(),
+        small.single_wgroup_diameter_hops(),
+        small.diameter_hops(),
+    );
+}

@@ -1,0 +1,68 @@
+//! Where does the switch-less Dragonfly actually bottleneck?
+//!
+//! Runs one W-group near saturation with per-channel statistics and
+//! aggregates link utilization by channel class — the quantitative version
+//! of the paper's Sec. III-B2 discussion ("the inter-C-group traffic will
+//! compete with the intra-C-group traffic for the bandwidth provided by
+//! the 2D-mesh").
+//!
+//! ```text
+//! cargo run --release --example link_utilization
+//! ```
+
+use wsdf::routing::{RouteMode, VcScheme};
+use wsdf::sim::{ChannelClass, SimConfig};
+use wsdf::topo::SlParams;
+use wsdf::{Bench, PatternSpec};
+
+fn main() {
+    for width in [1u8, 2] {
+        let p = SlParams::radix16().with_wgroups(1).with_mesh_width(width);
+        let bench = Bench::switchless(&p, RouteMode::Minimal, VcScheme::Baseline);
+        let cfg = SimConfig {
+            per_channel_stats: true,
+            ..Default::default()
+        };
+        // Just below the 1B saturation point of Fig. 10(c).
+        let pattern = bench.pattern(PatternSpec::Uniform, 1.1 / bench.nodes_per_chip);
+        let m = bench.run(&cfg, pattern.as_ref()).expect("runs");
+
+        println!(
+            "== mesh width {width} (\"{}\") @ 1.1 flits/cycle/chip uniform ==",
+            if width == 1 { "1B" } else { "2B" }
+        );
+        // Aggregate by class: mean and peak utilization.
+        let channels = &bench.fabric.net().channels;
+        for class in ChannelClass::ALL {
+            let mut count = 0u32;
+            let mut sum = 0.0;
+            let mut peak: f64 = 0.0;
+            for (i, ch) in channels.iter().enumerate() {
+                if ch.class != class {
+                    continue;
+                }
+                let u = m.channel_utilization(i, ch.width).unwrap();
+                count += 1;
+                sum += u;
+                peak = peak.max(u);
+            }
+            if count == 0 {
+                continue;
+            }
+            println!(
+                "  {:<12} {:>5} channels   mean {:>5.1}%   peak {:>5.1}%",
+                class.name(),
+                count,
+                100.0 * sum / count as f64,
+                100.0 * peak,
+            );
+        }
+        println!();
+    }
+    println!(
+        "With 1B links the mesh (short-reach) peak runs hottest — the\n\
+         bisection bottleneck of Eq. (6). Doubling intra-C-group bandwidth\n\
+         (2B) moves the hot spot out to the long-reach local links, which\n\
+         is exactly why the paper's 2B curves keep scaling."
+    );
+}

@@ -1,0 +1,40 @@
+//! The cost case study (Table III + Fig. 9): what eliminating switches
+//! buys at Slingshot scale, and whether the C-group actually fits on a
+//! wafer.
+//!
+//! ```text
+//! cargo run --release --example wafer_cost_study
+//! ```
+
+use wsdf::analysis::table3::{render, table_iii};
+use wsdf::analysis::CGroupLayout;
+
+fn main() {
+    println!("{}", render(&table_iii()));
+
+    let rows = table_iii();
+    let slingshot = rows.iter().find(|r| r.name.contains("Slingshot")).unwrap();
+    let switchless = rows.iter().find(|r| r.name.contains("Switch-less")).unwrap();
+    println!(
+        "At the same {} processors, the switch-less build removes all\n\
+         {} switches, shrinks {} cabinets to {} and cuts inter-cabinet\n\
+         cable length from {:.0}K·E to {:.0}K·E.\n",
+        slingshot.processors,
+        slingshot.switches,
+        slingshot.cabinets,
+        switchless.cabinets,
+        slingshot.cable_length_e.unwrap() / 1000.0,
+        switchless.cable_length_e.unwrap() / 1000.0,
+    );
+
+    let layout = CGroupLayout::paper();
+    println!("{}", layout.summary());
+    println!(
+        "shoreline routable with one RDL layer: {}",
+        layout.shoreline_feasible(1)
+    );
+    println!(
+        "SR-LR conversion module bump budget ok: {}",
+        layout.conv_module_feasible()
+    );
+}

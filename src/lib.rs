@@ -1,0 +1,20 @@
+//! Root crate of the *Switch-Less Dragonfly on Wafers* reproduction
+//! workspace.
+//!
+//! This crate only re-exports the facade library [`wsdf`] so that the
+//! workspace-level `examples/` and `tests/` have a single import root; all
+//! functionality lives in the `crates/` members:
+//!
+//! * [`wsdf_sim`] — cycle-accurate flit-level simulator substrate
+//! * [`wsdf_topo`] — topology builders (switch-based and switch-less Dragonfly)
+//! * [`wsdf_routing`] — routing algorithms and VC disciplines
+//! * [`wsdf_traffic`] — synthetic/adversarial/collective workloads
+//! * [`wsdf_analysis`] — analytical cost/throughput/layout models
+//! * [`wsdf`] — high-level API used by examples, tests and the harness
+
+pub use wsdf;
+pub use wsdf_analysis as analysis;
+pub use wsdf_routing as routing;
+pub use wsdf_sim as sim;
+pub use wsdf_topo as topo;
+pub use wsdf_traffic as traffic;

@@ -1,0 +1,184 @@
+//! End-to-end shape tests: miniature versions of the paper's headline
+//! results, run through the full stack (topology → routing → simulation →
+//! sweep). These are the regression guards for the reproduction claims.
+
+use wsdf::routing::{RouteMode, VcScheme};
+use wsdf::topo::{SlParams, SwParams};
+use wsdf::traffic::{PermKind, RingDirection};
+use wsdf::{saturation_rate, sweep, Bench, PatternSpec, SweepConfig};
+
+fn quick() -> SweepConfig {
+    SweepConfig::default().scaled(0.12)
+}
+
+fn rates(max: f64, steps: usize) -> Vec<f64> {
+    (1..=steps).map(|i| max * i as f64 / steps as f64).collect()
+}
+
+/// Fig. 10(a): the C-group mesh beats a single switch on intra-group
+/// uniform traffic by well over 2×.
+#[test]
+fn intra_cgroup_mesh_beats_switch() {
+    let mesh = Bench::single_mesh(4, 2, 1);
+    let sw = Bench::single_switch(16);
+    let sat_mesh = saturation_rate(&sweep(&mesh, &quick(), PatternSpec::Uniform, &rates(3.6, 9)));
+    let sat_sw = saturation_rate(&sweep(&sw, &quick(), PatternSpec::Uniform, &rates(1.4, 7)));
+    assert!(sat_sw > 0.85 && sat_sw <= 1.05, "ideal switch ≈ 1: {sat_sw}");
+    assert!(
+        sat_mesh > 2.5,
+        "mesh should approach 3 flits/cycle/chip: {sat_mesh}"
+    );
+}
+
+/// Fig. 10(c): switch-less local throughput exceeds switch-based, and 2B
+/// extends the lead.
+#[test]
+fn local_uniform_ordering() {
+    let sw = Bench::switchbased(&SwParams::radix16().with_groups(1), RouteMode::Minimal);
+    let sl = Bench::switchless(
+        &SlParams::radix16().with_wgroups(1),
+        RouteMode::Minimal,
+        VcScheme::Baseline,
+    );
+    let sl2 = Bench::switchless(
+        &SlParams::radix16().with_wgroups(1).with_mesh_width(2),
+        RouteMode::Minimal,
+        VcScheme::Baseline,
+    );
+    let r = rates(2.4, 8);
+    let sat_sw = saturation_rate(&sweep(&sw, &quick(), PatternSpec::Uniform, &rates(1.4, 7)));
+    let sat_sl = saturation_rate(&sweep(&sl, &quick(), PatternSpec::Uniform, &r));
+    let sat_sl2 = saturation_rate(&sweep(&sl2, &quick(), PatternSpec::Uniform, &r));
+    assert!(
+        sat_sl > sat_sw,
+        "SW-less ({sat_sl:.2}) must beat SW-based ({sat_sw:.2})"
+    );
+    assert!(
+        sat_sl2 > sat_sl * 1.15,
+        "2B ({sat_sl2:.2}) must extend the lead over 1B ({sat_sl:.2})"
+    );
+}
+
+/// Fig. 10(e): under bit-shuffle the bottleneck is the inter-C-group
+/// links, so the switch-less fabric does NOT win and 2B does not help —
+/// the paper's own negative result.
+#[test]
+fn bit_shuffle_negative_result() {
+    let spec = PatternSpec::Permutation(PermKind::BitShuffle);
+    let sw = Bench::switchbased(&SwParams::radix16().with_groups(1), RouteMode::Minimal);
+    let sl = Bench::switchless(
+        &SlParams::radix16().with_wgroups(1),
+        RouteMode::Minimal,
+        VcScheme::Baseline,
+    );
+    let sl2 = Bench::switchless(
+        &SlParams::radix16().with_wgroups(1).with_mesh_width(2),
+        RouteMode::Minimal,
+        VcScheme::Baseline,
+    );
+    let r = rates(0.8, 6);
+    let sat_sw = saturation_rate(&sweep(&sw, &quick(), spec, &r));
+    let sat_sl = saturation_rate(&sweep(&sl, &quick(), spec, &r));
+    let sat_sl2 = saturation_rate(&sweep(&sl2, &quick(), spec, &r));
+    assert!(
+        sat_sl < sat_sw * 1.15,
+        "switch-less must not clearly win bit-shuffle ({sat_sl:.2} vs {sat_sw:.2})"
+    );
+    assert!(
+        sat_sl2 < sat_sl * 1.5,
+        "2B must not rescue bit-shuffle ({sat_sl2:.2} vs {sat_sl:.2})"
+    );
+}
+
+/// Fig. 13(b): worst-case traffic collapses minimal routing; Valiant
+/// misrouting recovers an order of magnitude.
+#[test]
+fn valiant_rescues_worst_case() {
+    let slp = SlParams::radix16().with_wgroups(9);
+    let minimal = Bench::switchless(&slp, RouteMode::Minimal, VcScheme::Baseline);
+    let valiant = Bench::switchless(&slp, RouteMode::Valiant, VcScheme::Baseline);
+    let sat_min = saturation_rate(&sweep(
+        &minimal,
+        &quick(),
+        PatternSpec::WorstCase,
+        &rates(0.25, 5),
+    ));
+    let sat_mis = saturation_rate(&sweep(
+        &valiant,
+        &quick(),
+        PatternSpec::WorstCase,
+        &rates(0.6, 6),
+    ));
+    // At 9 W-groups minimal routing still finds 1/8 of the global links,
+    // so the rescue factor is ~2.5× here; at the paper's 41 groups it is
+    // an order of magnitude (`repro fig13`).
+    assert!(
+        sat_mis > 2.0 * sat_min,
+        "Valiant ({sat_mis:.3}) must be a multiple of minimal ({sat_min:.3})"
+    );
+}
+
+/// Fig. 14(a): ring AllReduce inside a C-group reaches ≈2 (uni) and ≈4
+/// (bi) flits/cycle/chip on the mesh, while the switch caps at ≈1 for
+/// both directions.
+#[test]
+fn allreduce_ring_multipliers() {
+    let r = rates(4.4, 11);
+    let mesh_uni = saturation_rate(&sweep(
+        &Bench::single_mesh(4, 2, 1),
+        &quick(),
+        PatternSpec::RingCGroup(RingDirection::Unidirectional),
+        &r,
+    ));
+    let mesh_bi = saturation_rate(&sweep(
+        &Bench::single_mesh(4, 2, 1),
+        &quick(),
+        PatternSpec::RingCGroup(RingDirection::Bidirectional),
+        &r,
+    ));
+    let sw_uni = saturation_rate(&sweep(
+        &Bench::single_switch(16),
+        &quick(),
+        PatternSpec::RingCGroup(RingDirection::Unidirectional),
+        &rates(1.5, 6),
+    ));
+    let sw_bi = saturation_rate(&sweep(
+        &Bench::single_switch(16),
+        &quick(),
+        PatternSpec::RingCGroup(RingDirection::Bidirectional),
+        &rates(1.5, 6),
+    ));
+    assert!((sw_uni - 1.0).abs() < 0.1, "switch uni ≈ 1: {sw_uni}");
+    assert!((sw_bi - 1.0).abs() < 0.1, "switch bi ≈ 1: {sw_bi}");
+    assert!((mesh_uni - 2.0).abs() < 0.25, "mesh uni ≈ 2: {mesh_uni}");
+    assert!(mesh_bi > 3.2, "mesh bi ≈ 4: {mesh_bi}");
+}
+
+/// Fig. 15 direction: the switch-less fabric spends less energy per bit
+/// than the switch-based baseline under minimal routing.
+#[test]
+fn energy_per_bit_direction() {
+    use wsdf::analysis::EnergyModel;
+    use wsdf::sim::SimConfig;
+    let cfg = SimConfig::default().scaled(0.15);
+    let sw = Bench::switchbased(&SwParams::radix16().with_groups(5), RouteMode::Minimal);
+    let pat = sw.pattern(PatternSpec::Uniform, 0.2);
+    let m_sw = sw.run(&cfg, pat.as_ref()).unwrap();
+    let e_sw = EnergyModel::switchbased_paper().from_metrics(&m_sw);
+
+    let sl = Bench::switchless(
+        &SlParams::radix16().with_wgroups(5),
+        RouteMode::Minimal,
+        VcScheme::Baseline,
+    );
+    let pat = sl.pattern(PatternSpec::Uniform, 0.05);
+    let m_sl = sl.run(&cfg, pat.as_ref()).unwrap();
+    let e_sl = EnergyModel::switchless_paper().from_metrics(&m_sl);
+    assert!(
+        e_sl < e_sw,
+        "switch-less {e_sl:.1} pJ/bit must undercut switch-based {e_sw:.1}"
+    );
+    // Both in the Fig. 15 ballpark (tens of pJ/bit).
+    assert!(e_sw > 40.0 && e_sw < 130.0, "{e_sw}");
+    assert!(e_sl > 20.0 && e_sl < 110.0, "{e_sl}");
+}

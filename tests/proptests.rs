@@ -1,0 +1,208 @@
+//! Property-based tests over random configurations, traffic and routes.
+
+use proptest::prelude::*;
+use wsdf::routing::{PortMap, RouteMode, SlOracle, SwOracle, VcScheme, Walker};
+use wsdf::sim::flit::NO_INTERMEDIATE;
+use wsdf::sim::{SimConfig, SplitMix64, TrafficPattern};
+use wsdf::topo::{SlParams, SwParams, SwitchFabric, SwitchlessFabric};
+use wsdf::traffic::{PermKind, PermutationPattern, RingAllReduce, RingDirection, Scope};
+use wsdf::{Bench, PatternSpec};
+
+/// Random small-but-valid switch-less configurations.
+fn sl_params() -> impl Strategy<Value = SlParams> {
+    (2u32..=5, 1u32..=3, 1u32..=3, 1u32..=4).prop_filter_map(
+        "valid switch-less config",
+        |(m, a, b, wg_seed)| {
+            let mut p = SlParams {
+                a,
+                b,
+                m,
+                chiplet: 1,
+                wgroups: 1,
+                mesh_width: 1,
+                nodes_per_chip: 1.0,
+            };
+            if p.ab() > p.k() {
+                return None;
+            }
+            let max = p.max_wgroups();
+            p.wgroups = 1 + (wg_seed % max.min(6));
+            p.validate().ok()?;
+            Some(p)
+        },
+    )
+}
+
+/// Random switch-based configurations.
+fn sw_params() -> impl Strategy<Value = SwParams> {
+    (1u32..=4, 1u32..=7, 0u32..=4, 1u32..=5).prop_filter_map(
+        "valid switch-based config",
+        |(t, l, g, grp_seed)| {
+            let mut p = SwParams {
+                terminals: t,
+                locals: l,
+                globals: g,
+                groups: 1,
+            };
+            let max = p.max_groups();
+            p.groups = 1 + (grp_seed % max.min(6));
+            if p.groups > 1 && g == 0 {
+                return None;
+            }
+            p.validate().ok()?;
+            Some(p)
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Any valid switch-less config builds a structurally valid network
+    /// whose router/endpoint counts match the arithmetic.
+    #[test]
+    fn switchless_builds_consistently(p in sl_params()) {
+        let f = SwitchlessFabric::build(&p);
+        prop_assert_eq!(f.net.num_routers() as u32, p.num_routers());
+        prop_assert_eq!(f.net.num_endpoints() as u32, p.num_endpoints());
+        prop_assert!(f.net.validate().is_ok());
+    }
+
+    /// Minimal routing delivers random pairs on random fabrics, within the
+    /// Eq. (7) hop structure.
+    #[test]
+    fn switchless_minimal_routes_random_pairs(
+        p in sl_params(),
+        pair_seed in any::<u64>(),
+    ) {
+        let f = SwitchlessFabric::build(&p);
+        let map = PortMap::new(&f.net);
+        let o = SlOracle::minimal(&p);
+        let walker = Walker::new(&map, &o);
+        let n = p.num_endpoints();
+        let mut rng = SplitMix64::new(pair_seed);
+        for _ in 0..16 {
+            let s = rng.next_below(n as u64) as u32;
+            let d = rng.next_below(n as u64) as u32;
+            if s == d {
+                continue;
+            }
+            let t = walker.walk(s, d, NO_INTERMEDIATE)
+                .map_err(|e| TestCaseError::fail(e))?;
+            prop_assert!(t.hops_of(wsdf::sim::ChannelClass::LongReachGlobal) <= 1);
+            prop_assert!(t.hops_of(wsdf::sim::ChannelClass::LongReachLocal) <= 2);
+        }
+    }
+
+    /// Same for the Reduced scheme wherever it is applicable (h ≥ m).
+    #[test]
+    fn switchless_reduced_routes_random_pairs(
+        p in sl_params().prop_filter("reduced applicable", |p| p.h() >= p.m),
+        pair_seed in any::<u64>(),
+    ) {
+        let f = SwitchlessFabric::build(&p);
+        let map = PortMap::new(&f.net);
+        let o = SlOracle::new(&p, RouteMode::Minimal, VcScheme::Reduced);
+        let walker = Walker::new(&map, &o);
+        let n = p.num_endpoints();
+        let mut rng = SplitMix64::new(pair_seed);
+        for _ in 0..12 {
+            let s = rng.next_below(n as u64) as u32;
+            let d = rng.next_below(n as u64) as u32;
+            if s == d {
+                continue;
+            }
+            walker.walk(s, d, NO_INTERMEDIATE).map_err(TestCaseError::fail)?;
+        }
+    }
+
+    /// Switch-based minimal routing: random fabrics, random pairs, ≤ 3
+    /// switch hops.
+    #[test]
+    fn switchbased_minimal_routes_random_pairs(
+        p in sw_params(),
+        pair_seed in any::<u64>(),
+    ) {
+        let f = SwitchFabric::build(&p);
+        let map = PortMap::new(&f.net);
+        let o = SwOracle::minimal(&p);
+        let walker = Walker::new(&map, &o);
+        let n = p.num_endpoints();
+        prop_assume!(n >= 2);
+        let mut rng = SplitMix64::new(pair_seed);
+        for _ in 0..16 {
+            let s = rng.next_below(n as u64) as u32;
+            let d = rng.next_below(n as u64) as u32;
+            if s == d {
+                continue;
+            }
+            let t = walker.walk(s, d, NO_INTERMEDIATE).map_err(TestCaseError::fail)?;
+            prop_assert!(t.network_hops() <= 3);
+        }
+    }
+
+    /// Permutation patterns always produce in-range, non-self destinations.
+    #[test]
+    fn permutations_produce_valid_destinations(
+        n in 2u32..512,
+        kind_pick in 0u8..3,
+        seed in any::<u64>(),
+    ) {
+        let kind = [PermKind::BitReverse, PermKind::BitShuffle, PermKind::BitTranspose]
+            [kind_pick as usize];
+        let pat = PermutationPattern::new(kind, n, 0.5);
+        let mut rng = SplitMix64::new(seed);
+        for src in 0..n {
+            if let Some(d) = pat.dest(src, 0, &mut rng) {
+                prop_assert!(d < n);
+                prop_assert_ne!(d, src);
+            } else {
+                prop_assert_eq!(pat.rate(src), 0.0);
+            }
+        }
+    }
+
+    /// Ring patterns are permutations per direction: every endpoint has a
+    /// unique successor within its unit, at the same intra-chip position.
+    #[test]
+    fn ring_is_bijective(p in sl_params().prop_filter("even chip grid", |p| p.m % 2 == 0)) {
+        let mut p = p;
+        p.chiplet = if p.m % 2 == 0 { p.m / 2 } else { 1 };
+        p.nodes_per_chip = (p.chiplet * p.chiplet) as f64;
+        prop_assume!(p.validate().is_ok());
+        let scope = Scope::switchless(&p);
+        prop_assume!(scope.chips_per_cgroup >= 2);
+        let ring = RingAllReduce::new(
+            &scope,
+            scope.chips_per_cgroup,
+            RingDirection::Unidirectional,
+            0.5,
+        );
+        let n = scope.endpoints();
+        let mut seen = vec![false; n as usize];
+        for ep in 0..n {
+            let d = ring.successor(ep);
+            prop_assert!(!seen[d as usize]);
+            seen[d as usize] = true;
+            prop_assert_eq!(ring.predecessor(d), ep);
+        }
+    }
+
+    /// Short simulations on random fabrics deliver traffic and never trip
+    /// the deadlock watchdog.
+    #[test]
+    fn random_fabric_simulations_deliver(p in sl_params()) {
+        prop_assume!(p.num_endpoints() <= 2000);
+        let bench = Bench::switchless(&p, RouteMode::Minimal, VcScheme::Baseline);
+        let cfg = SimConfig {
+            warmup_cycles: 150,
+            measure_cycles: 350,
+            drain_cycles: 150,
+            ..Default::default()
+        };
+        let pattern = bench.pattern(PatternSpec::Uniform, 0.1);
+        let m = bench.run(&cfg, pattern.as_ref()).unwrap();
+        prop_assert!(!m.deadlocked);
+        prop_assert!(m.packets_ejected > 0);
+    }
+}
