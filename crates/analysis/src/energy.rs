@@ -7,7 +7,6 @@
 //! ≈ 0.1 pJ/bit. For Fig. 15 the paper simplifies intra-C-group hops to an
 //! average 1 pJ/bit; both modes are provided.
 
-use serde::{Deserialize, Serialize};
 use wsdf_sim::{ChannelClass, Metrics};
 
 /// Long-reach hop energy (Table II), pJ/bit.
@@ -20,7 +19,7 @@ pub const HOP_ENERGY_ONCHIP: f64 = 0.1;
 pub const HOP_ENERGY_INTRA_CG_AVG: f64 = 1.0;
 
 /// Per-channel-class energy in pJ/bit.
-#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy)]
 pub struct EnergyModel {
     /// Energy per flit-hop by [`ChannelClass`] (dense index), pJ/bit.
     pub per_class: [f64; 6],
@@ -103,14 +102,7 @@ impl EnergyModel {
 mod tests {
     use super::*;
 
-    fn hops(
-        on_chip: f64,
-        sr: f64,
-        lr_local: f64,
-        lr_global: f64,
-        inj: f64,
-        ej: f64,
-    ) -> [f64; 6] {
+    fn hops(on_chip: f64, sr: f64, lr_local: f64, lr_global: f64, inj: f64, ej: f64) -> [f64; 6] {
         let mut h = [0.0; 6];
         h[ChannelClass::OnChip.index()] = on_chip;
         h[ChannelClass::ShortReach.index()] = sr;

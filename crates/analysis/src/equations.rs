@@ -3,11 +3,9 @@
 //! interconnection interfaces (n/4 per edge), so a C-group exposes
 //! `k = n·m` external ports.
 
-use serde::{Deserialize, Serialize};
-
 /// Analytic switch-less Dragonfly configuration (the Sec. III-C case-study
 /// model, not the simulated perimeter model).
-#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy)]
 pub struct SlAnalytic {
     /// Interfaces per chiplet (`n`).
     pub n: u32,
@@ -117,7 +115,7 @@ impl SlAnalytic {
 
 /// A diameter expressed as per-class hop counts (the paper writes these as
 /// `H_g + 2H_l + (8m−2)H_sr`).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct DiameterHops {
     /// Global (inter-W-group) hops.
     pub global: u64,
@@ -144,7 +142,7 @@ impl std::fmt::Display for DiameterHops {
 }
 
 /// Per-hop latencies in nanoseconds (Table II).
-#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy)]
 pub struct HopLatency {
     /// Global optical hop (excl. time-of-flight).
     pub global: f64,
@@ -232,10 +230,7 @@ mod tests {
     fn diameter_strings() {
         let s = SlAnalytic::case_study();
         assert_eq!(s.diameter_hops().to_string(), "1Hg + 2Hl + 30Hsr");
-        assert_eq!(
-            s.single_wgroup_diameter_hops().to_string(),
-            "1Hl + 14Hsr"
-        );
+        assert_eq!(s.single_wgroup_diameter_hops().to_string(), "1Hl + 14Hsr");
     }
 
     #[test]

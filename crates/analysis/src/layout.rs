@@ -9,10 +9,8 @@
 //! those derived quantities and basic routability checks so the Fig. 9
 //! claims can be regenerated.
 
-use serde::{Deserialize, Serialize};
-
 /// Geometry and interface parameters of a C-group layout.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct CGroupLayout {
     /// Chiplets per side of the C-group grid.
     pub grid: u32,
@@ -161,7 +159,11 @@ mod tests {
     fn paper_layout_matches_fig9_numbers() {
         let l = CGroupLayout::paper();
         // "a C-group of 60mm × 60mm".
-        assert!((l.side_mm() - 64.0).abs() < 6.0, "side {:.1}mm", l.side_mm());
+        assert!(
+            (l.side_mm() - 64.0).abs() < 6.0,
+            "side {:.1}mm",
+            l.side_mm()
+        );
         // "4096 Gb/s/port intra-C-group".
         assert_eq!(l.sr_port_gbps(), 4096.0);
         // "896 Gb/s/port long-reach".

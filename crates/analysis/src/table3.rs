@@ -12,13 +12,12 @@
 //! recoverable; it is marked estimated.
 
 use crate::equations::SlAnalytic;
-use serde::{Deserialize, Serialize};
 
 /// Average inter-cabinet cable run in units of the datacenter scale E.
 pub const CABLE_RUN_FACTOR: f64 = 0.44;
 
 /// One row of Table III.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct TopologyRow {
     /// Topology name.
     pub name: &'static str,
@@ -278,7 +277,8 @@ pub fn render(rows: &[TopologyRow]) -> String {
             r.switches,
             r.cabinets,
             r.processors,
-            r.cable_count.map_or("-".into(), |x| format!("{}K", x / 1000)),
+            r.cable_count
+                .map_or("-".into(), |x| format!("{}K", x / 1000)),
             r.cable_length_e
                 .map_or("-".into(), |x| format!("{:.0}K", x / 1000.0)),
             r.t_local,

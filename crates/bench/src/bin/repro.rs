@@ -69,8 +69,7 @@ fn main() {
         let groups = figures::fig15(effort);
         print!("{}", figures::render_fig15(&groups));
         if let Some(dir) = &json_dir {
-            let json = serde_json::to_string_pretty(&groups).unwrap();
-            write_json(dir, "fig15", &json);
+            write_json(dir, "fig15", &figures::fig15_json(&groups));
         }
     };
     let print_tables = || {
@@ -95,14 +94,18 @@ fn main() {
         }
         "fig15" => run_fig15(),
         "figures" => {
-            for which in ["fig10ab", "fig10cf", "fig11", "fig12", "fig13", "fig14", "ablation"] {
+            for which in [
+                "fig10ab", "fig10cf", "fig11", "fig12", "fig13", "fig14", "ablation",
+            ] {
                 run_figures(which);
             }
             run_fig15();
         }
         "all" => {
             print_tables();
-            for which in ["fig10ab", "fig10cf", "fig11", "fig12", "fig13", "fig14", "ablation"] {
+            for which in [
+                "fig10ab", "fig10cf", "fig11", "fig12", "fig13", "fig14", "ablation",
+            ] {
                 run_figures(which);
             }
             run_fig15();

@@ -72,7 +72,7 @@ fn local_benches() -> Vec<Bench> {
 /// bit-shuffle and bit-transpose.
 pub fn fig10cf(effort: Effort) -> Vec<Figure> {
     let s = effort.small();
-    let cases = [
+    let cases: [(&str, &str, PatternSpec, f64); 4] = [
         ("fig10c", "Local: Uniform", PatternSpec::Uniform, 2.4),
         (
             "fig10d",
@@ -100,7 +100,7 @@ pub fn fig10cf(effort: Effort) -> Vec<Figure> {
             // The switch-based baseline caps at 1 flit/cycle/chip; don't
             // waste points far beyond it.
             let max = if bench.label == "SW-based" {
-                (max_rate as f64).min(1.4)
+                max_rate.min(1.4)
             } else {
                 max_rate
             };
@@ -304,7 +304,7 @@ pub fn fig14(effort: Effort) -> Vec<Figure> {
 }
 
 /// One bar of Fig. 15.
-#[derive(Debug, Clone, serde::Serialize)]
+#[derive(Debug, Clone)]
 pub struct EnergyBar {
     /// Network + routing label.
     pub label: String,
@@ -382,6 +382,36 @@ pub fn fig15(effort: Effort) -> Vec<(String, Vec<EnergyBar>)> {
         out.push((scale_name.to_string(), bars));
     }
     out
+}
+
+/// Serialize Fig. 15 bar groups as pretty JSON (hand-rolled; see
+/// `wsdf::json` for why there is no serde in this workspace).
+pub fn fig15_json(groups: &[(String, Vec<EnergyBar>)]) -> String {
+    use wsdf::json::{escape, num};
+    let mut s = String::from("[\n");
+    for (gi, (name, bars)) in groups.iter().enumerate() {
+        s.push_str(&format!(
+            "  {{\n    \"group\": \"{}\",\n    \"bars\": [\n",
+            escape(name)
+        ));
+        for (bi, b) in bars.iter().enumerate() {
+            s.push_str(&format!(
+                "      {{\"label\": \"{}\", \"inter_cgroup\": {}, \"intra_cgroup\": {}, \
+                 \"total\": {}}}{}\n",
+                escape(&b.label),
+                num(b.inter_cgroup),
+                num(b.intra_cgroup),
+                num(b.total()),
+                if bi + 1 < bars.len() { "," } else { "" }
+            ));
+        }
+        s.push_str(&format!(
+            "    ]\n  }}{}\n",
+            if gi + 1 < groups.len() { "," } else { "" }
+        ));
+    }
+    s.push_str("]\n");
+    s
 }
 
 /// Render Fig. 15 bars as text.

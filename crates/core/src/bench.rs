@@ -1,8 +1,21 @@
 //! Fabric + oracle bundles and workload construction.
+//!
+//! [`Bench`] keeps its routing oracle in a closed enum ([`BenchOracle`])
+//! rather than a `Box<dyn RouteOracle>`: [`Bench::run`] matches on it once
+//! per simulation and enters the *monomorphized* engine with the concrete
+//! oracle type, so the per-flit hot path never pays virtual dispatch. The
+//! enum still implements [`RouteOracle`] itself (one match per call) for
+//! callers that need a uniform oracle view, e.g. route walkers.
 
 use wsdf_routing::{MeshOracle, RouteMode, SlOracle, SwOracle, SwitchNodeOracle, VcScheme};
-use wsdf_sim::{Metrics, NetworkDesc, RouteOracle, SimConfig, SimResult, TrafficPattern};
-use wsdf_topo::{single_mesh, single_switch, MeshFabric, SlParams, SwParams, SwitchFabric, SwitchNode, SwitchlessFabric};
+use wsdf_sim::{
+    Metrics, NetworkDesc, PacketHeader, RouteChoice, RouteOracle, SimConfig, SimResult, SplitMix64,
+    TrafficPattern,
+};
+use wsdf_topo::{
+    single_mesh, single_switch, MeshFabric, SlParams, SwParams, SwitchFabric, SwitchNode,
+    SwitchlessFabric,
+};
 use wsdf_traffic::{
     HotspotPattern, PermKind, PermutationPattern, RingAllReduce, RingDirection, Scope,
     UniformPattern, WorstCasePattern,
@@ -49,13 +62,85 @@ pub enum PatternSpec {
     RingWGroup(RingDirection),
 }
 
+/// The routing oracle of a [`Bench`], as a closed enum over the four
+/// evaluated fabric kinds. Matching once per run (not per flit) is what
+/// keeps the engine hot path free of `dyn RouteOracle` dispatch.
+#[derive(Debug, Clone)]
+pub enum BenchOracle {
+    /// Switch-less Dragonfly routing.
+    Sl(SlOracle),
+    /// Switch-based Dragonfly routing.
+    Sw(SwOracle),
+    /// Standalone-mesh XY routing.
+    Mesh(MeshOracle),
+    /// Single ideal switch (VOQ) routing.
+    Switch(SwitchNodeOracle),
+}
+
+impl BenchOracle {
+    /// Borrow as a trait object (route walkers, diagnostics).
+    pub fn as_dyn(&self) -> &dyn RouteOracle {
+        match self {
+            BenchOracle::Sl(o) => o,
+            BenchOracle::Sw(o) => o,
+            BenchOracle::Mesh(o) => o,
+            BenchOracle::Switch(o) => o,
+        }
+    }
+}
+
+impl RouteOracle for BenchOracle {
+    fn route(
+        &self,
+        router: u32,
+        in_port: u8,
+        in_vc: u8,
+        pkt: &PacketHeader,
+        rng: &mut SplitMix64,
+    ) -> RouteChoice {
+        match self {
+            BenchOracle::Sl(o) => o.route(router, in_port, in_vc, pkt, rng),
+            BenchOracle::Sw(o) => o.route(router, in_port, in_vc, pkt, rng),
+            BenchOracle::Mesh(o) => o.route(router, in_port, in_vc, pkt, rng),
+            BenchOracle::Switch(o) => o.route(router, in_port, in_vc, pkt, rng),
+        }
+    }
+
+    fn initial_vc(&self, pkt: &PacketHeader) -> u8 {
+        match self {
+            BenchOracle::Sl(o) => o.initial_vc(pkt),
+            BenchOracle::Sw(o) => o.initial_vc(pkt),
+            BenchOracle::Mesh(o) => o.initial_vc(pkt),
+            BenchOracle::Switch(o) => o.initial_vc(pkt),
+        }
+    }
+
+    fn num_vcs(&self) -> u8 {
+        match self {
+            BenchOracle::Sl(o) => o.num_vcs(),
+            BenchOracle::Sw(o) => o.num_vcs(),
+            BenchOracle::Mesh(o) => o.num_vcs(),
+            BenchOracle::Switch(o) => o.num_vcs(),
+        }
+    }
+
+    fn tag_packet(&self, pkt: &mut PacketHeader, rng: &mut SplitMix64) {
+        match self {
+            BenchOracle::Sl(o) => o.tag_packet(pkt, rng),
+            BenchOracle::Sw(o) => o.tag_packet(pkt, rng),
+            BenchOracle::Mesh(o) => o.tag_packet(pkt, rng),
+            BenchOracle::Switch(o) => o.tag_packet(pkt, rng),
+        }
+    }
+}
+
 /// A fabric, its routing oracle, and its endpoint scoping — everything a
 /// simulation run needs besides the workload and rates.
 pub struct Bench {
     /// The built network.
     pub fabric: Fabric,
     /// The routing oracle driving it.
-    pub oracle: Box<dyn RouteOracle>,
+    pub oracle: BenchOracle,
     /// Endpoint grouping (W-groups, chips).
     pub scope: Scope,
     /// Nodes per chip for per-chip rate conversion (may be fractional for
@@ -82,7 +167,7 @@ impl Bench {
         };
         Bench {
             fabric: Fabric::Switchless(fabric),
-            oracle: Box::new(oracle),
+            oracle: BenchOracle::Sl(oracle),
             scope,
             nodes_per_chip: p.nodes_per_chip,
             label: format!("SW-less{width_tag}{mode_tag}"),
@@ -103,7 +188,7 @@ impl Bench {
         };
         Bench {
             fabric: Fabric::Switchbased(fabric),
-            oracle: Box::new(oracle),
+            oracle: BenchOracle::Sw(oracle),
             scope,
             nodes_per_chip: 1.0,
             label: format!("SW-based{mode_tag}"),
@@ -127,7 +212,7 @@ impl Bench {
         let scope = mesh_scope(&p);
         Bench {
             fabric: Fabric::Mesh(fabric),
-            oracle: Box::new(oracle),
+            oracle: BenchOracle::Mesh(oracle),
             scope,
             nodes_per_chip: (chiplet * chiplet) as f64,
             label: "2D-Mesh".into(),
@@ -148,7 +233,7 @@ impl Bench {
         });
         Bench {
             fabric: Fabric::SingleSwitch(fabric),
-            oracle: Box::new(SwitchNodeOracle::new(terminals.min(16) as u8)),
+            oracle: BenchOracle::Switch(SwitchNodeOracle::new(terminals.min(16) as u8)),
             scope,
             nodes_per_chip: 1.0,
             label: "Switch".into(),
@@ -176,12 +261,8 @@ impl Bench {
         let n = self.endpoints();
         match spec {
             PatternSpec::Uniform => Box::new(UniformPattern::new(n, rate_node)),
-            PatternSpec::Permutation(kind) => {
-                Box::new(PermutationPattern::new(kind, n, rate_node))
-            }
-            PatternSpec::Hotspot => {
-                Box::new(HotspotPattern::paper_default(&self.scope, rate_node))
-            }
+            PatternSpec::Permutation(kind) => Box::new(PermutationPattern::new(kind, n, rate_node)),
+            PatternSpec::Hotspot => Box::new(HotspotPattern::paper_default(&self.scope, rate_node)),
             PatternSpec::WorstCase => Box::new(WorstCasePattern::new(&self.scope, rate_node)),
             PatternSpec::RingCGroup(dir) => Box::new(RingAllReduce::new(
                 &self.scope,
@@ -200,10 +281,31 @@ impl Bench {
 
     /// Run one simulation with an explicit config and pattern. The config's
     /// VC count is raised to the oracle's requirement automatically.
+    ///
+    /// Dispatches on the oracle kind *once*, then runs the monomorphized
+    /// engine with the concrete oracle type — the per-flit path is fully
+    /// static. The pattern stays dynamic (queried per packet, not per
+    /// flit).
     pub fn run(&self, cfg: &SimConfig, pattern: &dyn TrafficPattern) -> SimResult<Metrics> {
         let mut cfg = cfg.clone();
         cfg.num_vcs = cfg.num_vcs.max(self.oracle.num_vcs());
-        wsdf_sim::simulate(self.fabric.net(), &cfg, self.oracle.as_ref(), pattern)
+        let net = self.fabric.net();
+        match &self.oracle {
+            BenchOracle::Sl(o) => wsdf_sim::simulate(net, &cfg, o, pattern),
+            BenchOracle::Sw(o) => wsdf_sim::simulate(net, &cfg, o, pattern),
+            BenchOracle::Mesh(o) => wsdf_sim::simulate(net, &cfg, o, pattern),
+            BenchOracle::Switch(o) => wsdf_sim::simulate(net, &cfg, o, pattern),
+        }
+    }
+
+    /// Type-erased variant of [`Bench::run`] built on
+    /// [`wsdf_sim::simulate_dyn`]; useful when a caller already holds the
+    /// oracle as `&dyn RouteOracle` or wants uniform treatment across
+    /// heterogeneous benches at the cost of per-flit virtual dispatch.
+    pub fn run_dyn(&self, cfg: &SimConfig, pattern: &dyn TrafficPattern) -> SimResult<Metrics> {
+        let mut cfg = cfg.clone();
+        cfg.num_vcs = cfg.num_vcs.max(self.oracle.num_vcs());
+        wsdf_sim::simulate_dyn(self.fabric.net(), &cfg, self.oracle.as_dyn(), pattern)
     }
 }
 
@@ -272,6 +374,18 @@ mod tests {
         let pat = b.pattern(PatternSpec::Uniform, 0.3);
         let m = b.run(&quick_cfg(), pat.as_ref()).unwrap();
         assert!(m.packets_ejected > 0);
+    }
+
+    #[test]
+    fn dyn_run_matches_monomorphized_run() {
+        let b = Bench::single_mesh(4, 2, 1);
+        let pat = b.pattern(PatternSpec::Uniform, 0.3);
+        let a = b.run(&quick_cfg(), pat.as_ref()).unwrap();
+        let d = b.run_dyn(&quick_cfg(), pat.as_ref()).unwrap();
+        assert_eq!(a.packets_created, d.packets_created);
+        assert_eq!(a.packets_ejected, d.packets_ejected);
+        assert_eq!(a.latency_sum, d.latency_sum);
+        assert_eq!(a.class_hops.flit_hops, d.class_hops.flit_hops);
     }
 
     #[test]

@@ -8,7 +8,7 @@
 //!   oracle and endpoint scoping.
 //! * [`PatternSpec`] — a workload selector that [`Bench::pattern`] turns
 //!   into a concrete traffic generator at a given per-node rate.
-//! * [`sweep`] — the load-latency sweep runner that regenerates the
+//! * [`sweep()`] — the load-latency sweep runner that regenerates the
 //!   paper's figures: it walks a list of per-chip injection rates, runs a
 //!   full simulation per point, converts units, and stops once the fabric
 //!   is clearly past saturation.
@@ -32,10 +32,11 @@
 //! ```
 
 pub mod bench;
+pub mod json;
 pub mod report;
 pub mod sweep;
 
-pub use bench::{Bench, Fabric, PatternSpec};
+pub use bench::{Bench, BenchOracle, Fabric, PatternSpec};
 pub use report::{Curve, Point};
 pub use sweep::{saturation_rate, sweep, SweepConfig, SweepPoint};
 

@@ -1,10 +1,14 @@
 //! Result containers and plain-text/JSON rendering for the harness.
+//!
+//! JSON goes through the in-crate [`crate::json`] module (the build
+//! environment is offline, so there is no serde); `to_json`/`from_json`
+//! are hand-rolled and covered by a round-trip test.
 
+use crate::json::{self, Value};
 use crate::sweep::SweepPoint;
-use serde::{Deserialize, Serialize};
 
 /// An (x, y) pair of a rendered series.
-#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy)]
 pub struct Point {
     /// X value (offered load, flits/cycle/chip).
     pub x: f64,
@@ -13,7 +17,7 @@ pub struct Point {
 }
 
 /// One labeled series of a figure.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Curve {
     /// Legend label (matches the paper's: "SW-based", "SW-less-2B", ...).
     pub label: String,
@@ -67,7 +71,7 @@ impl Curve {
 }
 
 /// A whole figure: several curves plus context.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Figure {
     /// Figure id ("fig10a", "fig13b", ...).
     pub id: String,
@@ -112,7 +116,88 @@ impl Figure {
 
     /// Serialize to pretty JSON.
     pub fn to_json(&self) -> String {
-        serde_json::to_string_pretty(self).expect("figures serialize")
+        let mut s = String::new();
+        s.push_str("{\n");
+        s.push_str(&format!("  \"id\": \"{}\",\n", json::escape(&self.id)));
+        s.push_str(&format!(
+            "  \"title\": \"{}\",\n",
+            json::escape(&self.title)
+        ));
+        s.push_str("  \"curves\": [\n");
+        for (ci, c) in self.curves.iter().enumerate() {
+            s.push_str("    {\n");
+            s.push_str(&format!(
+                "      \"label\": \"{}\",\n",
+                json::escape(&c.label)
+            ));
+            s.push_str("      \"points\": [\n");
+            for (pi, p) in c.points.iter().enumerate() {
+                s.push_str(&format!(
+                    "        {{\"offered_chip\": {}, \"offered_node\": {}, \"latency\": {}, \
+                     \"accepted_chip\": {}, \"accepted_node\": {}, \"delivered\": {}, \
+                     \"saturated\": {}}}{}\n",
+                    json::num(p.offered_chip),
+                    json::num(p.offered_node),
+                    json::num(p.latency),
+                    json::num(p.accepted_chip),
+                    json::num(p.accepted_node),
+                    json::num(p.delivered),
+                    p.saturated,
+                    if pi + 1 < c.points.len() { "," } else { "" }
+                ));
+            }
+            s.push_str("      ]\n");
+            s.push_str(&format!(
+                "    }}{}\n",
+                if ci + 1 < self.curves.len() { "," } else { "" }
+            ));
+        }
+        s.push_str("  ]\n}\n");
+        s
+    }
+
+    /// Parse a figure previously written by [`Figure::to_json`].
+    pub fn from_json(text: &str) -> Result<Figure, String> {
+        let v = Value::parse(text)?;
+        fn field<'a>(v: &'a Value, k: &str) -> Result<&'a Value, String> {
+            v.get(k).ok_or_else(|| format!("missing key '{k}'"))
+        }
+        let num = |v: &Value, k: &str| -> Result<f64, String> {
+            field(v, k)?
+                .as_f64()
+                .ok_or_else(|| format!("'{k}' not a number"))
+        };
+        let mut fig = Figure::new(
+            field(&v, "id")?.as_str().ok_or("'id' not a string")?,
+            field(&v, "title")?.as_str().ok_or("'title' not a string")?,
+        );
+        for c in field(&v, "curves")?
+            .as_arr()
+            .ok_or("'curves' not an array")?
+        {
+            let mut points = Vec::new();
+            for p in field(c, "points")?
+                .as_arr()
+                .ok_or("'points' not an array")?
+            {
+                points.push(SweepPoint {
+                    offered_chip: num(p, "offered_chip")?,
+                    offered_node: num(p, "offered_node")?,
+                    latency: num(p, "latency")?,
+                    accepted_chip: num(p, "accepted_chip")?,
+                    accepted_node: num(p, "accepted_node")?,
+                    delivered: num(p, "delivered")?,
+                    saturated: field(p, "saturated")?
+                        .as_bool()
+                        .ok_or("'saturated' not a bool")?,
+                });
+            }
+            fig.push(Curve::new(
+                field(c, "label")?.as_str().ok_or("'label' not a string")?,
+                points,
+            ));
+        }
+        Ok(fig)
     }
 }
 
@@ -134,7 +219,10 @@ mod tests {
 
     #[test]
     fn curve_saturation_is_max_accepted() {
-        let c = Curve::new("x", vec![pt(0.4, 10.0, 0.4), pt(0.8, 12.0, 0.8), pt(1.2, 80.0, 0.9)]);
+        let c = Curve::new(
+            "x",
+            vec![pt(0.4, 10.0, 0.4), pt(0.8, 12.0, 0.8), pt(1.2, 80.0, 0.9)],
+        );
         assert_eq!(c.saturation(), 0.9);
         assert_eq!(c.latency_series().len(), 3);
     }
@@ -148,7 +236,20 @@ mod tests {
         assert!(txt.contains("fig10a"));
         assert!(txt.contains("2D-Mesh"));
         let json = f.to_json();
-        let back: Figure = serde_json::from_str(&json).unwrap();
+        let back = Figure::from_json(&json).unwrap();
         assert_eq!(back.curves.len(), 2);
+        assert_eq!(back.id, "fig10a");
+        assert_eq!(back.curves[0].label, "2D-Mesh");
+        assert_eq!(back.curves[0].points, f.curves[0].points);
+    }
+
+    #[test]
+    fn infinite_latency_round_trips_as_nan() {
+        let mut p = pt(0.4, 0.0, 0.1);
+        p.latency = f64::INFINITY;
+        let mut f = Figure::new("x", "t");
+        f.push(Curve::new("c", vec![p]));
+        let back = Figure::from_json(&f.to_json()).unwrap();
+        assert!(back.curves[0].points[0].latency.is_nan());
     }
 }

@@ -2,11 +2,10 @@
 //! figure in the paper.
 
 use crate::bench::{Bench, PatternSpec};
-use serde::{Deserialize, Serialize};
 use wsdf_sim::SimConfig;
 
 /// One measured point of a sweep.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct SweepPoint {
     /// Offered load in flits/cycle/chip (paper x-axis).
     pub offered_chip: f64,
@@ -68,7 +67,12 @@ impl SweepConfig {
 /// stopping early past saturation. Deadlocked points (which indicate a
 /// routing bug, not congestion) panic — the routing disciplines are
 /// supposed to make them impossible.
-pub fn sweep(bench: &Bench, cfg: &SweepConfig, spec: PatternSpec, rates_chip: &[f64]) -> Vec<SweepPoint> {
+pub fn sweep(
+    bench: &Bench,
+    cfg: &SweepConfig,
+    spec: PatternSpec,
+    rates_chip: &[f64],
+) -> Vec<SweepPoint> {
     let mut out = Vec::new();
     let mut past_saturation = 0usize;
     let mut zero_load = None;
@@ -103,16 +107,15 @@ pub fn sweep(bench: &Bench, cfg: &SweepConfig, spec: PatternSpec, rates_chip: &[
                 per_chip[bench.scope.chip[ep] as usize] += flits as u64;
             }
             let min_chip = per_chip.iter().copied().min().unwrap_or(0);
-            min_chip as f64
-                / (metrics.measure_cycles as f64 * bench.scope.nodes_per_chip as f64)
+            min_chip as f64 / (metrics.measure_cycles as f64 * bench.scope.nodes_per_chip as f64)
         } else {
             metrics.accepted_rate() / af
         };
         // Compare against the realized injection (source queues may clip).
         let offered_effective = (metrics.injected_rate() / af).max(1e-12);
         let acceptance = accepted_node / offered_effective;
-        let saturated = latency > zero_load.unwrap() * cfg.latency_blowup
-            || acceptance < cfg.min_acceptance;
+        let saturated =
+            latency > zero_load.unwrap() * cfg.latency_blowup || acceptance < cfg.min_acceptance;
         out.push(SweepPoint {
             offered_chip: rate_chip,
             offered_node: rate_node,
@@ -177,12 +180,7 @@ mod tests {
     #[test]
     fn latency_grows_monotonically_near_saturation() {
         let mesh = Bench::single_mesh(4, 2, 1);
-        let pts = sweep(
-            &mesh,
-            &quick(),
-            PatternSpec::Uniform,
-            &[0.4, 1.2, 2.0, 2.8],
-        );
+        let pts = sweep(&mesh, &quick(), PatternSpec::Uniform, &[0.4, 1.2, 2.0, 2.8]);
         assert!(pts.len() >= 3);
         assert!(
             pts.last().unwrap().latency > pts[0].latency,

@@ -45,7 +45,10 @@ impl RouteOracle for MeshOracle {
         let (x, y) = (router % self.m, router / self.m);
         let (tx, ty) = (pkt.dst % self.m, pkt.dst / self.m);
         let out_port = xy_step(x, y, tx, ty).unwrap_or(core_port::EP);
-        RouteChoice { out_port, out_vc: 0 }
+        RouteChoice {
+            out_port,
+            out_vc: 0,
+        }
     }
 
     fn initial_vc(&self, _pkt: &PacketHeader) -> u8 {

@@ -266,15 +266,7 @@ impl SlOracle {
     /// Route at a core router under the Reduced discipline. Cores are only
     /// visited by class-0 (source C-group, XY toward the exit) and class-2
     /// descent segments; the descent uses −x/−y moves only.
-    fn route_core_reduced(
-        &self,
-        w: u32,
-        c: u32,
-        x: u32,
-        y: u32,
-        obj: Objective,
-        class: u8,
-    ) -> u8 {
+    fn route_core_reduced(&self, w: u32, c: u32, x: u32, y: u32, obj: Objective, class: u8) -> u8 {
         match obj {
             Objective::Core(xd, yd) => {
                 if class == 0 {
@@ -547,11 +539,26 @@ mod tests {
         let p = params(); // m = 4, k = 12
         let o = SlOracle::new(&p, RouteMode::Minimal, VcScheme::Reduced);
         // Dest core (2, 1): entry range [2, 2(3)−1] = [2, 5].
-        assert_eq!(o.route_conv_reduced(0, Objective::Core(2, 1)), conv_port::NEXT);
-        assert_eq!(o.route_conv_reduced(2, Objective::Core(2, 1)), conv_port::CORE);
-        assert_eq!(o.route_conv_reduced(5, Objective::Core(2, 1)), conv_port::CORE);
-        assert_eq!(o.route_conv_reduced(6, Objective::Core(2, 1)), conv_port::PREV);
-        assert_eq!(o.route_conv_reduced(11, Objective::Core(2, 1)), conv_port::PREV);
+        assert_eq!(
+            o.route_conv_reduced(0, Objective::Core(2, 1)),
+            conv_port::NEXT
+        );
+        assert_eq!(
+            o.route_conv_reduced(2, Objective::Core(2, 1)),
+            conv_port::CORE
+        );
+        assert_eq!(
+            o.route_conv_reduced(5, Objective::Core(2, 1)),
+            conv_port::CORE
+        );
+        assert_eq!(
+            o.route_conv_reduced(6, Objective::Core(2, 1)),
+            conv_port::PREV
+        );
+        assert_eq!(
+            o.route_conv_reduced(11, Objective::Core(2, 1)),
+            conv_port::PREV
+        );
     }
 
     #[test]
@@ -566,9 +573,8 @@ mod tests {
             mesh_width: 1,
             nodes_per_chip: 4.0,
         };
-        let r = std::panic::catch_unwind(|| {
-            SlOracle::new(&p, RouteMode::Minimal, VcScheme::Reduced)
-        });
+        let r =
+            std::panic::catch_unwind(|| SlOracle::new(&p, RouteMode::Minimal, VcScheme::Reduced));
         assert!(r.is_err());
     }
 

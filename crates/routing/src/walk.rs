@@ -161,13 +161,14 @@ impl<'a> Walker<'a> {
             match to {
                 Terminus::Endpoint { endpoint } => {
                     if endpoint != dst {
-                        return Err(format!(
-                            "misdelivered: {src} → {dst} ejected at {endpoint}"
-                        ));
+                        return Err(format!("misdelivered: {src} → {dst} ejected at {endpoint}"));
                     }
                     return Ok(RouteTrace { hops });
                 }
-                Terminus::Router { router: r2, port: p2 } => {
+                Terminus::Router {
+                    router: r2,
+                    port: p2,
+                } => {
                     router = r2;
                     in_port = p2;
                     in_vc = choice.out_vc;

@@ -1,9 +1,7 @@
 //! Simulation parameters (Table IV of the paper).
 
-use serde::{Deserialize, Serialize};
-
 /// Engine configuration. `Default` reproduces Table IV exactly.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct SimConfig {
     /// Packet length in flits (Table IV: 4).
     pub packet_len: u8,

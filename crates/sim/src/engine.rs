@@ -15,17 +15,36 @@
 //! be consumed before *t+1*, so partitions never observe each other's
 //! in-cycle state: results are bit-identical for any partition count (see
 //! `determinism` tests).
+//!
+//! ## Monomorphized hot path
+//!
+//! [`Simulation`] is generic over its [`RouteOracle`], so the per-flit
+//! route computation compiles to direct calls — no vtable dispatch in the
+//! cycle loop. Heterogeneous callers (sweeps over benches with different
+//! oracle types) use [`simulate_dyn`], which instantiates the same engine
+//! with `&dyn RouteOracle` at the API boundary; the blanket
+//! `impl RouteOracle for &T` makes both paths share one implementation.
+//!
+//! ## Fixed-capacity channel queues
+//!
+//! Channel queues are [`TimedRing`]s sized when the network is compiled:
+//! a channel can hold at most `width` entries per cycle for `latency`
+//! cycles (plus one cycle of producer/consumer skew within a BSP step), so
+//! flit rings get `(latency + 1) × width` slots and credit rings
+//! additionally scale by the consuming router's crossbar speedup (its
+//! per-cycle credit-return bound). The hot path therefore never allocates.
 
-use crate::channel::Terminus;
+use crate::channel::{Terminus, TimedRing};
 use crate::config::SimConfig;
 use crate::flit::Flit;
 use crate::metrics::Metrics;
 use crate::network::NetworkDesc;
 use crate::oracle::RouteOracle;
 use crate::pattern::TrafficPattern;
-use crate::router::{CreditTarget, CycleCtx, EndpointRt, FlitTarget, Msg, PortIn, PortOut, RouterRt};
+use crate::router::{
+    CreditTarget, CycleCtx, EndpointRt, FlitTarget, Msg, PortIn, PortOut, RouterRt,
+};
 use rayon::prelude::*;
-use std::collections::VecDeque;
 
 /// Engine errors.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -64,8 +83,8 @@ pub type SimResult<T> = Result<T, SimError>;
 struct Partition {
     routers: Vec<RouterRt>,
     endpoints: Vec<EndpointRt>,
-    flit_qs: Vec<VecDeque<(u64, Flit)>>,
-    credit_qs: Vec<VecDeque<(u64, u8)>>,
+    flit_qs: Vec<TimedRing<Flit>>,
+    credit_qs: Vec<TimedRing<u8>>,
     outboxes: Vec<Vec<Msg>>,
     inbox: Vec<Vec<Msg>>,
     metrics: Metrics,
@@ -73,9 +92,83 @@ struct Partition {
     in_flight: i64,
 }
 
-/// A compiled, runnable simulation.
-pub struct Simulation {
+impl Partition {
+    /// Deliver last cycle's cross-partition messages, then advance all
+    /// endpoints and routers one cycle. Monomorphizes per oracle/pattern.
+    #[allow(clippy::too_many_arguments)]
+    fn advance<O: RouteOracle + ?Sized, P: TrafficPattern + ?Sized>(
+        &mut self,
+        oracle: &O,
+        pattern: &P,
+        now: u64,
+        measure_start: u64,
+        measure_end: u64,
+        flit_loc: &[(u32, u32)],
+        credit_loc: &[(u32, u32)],
+        packet_len: u8,
+    ) {
+        self.moved = 0;
+        let Partition {
+            routers,
+            endpoints,
+            flit_qs,
+            credit_qs,
+            outboxes,
+            inbox,
+            metrics,
+            moved,
+            in_flight,
+        } = self;
+        for msgs in inbox.iter_mut() {
+            for msg in msgs.drain(..) {
+                match msg {
+                    Msg::Flit { ch, arrive, flit } => {
+                        let (_, idx) = flit_loc[ch as usize];
+                        flit_qs[idx as usize]
+                            .try_push(arrive, flit)
+                            .expect("remote flit ring overflow: capacity bound violated");
+                    }
+                    Msg::Credit { ch, arrive, vc } => {
+                        let (_, idx) = credit_loc[ch as usize];
+                        credit_qs[idx as usize]
+                            .try_push(arrive, vc)
+                            .expect("remote credit ring overflow: capacity bound violated");
+                    }
+                }
+            }
+        }
+        let mut ctx = CycleCtx {
+            now,
+            flit_qs,
+            credit_qs,
+            outboxes,
+            metrics,
+            moved,
+            in_flight,
+            measuring: now >= measure_start && now < measure_end,
+            injecting: now < measure_end,
+            measure_start,
+            measure_end,
+        };
+        for ep in endpoints.iter_mut() {
+            ep.absorb_credits(&mut ctx);
+            ep.cycle(&mut ctx, oracle, pattern, packet_len);
+        }
+        for r in routers.iter_mut() {
+            r.cycle(&mut ctx, oracle);
+        }
+    }
+}
+
+/// A compiled, runnable simulation bound to its routing oracle.
+///
+/// The oracle is a type parameter (owned by value; pass `&MyOracle` thanks
+/// to the blanket `impl RouteOracle for &T` to borrow instead), which
+/// monomorphizes the entire cycle loop. Use [`simulate_dyn`] when the
+/// oracle type is only known at runtime.
+pub struct Simulation<O: RouteOracle> {
     cfg: SimConfig,
+    oracle: O,
     partitions: Vec<Partition>,
     /// channel id → (owning partition, local flit-queue index)
     flit_loc: Vec<(u32, u32)>,
@@ -87,11 +180,19 @@ pub struct Simulation {
     packet_len: u8,
 }
 
-impl Simulation {
-    /// Compile `net` under `cfg`. Fails on structural errors.
-    pub fn new(net: &NetworkDesc, cfg: &SimConfig) -> SimResult<Self> {
+impl<O: RouteOracle> Simulation<O> {
+    /// Compile `net` under `cfg` with `oracle`. Fails on structural errors
+    /// or when the oracle needs more VCs than the config provides.
+    pub fn new(net: &NetworkDesc, cfg: &SimConfig, oracle: O) -> SimResult<Self> {
         cfg.validate().map_err(SimError::Invalid)?;
         net.validate().map_err(SimError::Invalid)?;
+        if oracle.num_vcs() > cfg.num_vcs {
+            return Err(SimError::Invalid(format!(
+                "oracle needs {} VCs but config provides {}",
+                oracle.num_vcs(),
+                cfg.num_vcs
+            )));
+        }
         let nparts = effective_partitions(cfg.partitions, net.num_routers());
 
         // Contiguous router blocks, balanced by count.
@@ -100,7 +201,8 @@ impl Simulation {
 
         // Queue ownership: flit queue with the channel's consumer, credit
         // queue with the channel's producer (endpoints live with their
-        // router's partition).
+        // router's partition). Ring capacities come from the physical
+        // channel bound — see the module docs.
         let home = |t: &Terminus| -> u32 {
             match t {
                 Terminus::Router { router, .. } => part_of(*router as usize),
@@ -111,23 +213,35 @@ impl Simulation {
         };
         let mut flit_loc = Vec::with_capacity(net.channels.len());
         let mut credit_loc = Vec::with_capacity(net.channels.len());
-        let mut flit_counts = vec![0u32; nparts];
-        let mut credit_counts = vec![0u32; nparts];
+        let mut flit_caps: Vec<Vec<usize>> = vec![Vec::new(); nparts];
+        let mut credit_caps: Vec<Vec<usize>> = vec![Vec::new(); nparts];
         for ch in &net.channels {
+            // Credits for a channel are returned by its consuming router,
+            // whose per-cycle forwarding (and hence credit) bound is
+            // `width × speedup`; endpoints consume at channel width.
+            let consumer_speedup = match ch.dst {
+                Terminus::Router { router, .. } => {
+                    net.routers[router as usize].speedup.max(1) as usize
+                }
+                Terminus::Endpoint { .. } => 1,
+            };
+            let base = (ch.latency as usize + 1) * ch.width as usize;
             let fp = home(&ch.dst);
-            flit_loc.push((fp, flit_counts[fp as usize]));
-            flit_counts[fp as usize] += 1;
+            flit_loc.push((fp, flit_caps[fp as usize].len() as u32));
+            flit_caps[fp as usize].push(base);
             let cp = home(&ch.src);
-            credit_loc.push((cp, credit_counts[cp as usize]));
-            credit_counts[cp as usize] += 1;
+            credit_loc.push((cp, credit_caps[cp as usize].len() as u32));
+            credit_caps[cp as usize].push(base * consumer_speedup);
         }
 
-        let mut partitions: Vec<Partition> = (0..nparts)
-            .map(|p| Partition {
+        let mut partitions: Vec<Partition> = flit_caps
+            .iter()
+            .zip(credit_caps.iter())
+            .map(|(fc, cc)| Partition {
                 routers: Vec::new(),
                 endpoints: Vec::new(),
-                flit_qs: (0..flit_counts[p]).map(|_| VecDeque::new()).collect(),
-                credit_qs: (0..credit_counts[p]).map(|_| VecDeque::new()).collect(),
+                flit_qs: fc.iter().map(|&c| TimedRing::with_capacity(c)).collect(),
+                credit_qs: cc.iter().map(|&c| TimedRing::with_capacity(c)).collect(),
                 outboxes: (0..nparts).map(|_| Vec::new()).collect(),
                 inbox: (0..nparts).map(|_| Vec::new()).collect(),
                 metrics: Metrics {
@@ -281,6 +395,7 @@ impl Simulation {
 
         Ok(Simulation {
             cfg: cfg.clone(),
+            oracle,
             partitions,
             flit_loc,
             credit_loc,
@@ -296,26 +411,19 @@ impl Simulation {
         self.now
     }
 
+    /// The oracle driving this simulation.
+    pub fn oracle(&self) -> &O {
+        &self.oracle
+    }
+
     /// Run the full schedule (warm-up + measurement + drain) and return the
-    /// merged metrics. Errors out if the oracle needs more VCs than
-    /// configured or if a deadlock is detected.
-    pub fn run(
-        &mut self,
-        oracle: &dyn RouteOracle,
-        pattern: &dyn TrafficPattern,
-    ) -> SimResult<Metrics> {
-        if oracle.num_vcs() > self.cfg.num_vcs {
-            return Err(SimError::Invalid(format!(
-                "oracle needs {} VCs but config provides {}",
-                oracle.num_vcs(),
-                self.cfg.num_vcs
-            )));
-        }
+    /// merged metrics. Errors out if a deadlock is detected.
+    pub fn run<P: TrafficPattern + ?Sized>(&mut self, pattern: &P) -> SimResult<Metrics> {
         let warm = self.cfg.warmup_cycles;
         let meas_end = warm + self.cfg.measure_cycles;
         let total = meas_end + self.cfg.drain_cycles;
         while self.now < total {
-            let (moved, in_flight) = self.step(oracle, pattern, warm, meas_end);
+            let (moved, in_flight) = self.step(pattern, warm, meas_end);
             if self.cfg.watchdog_cycles > 0 {
                 if moved == 0 && in_flight > 0 {
                     self.stall += 1;
@@ -338,74 +446,42 @@ impl Simulation {
     }
 
     /// Advance one cycle. Returns (flits moved, flits in flight).
-    fn step(
+    fn step<P: TrafficPattern + ?Sized>(
         &mut self,
-        oracle: &dyn RouteOracle,
-        pattern: &dyn TrafficPattern,
+        pattern: &P,
         measure_start: u64,
         measure_end: u64,
     ) -> (u64, i64) {
         let now = self.now;
-        let measuring = now >= measure_start && now < measure_end;
-        let injecting = now < measure_end;
         let flit_loc = &self.flit_loc;
         let credit_loc = &self.credit_loc;
         let packet_len = self.packet_len;
-
-        let advance = |p: &mut Partition| {
-            p.moved = 0;
-            // Deliver last cycle's cross-partition messages.
-            let Partition {
-                routers,
-                endpoints,
-                flit_qs,
-                credit_qs,
-                outboxes,
-                inbox,
-                metrics,
-                moved,
-                in_flight,
-            } = p;
-            for msgs in inbox.iter_mut() {
-                for msg in msgs.drain(..) {
-                    match msg {
-                        Msg::Flit { ch, arrive, flit } => {
-                            let (_, idx) = flit_loc[ch as usize];
-                            flit_qs[idx as usize].push_back((arrive, flit));
-                        }
-                        Msg::Credit { ch, arrive, vc } => {
-                            let (_, idx) = credit_loc[ch as usize];
-                            credit_qs[idx as usize].push_back((arrive, vc));
-                        }
-                    }
-                }
-            }
-            let mut ctx = CycleCtx {
-                now,
-                flit_qs,
-                credit_qs,
-                outboxes,
-                metrics,
-                moved,
-                in_flight,
-                measuring,
-                injecting,
-                measure_start,
-                measure_end,
-            };
-            for ep in endpoints.iter_mut() {
-                ep.absorb_credits(&mut ctx);
-                ep.cycle(&mut ctx, oracle, pattern, packet_len);
-            }
-            for r in routers.iter_mut() {
-                r.cycle(&mut ctx, oracle);
-            }
-        };
+        let oracle = &self.oracle;
 
         if self.partitions.len() == 1 {
-            advance(&mut self.partitions[0]);
+            self.partitions[0].advance(
+                oracle,
+                pattern,
+                now,
+                measure_start,
+                measure_end,
+                flit_loc,
+                credit_loc,
+                packet_len,
+            );
         } else {
-            self.partitions.par_iter_mut().for_each(advance);
+            self.partitions.par_iter_mut().for_each(|p| {
+                p.advance(
+                    oracle,
+                    pattern,
+                    now,
+                    measure_start,
+                    measure_end,
+                    flit_loc,
+                    credit_loc,
+                    packet_len,
+                )
+            });
         }
 
         // Transpose outboxes -> inboxes.
@@ -468,14 +544,30 @@ fn effective_partitions(requested: usize, routers: usize) -> usize {
     n.clamp(1, routers.max(1))
 }
 
-/// One-shot convenience: compile and run.
-pub fn simulate(
+/// One-shot convenience: compile and run with a statically known oracle.
+///
+/// `O` is taken by value; pass `&oracle` (the blanket `impl RouteOracle
+/// for &T`) to borrow. The cycle loop monomorphizes per oracle type.
+pub fn simulate<O: RouteOracle, P: TrafficPattern + ?Sized>(
+    net: &NetworkDesc,
+    cfg: &SimConfig,
+    oracle: O,
+    pattern: &P,
+) -> SimResult<Metrics> {
+    Simulation::new(net, cfg, oracle)?.run(pattern)
+}
+
+/// Type-erased entry point for heterogeneous sweeps: same engine, same
+/// semantics, but dispatched through `dyn` references. This is the only
+/// place a `dyn RouteOracle` enters the engine; prefer [`simulate`] when
+/// the oracle type is known at compile time.
+pub fn simulate_dyn(
     net: &NetworkDesc,
     cfg: &SimConfig,
     oracle: &dyn RouteOracle,
     pattern: &dyn TrafficPattern,
 ) -> SimResult<Metrics> {
-    Simulation::new(net, cfg)?.run(oracle, pattern)
+    simulate(net, cfg, oracle, pattern)
 }
 
 #[cfg(test)]
@@ -610,7 +702,10 @@ mod tests {
         // 1 flit/cycle → ideal capacity 0.25 flits/cycle/node. Wormhole +
         // round-robin arbitration lands at roughly 60-70% of ideal.
         let acc = m.accepted_rate();
-        assert!(acc > 0.12 && acc <= 0.27, "saturation rate {acc} out of range");
+        assert!(
+            acc > 0.12 && acc <= 0.27,
+            "saturation rate {acc} out of range"
+        );
     }
 
     #[test]
@@ -620,7 +715,13 @@ mod tests {
         let run = |parts: usize| {
             let mut c = cfg.clone();
             c.partitions = parts;
-            simulate(&net, &c, &RingOracle { n: 16 }, &UniformPattern::new(16, 0.3)).unwrap()
+            simulate(
+                &net,
+                &c,
+                &RingOracle { n: 16 },
+                &UniformPattern::new(16, 0.3),
+            )
+            .unwrap()
         };
         let a = run(1);
         let b = run(2);
@@ -631,6 +732,23 @@ mod tests {
             assert_eq!(x.flits_injected_measured, y.flits_injected_measured);
             assert_eq!(x.class_hops.total(), y.class_hops.total());
         }
+    }
+
+    #[test]
+    fn dyn_entry_point_matches_monomorphized_engine() {
+        let net = ring(8);
+        let cfg = small_cfg();
+        let oracle = RingOracle { n: 8 };
+        let pattern = UniformPattern::new(8, 0.3);
+        let a = simulate(&net, &cfg, &oracle, &pattern).unwrap();
+        let b = simulate_dyn(&net, &cfg, &oracle, &pattern).unwrap();
+        assert_eq!(a.packets_created, b.packets_created);
+        assert_eq!(a.packets_ejected, b.packets_ejected);
+        assert_eq!(a.latency_sum, b.latency_sum);
+        assert_eq!(a.latency_max, b.latency_max);
+        assert_eq!(a.flits_injected_measured, b.flits_injected_measured);
+        assert_eq!(a.flits_ejected_measured, b.flits_ejected_measured);
+        assert_eq!(a.class_hops.flit_hops, b.class_hops.flit_hops);
     }
 
     #[test]
@@ -672,13 +790,7 @@ mod tests {
             }
         }
         let net = ring(4);
-        let err = simulate(
-            &net,
-            &small_cfg(),
-            &Greedy,
-            &UniformPattern::new(4, 0.1),
-        )
-        .unwrap_err();
+        let err = simulate(&net, &small_cfg(), &Greedy, &UniformPattern::new(4, 0.1)).unwrap_err();
         assert!(matches!(err, SimError::Invalid(_)));
     }
 }
@@ -696,7 +808,13 @@ mod channel_stat_tests {
         let net = ring(8);
         let mut cfg = small_cfg();
         cfg.per_channel_stats = true;
-        let m = simulate(&net, &cfg, &RingOracle { n: 8 }, &UniformPattern::new(8, 0.3)).unwrap();
+        let m = simulate(
+            &net,
+            &cfg,
+            &RingOracle { n: 8 },
+            &UniformPattern::new(8, 0.3),
+        )
+        .unwrap();
         let inj_total: u64 = net
             .channels
             .iter()

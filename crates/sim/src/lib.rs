@@ -40,9 +40,9 @@ pub mod pattern;
 pub mod rng;
 pub mod router;
 
-pub use channel::{ChannelClass, ChannelDesc, ChannelId, Terminus};
+pub use channel::{ChannelClass, ChannelDesc, ChannelId, RingFull, Terminus, TimedRing};
 pub use config::SimConfig;
-pub use engine::{simulate, SimError, SimResult, Simulation};
+pub use engine::{simulate, simulate_dyn, SimError, SimResult, Simulation};
 pub use flit::{Flit, FlitKind, PacketHeader};
 pub use metrics::{ClassCounters, Metrics};
 pub use network::{EndpointDesc, NetworkDesc, RouterDesc};

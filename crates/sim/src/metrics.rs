@@ -7,11 +7,10 @@
 //! saturation exactly as in the paper's figures.
 
 use crate::channel::ChannelClass;
-use serde::{Deserialize, Serialize};
 
 /// Per-channel-class traversal counters (flit-hops), the input to the
 /// energy model of Fig. 15.
-#[derive(Debug, Clone, Copy, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default)]
 pub struct ClassCounters {
     /// Flit traversals per [`ChannelClass`] (dense index).
     pub flit_hops: [u64; 6],
@@ -43,7 +42,7 @@ impl ClassCounters {
 }
 
 /// Aggregated results of one simulation run.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default)]
 pub struct Metrics {
     /// Packets created in the measurement window.
     pub packets_created: u64,
@@ -167,10 +166,7 @@ impl Metrics {
         if self.flits_per_channel.is_empty() || self.measure_cycles == 0 {
             return None;
         }
-        Some(
-            self.flits_per_channel[ch] as f64
-                / (self.measure_cycles as f64 * width as f64),
-        )
+        Some(self.flits_per_channel[ch] as f64 / (self.measure_cycles as f64 * width as f64))
     }
 }
 

@@ -6,10 +6,9 @@
 //! compiles them into runtime state.
 
 use crate::channel::{ChannelClass, ChannelDesc, Terminus};
-use serde::{Deserialize, Serialize};
 
 /// Static description of one router.
-#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy)]
 pub struct RouterDesc {
     /// Number of ports (each port may have an incoming and an outgoing
     /// channel attached).
@@ -21,14 +20,14 @@ pub struct RouterDesc {
 }
 
 /// Static description of one endpoint (traffic source/sink).
-#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy)]
 pub struct EndpointDesc {
     /// Router this endpoint is attached to (for partition colocation).
     pub router: u32,
 }
 
 /// A full static network: the input to [`crate::Simulation`].
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default)]
 pub struct NetworkDesc {
     /// All routers.
     pub routers: Vec<RouterDesc>,
@@ -127,7 +126,10 @@ impl NetworkDesc {
         let ne = self.endpoints.len() as u32;
         for (i, e) in self.endpoints.iter().enumerate() {
             if e.router >= nr {
-                return Err(format!("endpoint {i} attached to missing router {}", e.router));
+                return Err(format!(
+                    "endpoint {i} attached to missing router {}",
+                    e.router
+                ));
             }
         }
         // (router, port) -> used as channel src / dst.
@@ -223,7 +225,10 @@ mod tests {
     #[test]
     fn rejects_missing_router() {
         let mut n = tiny();
-        n.channels[0].dst = Terminus::Router { router: 99, port: 0 };
+        n.channels[0].dst = Terminus::Router {
+            router: 99,
+            port: 0,
+        };
         assert!(n.validate().is_err());
     }
 

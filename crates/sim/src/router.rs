@@ -19,10 +19,11 @@
 //! communication flows through per-partition queues or [`Msg`] mailboxes so
 //! the engine can run partitions in parallel without locks.
 
-use crate::channel::ChannelClass;
+use crate::channel::{ChannelClass, TimedRing};
 use crate::flit::{Flit, PacketHeader};
 use crate::metrics::Metrics;
 use crate::oracle::{RouteChoice, RouteOracle};
+use crate::pattern::TrafficPattern;
 use crate::rng::SplitMix64;
 use std::collections::VecDeque;
 
@@ -145,9 +146,9 @@ pub struct CycleCtx<'a> {
     /// Current cycle.
     pub now: u64,
     /// Flit queues owned by this partition (indexed by local id).
-    pub flit_qs: &'a mut [VecDeque<(u64, Flit)>],
+    pub flit_qs: &'a mut [TimedRing<Flit>],
     /// Credit queues owned by this partition.
-    pub credit_qs: &'a mut [VecDeque<(u64, u8)>],
+    pub credit_qs: &'a mut [TimedRing<u8>],
     /// Outgoing mailboxes, one per destination partition.
     pub outboxes: &'a mut [Vec<Msg>],
     /// Partition-local metrics.
@@ -263,7 +264,12 @@ impl RouterRt {
     }
 
     /// One simulation cycle: arrivals, credit returns, RC, VA, SA, traversal.
-    pub fn cycle(&mut self, ctx: &mut CycleCtx<'_>, oracle: &dyn RouteOracle) {
+    ///
+    /// Generic over the oracle so the per-flit route computation
+    /// monomorphizes — no virtual dispatch on the hot path. The type-erased
+    /// entry point ([`crate::engine::simulate_dyn`]) instantiates this with
+    /// `O = &dyn RouteOracle` at the API boundary instead.
+    pub fn cycle<O: RouteOracle + ?Sized>(&mut self, ctx: &mut CycleCtx<'_>, oracle: &O) {
         self.absorb_credits(ctx);
         self.absorb_arrivals(ctx);
         if self.buffered == 0 {
@@ -281,11 +287,7 @@ impl RouterRt {
                 continue;
             };
             let q = &mut ctx.credit_qs[pout.credit_q as usize];
-            while let Some(&(arrive, vc)) = q.front() {
-                if arrive > ctx.now {
-                    break;
-                }
-                q.pop_front();
+            while let Some((_, vc)) = q.pop_due(ctx.now) {
                 let f = self.flat(port as u8, vc);
                 self.outputs[f].credits += 1;
             }
@@ -299,11 +301,7 @@ impl RouterRt {
                 continue;
             };
             let q = &mut ctx.flit_qs[pin.flit_q as usize];
-            while let Some(&(arrive, flit)) = q.front() {
-                if arrive > ctx.now {
-                    break;
-                }
-                q.pop_front();
+            while let Some((_, flit)) = q.pop_due(ctx.now) {
                 // The sender stamped its allocated VC into the flit (see the
                 // VC-stamping section below); that VC selects the input buffer.
                 let vc = flit_vc(&flit);
@@ -317,7 +315,7 @@ impl RouterRt {
     }
 
     /// Route computation for fresh head flits.
-    fn route_compute(&mut self, oracle: &dyn RouteOracle, _now: u64) {
+    fn route_compute<O: RouteOracle + ?Sized>(&mut self, oracle: &O, _now: u64) {
         for port in 0..self.ports {
             let mut bits = self.occ[port as usize];
             while bits != 0 {
@@ -423,9 +421,8 @@ impl RouterRt {
         // 256-entry array would memset 512 B per busy router per cycle).
         let mut in_quota = [0u16; 64];
         debug_assert!(self.ports as usize <= in_quota.len());
-        for p in 0..self.ports as usize {
-            in_quota[p] =
-                self.in_ports[p].map_or(0, |pi| pi.width as u16 * self.speedup as u16);
+        for (q, pin) in in_quota.iter_mut().zip(&self.in_ports) {
+            *q = pin.map_or(0, |pi| pi.width as u16 * self.speedup as u16);
         }
         let n = self.inputs.len() as u16;
         let mut i = 0;
@@ -529,7 +526,9 @@ impl RouterRt {
         let credit_arrive = ctx.now + pin.credit_latency as u64;
         match pin.credit_to {
             CreditTarget::Local(q) => {
-                ctx.credit_qs[q as usize].push_back((credit_arrive, in_vc));
+                ctx.credit_qs[q as usize]
+                    .try_push(credit_arrive, in_vc)
+                    .expect("credit ring overflow: capacity bound violated");
             }
             CreditTarget::Remote { part, ch } => ctx.emit(
                 part,
@@ -553,7 +552,9 @@ impl RouterRt {
             let stamped = stamp_vc(flit, rc.out_vc);
             match pout.flit_to {
                 FlitTarget::Local(q) => {
-                    ctx.flit_qs[q as usize].push_back((arrive, stamped));
+                    ctx.flit_qs[q as usize]
+                        .try_push(arrive, stamped)
+                        .expect("flit ring overflow: capacity bound violated");
                 }
                 FlitTarget::Remote { part, ch } => ctx.emit(
                     part,
@@ -705,11 +706,14 @@ impl EndpointRt {
     }
 
     /// One cycle: eject arrived flits, generate new packets, inject flits.
-    pub fn cycle(
+    ///
+    /// Generic over oracle and pattern for the same monomorphization
+    /// reason as [`RouterRt::cycle`].
+    pub fn cycle<O: RouteOracle + ?Sized, P: TrafficPattern + ?Sized>(
         &mut self,
         ctx: &mut CycleCtx<'_>,
-        oracle: &dyn RouteOracle,
-        pattern: &dyn crate::pattern::TrafficPattern,
+        oracle: &O,
+        pattern: &P,
         packet_len: u8,
     ) {
         self.eject_arrived(ctx);
@@ -733,11 +737,11 @@ impl EndpointRt {
     /// emit whole packets (deterministic smoothing + Bernoulli remainder
     /// would add variance; the accumulator alone reproduces mean rates
     /// exactly and keeps runs deterministic).
-    fn generate(
+    fn generate<O: RouteOracle + ?Sized, P: TrafficPattern + ?Sized>(
         &mut self,
         ctx: &mut CycleCtx<'_>,
-        oracle: &dyn RouteOracle,
-        pattern: &dyn crate::pattern::TrafficPattern,
+        oracle: &O,
+        pattern: &P,
         packet_len: u8,
     ) {
         let rate = pattern.rate(self.id);
@@ -761,7 +765,11 @@ impl EndpointRt {
                 len: packet_len,
             };
             self.next_pkt += 1;
-            debug_assert_eq!(self.next_pkt & VC_MASK, 0, "packet id overflowed into VC bits");
+            debug_assert_eq!(
+                self.next_pkt & VC_MASK,
+                0,
+                "packet id overflowed into VC bits"
+            );
             oracle.tag_packet(&mut pkt, &mut self.rng);
             if ctx.measuring {
                 ctx.metrics.packets_created += 1;
@@ -772,7 +780,7 @@ impl EndpointRt {
 
     /// Serialize queued packets into the injection channel, up to
     /// `inj_width` flits/cycle, respecting downstream credits.
-    fn inject_flits(&mut self, ctx: &mut CycleCtx<'_>, oracle: &dyn RouteOracle) {
+    fn inject_flits<O: RouteOracle + ?Sized>(&mut self, ctx: &mut CycleCtx<'_>, oracle: &O) {
         let mut budget = self.inj_width;
         while budget > 0 {
             let Some(&pkt) = self.queue.front() else {
@@ -791,7 +799,9 @@ impl EndpointRt {
             let arrive = ctx.now + self.inj_latency as u64;
             let stamped = stamp_vc(flit, vc);
             match self.inj_to {
-                FlitTarget::Local(q) => ctx.flit_qs[q as usize].push_back((arrive, stamped)),
+                FlitTarget::Local(q) => ctx.flit_qs[q as usize]
+                    .try_push(arrive, stamped)
+                    .expect("injection ring overflow: capacity bound violated"),
                 FlitTarget::Remote { part, ch } => ctx.emit(
                     part,
                     Msg::Flit {
@@ -821,11 +831,7 @@ impl EndpointRt {
     /// Absorb returned injection credits.
     pub fn absorb_credits(&mut self, ctx: &mut CycleCtx<'_>) {
         let q = &mut ctx.credit_qs[self.inj_credit_q as usize];
-        while let Some(&(arrive, vc)) = q.front() {
-            if arrive > ctx.now {
-                break;
-            }
-            q.pop_front();
+        while let Some((_, vc)) = q.pop_due(ctx.now) {
             self.credits[vc as usize] += 1;
         }
     }
@@ -875,7 +881,10 @@ mod tests {
     #[test]
     fn router_new_has_full_credits() {
         let r = RouterRt::new(0, 4, 2, 32, 1, 1);
-        assert!(r.outputs.iter().all(|o| o.credits == 32 && o.owner.is_none()));
+        assert!(r
+            .outputs
+            .iter()
+            .all(|o| o.credits == 32 && o.owner.is_none()));
         assert_eq!(r.inputs.len(), 8);
         assert_eq!(r.buffered(), 0);
     }

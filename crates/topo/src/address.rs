@@ -5,8 +5,6 @@
 //! arithmetic — no tables. This is what lets the routing oracles stay
 //! allocation-free on the hot path.
 
-use serde::{Deserialize, Serialize};
-
 /// Perimeter ring position of an m×m mesh, clockwise from the top-left
 /// corner: along the top row (+x), down the right column (−y), along the
 /// bottom row (−x), up the left column (+y).
@@ -18,7 +16,7 @@ pub struct RingPos(pub u16);
 /// The external port count is fixed at the perimeter size `k = 4m − 4`,
 /// which is exactly the paper's configurations (m=4 → k=12 "radix-16
 /// equivalent", m=7 → k=24 "radix-32 equivalent").
-#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy)]
 pub struct SlParams {
     /// C-groups per wafer (`a`).
     pub a: u32,
@@ -163,13 +161,13 @@ impl SlParams {
                 self.max_wgroups()
             ));
         }
-        if self.chiplet == 0 || self.m % self.chiplet != 0 {
+        if self.chiplet == 0 || !self.m.is_multiple_of(self.chiplet) {
             return Err(format!(
                 "chiplet side {} must divide mesh side {}",
                 self.chiplet, self.m
             ));
         }
-        if !(self.nodes_per_chip > 0.0) {
+        if self.nodes_per_chip.partial_cmp(&0.0) != Some(std::cmp::Ordering::Greater) {
             return Err("nodes_per_chip must be positive".into());
         }
         if !matches!(self.mesh_width, 1 | 2 | 4) {
@@ -218,7 +216,12 @@ impl SlParams {
         let per = self.cores_per_cgroup();
         let cg = ep / per;
         let local = ep % per;
-        (cg / self.ab(), cg % self.ab(), local % self.m, local / self.m)
+        (
+            cg / self.ab(),
+            cg % self.ab(),
+            local % self.m,
+            local / self.m,
+        )
     }
 
     /// W-group of an endpoint.
@@ -349,7 +352,7 @@ pub enum PortRole {
 }
 
 /// Parameters of the switch-based Dragonfly baseline.
-#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy)]
 pub struct SwParams {
     /// Terminals per switch (`t`).
     pub terminals: u32,

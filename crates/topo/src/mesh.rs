@@ -94,7 +94,10 @@ pub(crate) fn wire_mesh<F: Fn(u32, u32) -> u32>(
 /// Build a standalone m×m mesh C-group with one endpoint per core.
 pub fn single_mesh(m: u32, chiplet: u32, mesh_width: u8) -> MeshFabric {
     assert!(m >= 2, "mesh side must be >= 2");
-    assert!(chiplet >= 1 && m % chiplet == 0, "chiplet must divide m");
+    assert!(
+        chiplet >= 1 && m.is_multiple_of(chiplet),
+        "chiplet must divide m"
+    );
     let mut net = NetworkDesc::new();
     let mut kinds = Vec::with_capacity((m * m) as usize);
     for y in 0..m {
@@ -113,7 +116,8 @@ pub fn single_mesh(m: u32, chiplet: u32, mesh_width: u8) -> MeshFabric {
         }
     }
     wire_mesh(&mut net, m, chiplet, mesh_width, |x, y| y * m + x);
-    net.validate().expect("mesh construction is structurally valid");
+    net.validate()
+        .expect("mesh construction is structurally valid");
     MeshFabric {
         net,
         m,
@@ -145,7 +149,8 @@ pub fn single_switch(terminals: u32) -> SwitchNode {
         let e = net.add_endpoint(sw);
         net.attach_endpoint(e, sw, t as u8, 1, 1);
     }
-    net.validate().expect("switch construction is structurally valid");
+    net.validate()
+        .expect("switch construction is structurally valid");
     SwitchNode { net, terminals }
 }
 
@@ -179,7 +184,7 @@ mod tests {
     fn mesh_degree_is_correct() {
         let f = single_mesh(3, 1, 1);
         // Count outgoing router-to-router channels per router.
-        let mut deg = vec![0u32; 9];
+        let mut deg = [0u32; 9];
         for ch in &f.net.channels {
             if let (Terminus::Router { router, .. }, Terminus::Router { .. }) = (ch.src, ch.dst) {
                 deg[router as usize] += 1;

@@ -248,8 +248,7 @@ mod tests {
         let mut ext_out = std::collections::HashSet::new();
         for ch in &f.net.channels {
             if let Terminus::Router { router, port } = ch.src {
-                if port == conv_port::EXT
-                    && matches!(f.kind(router), RouterKind::Converter { .. })
+                if port == conv_port::EXT && matches!(f.kind(router), RouterKind::Converter { .. })
                 {
                     ext_out.insert(router);
                 }
@@ -279,10 +278,16 @@ mod tests {
             else {
                 panic!("LR-local between non-routers")
             };
-            let RouterKind::Converter { c: c1, label: l1, .. } = f.kind(r1) else {
+            let RouterKind::Converter {
+                c: c1, label: l1, ..
+            } = f.kind(r1)
+            else {
                 panic!("LR-local src not a converter")
             };
-            let RouterKind::Converter { c: c2, label: l2, .. } = f.kind(r2) else {
+            let RouterKind::Converter {
+                c: c2, label: l2, ..
+            } = f.kind(r2)
+            else {
                 panic!("LR-local dst not a converter")
             };
             assert_eq!(p.port_role(c1, l1 as u32), PortRole::Local(c2));

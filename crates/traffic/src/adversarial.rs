@@ -133,7 +133,7 @@ mod tests {
         let mut rng = SplitMix64::new(3);
         for ep in 0..s.endpoints() {
             let w = s.wgroup[ep as usize];
-            if w % 2 == 0 {
+            if w.is_multiple_of(2) {
                 assert_eq!(h.rate(ep), 0.5);
                 let d = h.dest(ep, 0, &mut rng).unwrap();
                 assert_eq!(s.wgroup[d as usize] % 2, 0, "dest in inactive W-group");

@@ -133,7 +133,7 @@ impl TrafficPattern for RingAllReduce {
             // Strict alternation, as in segmented bidirectional AllReduce:
             // even segments go clockwise, odd ones counter-clockwise.
             RingDirection::Bidirectional => {
-                if seq % 2 == 0 {
+                if seq.is_multiple_of(2) {
                     self.next[src as usize]
                 } else {
                     self.prev[src as usize]
@@ -154,7 +154,7 @@ impl TrafficPattern for RingAllReduce {
 /// `None` when the grid has no Hamiltonian cycle (side odd or < 2) or no
 /// grid structure (side 0) — callers fall back to row-major order.
 fn grid_cycle(side: u32) -> Option<Vec<u32>> {
-    if side < 2 || side % 2 != 0 {
+    if side < 2 || !side.is_multiple_of(2) {
         return None;
     }
     let s = side as usize;

@@ -123,10 +123,7 @@ mod tests {
         assert_eq!(s.chips_per_wgroup, 32);
         // node_of inverts (chip, pos).
         for ep in 0..s.endpoints() {
-            assert_eq!(
-                s.node_of(s.chip[ep as usize], s.chip_pos[ep as usize]),
-                ep
-            );
+            assert_eq!(s.node_of(s.chip[ep as usize], s.chip_pos[ep as usize]), ep);
         }
         // W-groups are contiguous, 128 endpoints each.
         for ep in 0..s.endpoints() {

@@ -10,16 +10,48 @@ use wsdf::analysis::equations::{HopLatency, SlAnalytic};
 
 fn main() {
     let configs = [
-        ("tiny (Sec. III-B1)", SlAnalytic { n: 6, m: 2, a: 2, b: 4 }),
-        ("radix-16-like", SlAnalytic { n: 12, m: 4, a: 4, b: 2 }),
+        (
+            "tiny (Sec. III-B1)",
+            SlAnalytic {
+                n: 6,
+                m: 2,
+                a: 2,
+                b: 4,
+            },
+        ),
+        (
+            "radix-16-like",
+            SlAnalytic {
+                n: 12,
+                m: 4,
+                a: 4,
+                b: 2,
+            },
+        ),
         ("case study (Sec. III-C)", SlAnalytic::case_study()),
-        ("balanced m=6", SlAnalytic { n: 18, m: 6, a: 8, b: 9 }),
-        ("wafer-maxed m=8", SlAnalytic { n: 24, m: 8, a: 8, b: 16 }),
+        (
+            "balanced m=6",
+            SlAnalytic {
+                n: 18,
+                m: 6,
+                a: 8,
+                b: 9,
+            },
+        ),
+        (
+            "wafer-maxed m=8",
+            SlAnalytic {
+                n: 24,
+                m: 8,
+                a: 8,
+                b: 16,
+            },
+        ),
     ];
 
     println!(
-        "{:<26} {:>9} {:>5} {:>5} {:>11} {:>7} {:>7} {:>7} {:>9}  {}",
-        "configuration", "chiplets", "k", "g", "balanced", "Tglob", "Tloc", "Tcg", "zeroload", "diameter"
+        "{:<26} {:>9} {:>5} {:>5} {:>11} {:>7} {:>7} {:>7} {:>9}  diameter",
+        "configuration", "chiplets", "k", "g", "balanced", "Tglob", "Tloc", "Tcg", "zeroload"
     );
     let lat = HopLatency::default();
     for (name, c) in configs {
@@ -42,7 +74,12 @@ fn main() {
         "\nSingle-W-group variant (Sec. III-D1): a 333-chip system from one\n\
          12-port C-group class needs no SR-LR conversion and no global links:"
     );
-    let small = SlAnalytic { n: 12, m: 1, a: 1, b: 1 };
+    let small = SlAnalytic {
+        n: 12,
+        m: 1,
+        a: 1,
+        b: 1,
+    };
     // One chiplet per C-group, k = 12 ports, all used as local links:
     // up to k+1 = 13 C-groups... the paper quotes up to 333 chips for a
     // single-chiplet C-group with 12 external ports (ab ≤ k+1, plus the

@@ -14,7 +14,10 @@ fn main() {
 
     let rows = table_iii();
     let slingshot = rows.iter().find(|r| r.name.contains("Slingshot")).unwrap();
-    let switchless = rows.iter().find(|r| r.name.contains("Switch-less")).unwrap();
+    let switchless = rows
+        .iter()
+        .find(|r| r.name.contains("Switch-less"))
+        .unwrap();
     println!(
         "At the same {} processors, the switch-less build removes all\n\
          {} switches, shrinks {} cabinets to {} and cuts inter-cabinet\n\

@@ -1,0 +1,241 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The build environment has no network access, so this workspace vendors
+//! the subset of criterion's API that its benches use: `Criterion`,
+//! benchmark groups with `sample_size`/`bench_function`/`bench_with_input`,
+//! `BenchmarkId`, and the `criterion_group!`/`criterion_main!` macros.
+//!
+//! Measurement is deliberately simple — per benchmark: one warm-up
+//! iteration, then up to `sample_size` timed iterations bounded by a
+//! wall-clock budget, reporting the mean and minimum. Results print as a
+//! table; set `CRITERION_JSON=<path>` to also write them as a JSON array
+//! (used to record `BENCH_*.json` baselines).
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Wall-clock budget per benchmark (after warm-up).
+const TIME_BUDGET: Duration = Duration::from_secs(3);
+
+/// One measured benchmark.
+#[derive(Debug, Clone)]
+pub struct Measurement {
+    /// `group/name` identifier.
+    pub id: String,
+    /// Timed iterations.
+    pub iters: u64,
+    /// Mean time per iteration, nanoseconds.
+    pub mean_ns: f64,
+    /// Fastest iteration, nanoseconds.
+    pub min_ns: f64,
+}
+
+/// The benchmark driver: collects measurements across groups.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    results: Vec<Measurement>,
+}
+
+impl Criterion {
+    /// Start a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            c: self,
+            name: name.into(),
+            samples: 10,
+        }
+    }
+
+    /// Run a benchmark outside any group.
+    pub fn bench_function<F>(&mut self, id: impl Display, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let samples = 10;
+        self.run_one(id.to_string(), samples, f);
+        self
+    }
+
+    fn run_one<F>(&mut self, id: String, samples: usize, mut f: F)
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher {
+            samples: samples.max(1) as u64,
+            iters: 0,
+            total: Duration::ZERO,
+            min: Duration::MAX,
+        };
+        f(&mut b);
+        let iters = b.iters.max(1);
+        let m = Measurement {
+            id,
+            iters: b.iters,
+            mean_ns: b.total.as_nanos() as f64 / iters as f64,
+            min_ns: if b.min == Duration::MAX {
+                0.0
+            } else {
+                b.min.as_nanos() as f64
+            },
+        };
+        println!(
+            "{:<52} {:>12.0} ns/iter (min {:>12.0} ns, {} iters)",
+            m.id, m.mean_ns, m.min_ns, m.iters
+        );
+        self.results.push(m);
+    }
+
+    /// Print the summary and honor `CRITERION_JSON`. Called by
+    /// `criterion_main!` after all groups ran.
+    pub fn final_summary(&self) {
+        if let Ok(path) = std::env::var("CRITERION_JSON") {
+            let mut out = String::from("[\n");
+            for (i, m) in self.results.iter().enumerate() {
+                out.push_str(&format!(
+                    "  {{\"id\": \"{}\", \"iters\": {}, \"mean_ns\": {:.1}, \"min_ns\": {:.1}}}{}\n",
+                    m.id.replace('"', "'"),
+                    m.iters,
+                    m.mean_ns,
+                    m.min_ns,
+                    if i + 1 < self.results.len() { "," } else { "" }
+                ));
+            }
+            out.push_str("]\n");
+            if let Err(e) = std::fs::write(&path, out) {
+                eprintln!("criterion shim: cannot write {path}: {e}");
+            } else {
+                eprintln!("criterion shim: wrote {path}");
+            }
+        }
+    }
+}
+
+/// A named group of benchmarks sharing a sample-size setting.
+pub struct BenchmarkGroup<'a> {
+    c: &'a mut Criterion,
+    name: String,
+    samples: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Set the number of timed iterations per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.samples = n.max(1);
+        self
+    }
+
+    /// Run one benchmark in this group.
+    pub fn bench_function<F>(&mut self, id: impl Display, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, id);
+        self.c.run_one(full, self.samples, f);
+        self
+    }
+
+    /// Run one parameterized benchmark in this group.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let full = format!("{}/{}", self.name, id.0);
+        self.c.run_one(full, self.samples, |b| f(b, input));
+        self
+    }
+
+    /// End the group (accepted for API compatibility; nothing to flush).
+    pub fn finish(self) {}
+}
+
+/// A benchmark identifier composed of a function name and a parameter.
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    /// `function/parameter` identifier.
+    pub fn new(function: impl Display, parameter: impl Display) -> Self {
+        BenchmarkId(format!("{function}/{parameter}"))
+    }
+
+    /// Identifier from the parameter alone.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId(parameter.to_string())
+    }
+}
+
+/// Passed to every benchmark closure; `iter` does the timing.
+pub struct Bencher {
+    samples: u64,
+    iters: u64,
+    total: Duration,
+    min: Duration,
+}
+
+impl Bencher {
+    /// Time `f`: one warm-up call, then up to the configured sample count
+    /// (bounded by a wall-clock budget).
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut f: F) {
+        std::hint::black_box(f());
+        let budget_start = Instant::now();
+        for _ in 0..self.samples {
+            let t0 = Instant::now();
+            std::hint::black_box(f());
+            let dt = t0.elapsed();
+            self.total += dt;
+            self.min = self.min.min(dt);
+            self.iters += 1;
+            if budget_start.elapsed() > TIME_BUDGET {
+                break;
+            }
+        }
+    }
+}
+
+/// Bundle benchmark functions into a group runner, mirroring criterion.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name(c: &mut $crate::Criterion) {
+            $($target(c);)+
+        }
+    };
+}
+
+/// Produce a `main` that runs the given groups and prints the summary.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            let mut c = $crate::Criterion::default();
+            $($group(&mut c);)+
+            c.final_summary();
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn groups_measure_and_record() {
+        let mut c = Criterion::default();
+        {
+            let mut g = c.benchmark_group("g");
+            g.sample_size(3);
+            g.bench_function("noop", |b| b.iter(|| 1 + 1));
+            g.bench_with_input(BenchmarkId::new("param", 4), &4, |b, &x| b.iter(|| x * 2));
+            g.finish();
+        }
+        assert_eq!(c.results.len(), 2);
+        assert_eq!(c.results[0].id, "g/noop");
+        assert_eq!(c.results[1].id, "g/param/4");
+        assert!(c.results.iter().all(|m| m.iters >= 1));
+    }
+
+    #[test]
+    fn benchmark_id_formats() {
+        assert_eq!(BenchmarkId::new("f", 3).0, "f/3");
+        assert_eq!(BenchmarkId::from_parameter("x").0, "x");
+    }
+}

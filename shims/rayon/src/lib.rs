@@ -1,0 +1,113 @@
+//! Offline stand-in for the `rayon` crate.
+//!
+//! The build environment has no network access, so this workspace vendors
+//! the *exact* subset of rayon's API that the engine uses — mutable
+//! parallel slice iteration with `for_each`, plus `current_num_threads` —
+//! implemented over `std::thread::scope`. Work is split into one
+//! contiguous chunk per available core; each `for_each` call spawns and
+//! joins its threads (no global pool), which is adequate at the engine's
+//! granularity of one call per BSP cycle over partition-sized chunks.
+
+use std::sync::OnceLock;
+
+/// Number of worker threads parallel iterators will use (the machine's
+/// available parallelism).
+pub fn current_num_threads() -> usize {
+    static N: OnceLock<usize> = OnceLock::new();
+    *N.get_or_init(|| {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    })
+}
+
+/// The rayon prelude: importing it brings `par_iter_mut` into scope.
+pub mod prelude {
+    pub use crate::IntoParallelRefMutIterator;
+}
+
+/// Types that can hand out a mutable parallel iterator over their items.
+pub trait IntoParallelRefMutIterator<'data> {
+    /// The element type.
+    type Item: Send + 'data;
+    /// Obtain the parallel iterator.
+    fn par_iter_mut(&'data mut self) -> ParIterMut<'data, Self::Item>;
+}
+
+impl<'data, T: Send + 'data> IntoParallelRefMutIterator<'data> for Vec<T> {
+    type Item = T;
+    fn par_iter_mut(&'data mut self) -> ParIterMut<'data, T> {
+        ParIterMut(self.as_mut_slice())
+    }
+}
+
+impl<'data, T: Send + 'data> IntoParallelRefMutIterator<'data> for [T] {
+    type Item = T;
+    fn par_iter_mut(&'data mut self) -> ParIterMut<'data, T> {
+        ParIterMut(self)
+    }
+}
+
+/// A mutable parallel iterator over a slice.
+pub struct ParIterMut<'data, T: Send>(&'data mut [T]);
+
+impl<'data, T: Send> ParIterMut<'data, T> {
+    /// Apply `f` to every element, splitting the slice into one chunk per
+    /// available thread. Falls back to a sequential loop for slices that
+    /// cannot benefit from parallelism.
+    pub fn for_each<F>(self, f: F)
+    where
+        F: Fn(&mut T) + Sync,
+    {
+        let threads = current_num_threads();
+        let len = self.0.len();
+        if len <= 1 || threads <= 1 {
+            for item in self.0 {
+                f(item);
+            }
+            return;
+        }
+        let chunk = len.div_ceil(threads);
+        std::thread::scope(|scope| {
+            for sub in self.0.chunks_mut(chunk) {
+                scope.spawn(|| {
+                    for item in sub {
+                        f(item);
+                    }
+                });
+            }
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn for_each_visits_every_element_once() {
+        let mut v: Vec<u64> = (0..1000).collect();
+        let count = AtomicUsize::new(0);
+        v.par_iter_mut().for_each(|x| {
+            *x += 1;
+            count.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(count.load(Ordering::Relaxed), 1000);
+        assert!(v.iter().enumerate().all(|(i, &x)| x == i as u64 + 1));
+    }
+
+    #[test]
+    fn empty_and_single() {
+        let mut v: Vec<u8> = vec![];
+        v.par_iter_mut().for_each(|_| unreachable!());
+        let mut v = vec![7u8];
+        v.par_iter_mut().for_each(|x| *x = 9);
+        assert_eq!(v, vec![9]);
+    }
+
+    #[test]
+    fn thread_count_is_positive() {
+        assert!(super::current_num_threads() >= 1);
+    }
+}

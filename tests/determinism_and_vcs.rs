@@ -36,6 +36,70 @@ fn bsp_partitioning_is_invisible() {
     }
 }
 
+/// Partition counts {1, 2, 4, 7} must produce bit-identical `Metrics` on
+/// both evaluated topology families — the invariant the monomorphized
+/// engine core and the fixed-capacity channel rings must preserve. Every
+/// counter is compared, including the optional per-endpoint/per-channel
+/// vectors.
+#[test]
+fn partitions_bit_identical_on_both_topologies() {
+    let benches: Vec<(&str, Bench, f64)> = vec![
+        (
+            "switchless",
+            Bench::switchless(
+                &SlParams::radix16().with_wgroups(2),
+                RouteMode::Minimal,
+                VcScheme::Baseline,
+            ),
+            0.12,
+        ),
+        (
+            "switchbased",
+            Bench::switchbased(&SwParams::radix16().with_groups(3), RouteMode::Minimal),
+            0.25,
+        ),
+    ];
+    for (name, bench, rate) in benches {
+        let pattern = bench.pattern(PatternSpec::Uniform, rate);
+        let run = |parts: usize| {
+            let mut c = cfg(parts);
+            c.per_endpoint_stats = true;
+            c.per_channel_stats = true;
+            bench.run(&c, pattern.as_ref()).unwrap()
+        };
+        let base = run(1);
+        assert!(base.packets_ejected > 0, "{name}: no traffic delivered");
+        for parts in [2usize, 4, 7] {
+            let m = run(parts);
+            assert_eq!(m.packets_created, base.packets_created, "{name} p={parts}");
+            assert_eq!(m.packets_ejected, base.packets_ejected, "{name} p={parts}");
+            assert_eq!(m.latency_sum, base.latency_sum, "{name} p={parts}");
+            assert_eq!(m.latency_max, base.latency_max, "{name} p={parts}");
+            assert_eq!(
+                m.flits_injected_measured, base.flits_injected_measured,
+                "{name} p={parts}"
+            );
+            assert_eq!(
+                m.flits_ejected_measured, base.flits_ejected_measured,
+                "{name} p={parts}"
+            );
+            assert_eq!(
+                m.class_hops.flit_hops, base.class_hops.flit_hops,
+                "{name} p={parts}"
+            );
+            assert_eq!(
+                m.ejected_per_endpoint, base.ejected_per_endpoint,
+                "{name} p={parts}"
+            );
+            assert_eq!(
+                m.flits_per_channel, base.flits_per_channel,
+                "{name} p={parts}"
+            );
+            assert_eq!(m.deadlocked, base.deadlocked, "{name} p={parts}");
+        }
+    }
+}
+
 /// Different seeds give different (but sane) results; same seed repeats.
 #[test]
 fn seed_stability() {

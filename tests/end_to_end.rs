@@ -21,9 +21,17 @@ fn rates(max: f64, steps: usize) -> Vec<f64> {
 fn intra_cgroup_mesh_beats_switch() {
     let mesh = Bench::single_mesh(4, 2, 1);
     let sw = Bench::single_switch(16);
-    let sat_mesh = saturation_rate(&sweep(&mesh, &quick(), PatternSpec::Uniform, &rates(3.6, 9)));
+    let sat_mesh = saturation_rate(&sweep(
+        &mesh,
+        &quick(),
+        PatternSpec::Uniform,
+        &rates(3.6, 9),
+    ));
     let sat_sw = saturation_rate(&sweep(&sw, &quick(), PatternSpec::Uniform, &rates(1.4, 7)));
-    assert!(sat_sw > 0.85 && sat_sw <= 1.05, "ideal switch ≈ 1: {sat_sw}");
+    assert!(
+        sat_sw > 0.85 && sat_sw <= 1.05,
+        "ideal switch ≈ 1: {sat_sw}"
+    );
     assert!(
         sat_mesh > 2.5,
         "mesh should approach 3 flits/cycle/chip: {sat_mesh}"

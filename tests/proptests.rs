@@ -1,6 +1,11 @@
 //! Property-based tests over random configurations, traffic and routes.
+//!
+//! The build environment is offline, so instead of the `proptest` crate
+//! these use a small deterministic sampling harness: every test draws a
+//! fixed number of random cases from a seeded [`SplitMix64`] stream and
+//! asserts the property on each. Failures print the offending case, and
+//! runs are bit-reproducible.
 
-use proptest::prelude::*;
 use wsdf::routing::{PortMap, RouteMode, SlOracle, SwOracle, VcScheme, Walker};
 use wsdf::sim::flit::NO_INTERMEDIATE;
 use wsdf::sim::{SimConfig, SplitMix64, TrafficPattern};
@@ -8,170 +13,201 @@ use wsdf::topo::{SlParams, SwParams, SwitchFabric, SwitchlessFabric};
 use wsdf::traffic::{PermKind, PermutationPattern, RingAllReduce, RingDirection, Scope};
 use wsdf::{Bench, PatternSpec};
 
+/// Cases per property (mirrors the old `ProptestConfig::with_cases(24)`).
+const CASES: usize = 24;
+
+/// Draw until `gen` produces a valid case, with a sanity bound.
+fn draw<T>(rng: &mut SplitMix64, mut gen: impl FnMut(&mut SplitMix64) -> Option<T>) -> T {
+    for _ in 0..10_000 {
+        if let Some(v) = gen(rng) {
+            return v;
+        }
+    }
+    panic!("case generator rejected 10000 draws in a row");
+}
+
 /// Random small-but-valid switch-less configurations.
-fn sl_params() -> impl Strategy<Value = SlParams> {
-    (2u32..=5, 1u32..=3, 1u32..=3, 1u32..=4).prop_filter_map(
-        "valid switch-less config",
-        |(m, a, b, wg_seed)| {
-            let mut p = SlParams {
-                a,
-                b,
-                m,
-                chiplet: 1,
-                wgroups: 1,
-                mesh_width: 1,
-                nodes_per_chip: 1.0,
-            };
-            if p.ab() > p.k() {
-                return None;
-            }
-            let max = p.max_wgroups();
-            p.wgroups = 1 + (wg_seed % max.min(6));
-            p.validate().ok()?;
-            Some(p)
-        },
-    )
+fn sl_params(rng: &mut SplitMix64) -> Option<SlParams> {
+    let m = 2 + rng.next_below(4) as u32; // 2..=5
+    let a = 1 + rng.next_below(3) as u32; // 1..=3
+    let b = 1 + rng.next_below(3) as u32; // 1..=3
+    let wg_seed = 1 + rng.next_below(4) as u32; // 1..=4
+    let mut p = SlParams {
+        a,
+        b,
+        m,
+        chiplet: 1,
+        wgroups: 1,
+        mesh_width: 1,
+        nodes_per_chip: 1.0,
+    };
+    if p.ab() > p.k() {
+        return None;
+    }
+    let max = p.max_wgroups();
+    p.wgroups = 1 + (wg_seed % max.min(6));
+    p.validate().ok()?;
+    Some(p)
 }
 
 /// Random switch-based configurations.
-fn sw_params() -> impl Strategy<Value = SwParams> {
-    (1u32..=4, 1u32..=7, 0u32..=4, 1u32..=5).prop_filter_map(
-        "valid switch-based config",
-        |(t, l, g, grp_seed)| {
-            let mut p = SwParams {
-                terminals: t,
-                locals: l,
-                globals: g,
-                groups: 1,
-            };
-            let max = p.max_groups();
-            p.groups = 1 + (grp_seed % max.min(6));
-            if p.groups > 1 && g == 0 {
-                return None;
-            }
-            p.validate().ok()?;
-            Some(p)
-        },
-    )
+fn sw_params(rng: &mut SplitMix64) -> Option<SwParams> {
+    let t = 1 + rng.next_below(4) as u32; // 1..=4
+    let l = 1 + rng.next_below(7) as u32; // 1..=7
+    let g = rng.next_below(5) as u32; // 0..=4
+    let grp_seed = 1 + rng.next_below(5) as u32; // 1..=5
+    let mut p = SwParams {
+        terminals: t,
+        locals: l,
+        globals: g,
+        groups: 1,
+    };
+    let max = p.max_groups();
+    p.groups = 1 + (grp_seed % max.min(6));
+    if p.groups > 1 && g == 0 {
+        return None;
+    }
+    p.validate().ok()?;
+    Some(p)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
-
-    /// Any valid switch-less config builds a structurally valid network
-    /// whose router/endpoint counts match the arithmetic.
-    #[test]
-    fn switchless_builds_consistently(p in sl_params()) {
+/// Any valid switch-less config builds a structurally valid network whose
+/// router/endpoint counts match the arithmetic.
+#[test]
+fn switchless_builds_consistently() {
+    let mut rng = SplitMix64::new(0x5EED_0001);
+    for _ in 0..CASES {
+        let p = draw(&mut rng, sl_params);
         let f = SwitchlessFabric::build(&p);
-        prop_assert_eq!(f.net.num_routers() as u32, p.num_routers());
-        prop_assert_eq!(f.net.num_endpoints() as u32, p.num_endpoints());
-        prop_assert!(f.net.validate().is_ok());
+        assert_eq!(f.net.num_routers() as u32, p.num_routers(), "{p:?}");
+        assert_eq!(f.net.num_endpoints() as u32, p.num_endpoints(), "{p:?}");
+        assert!(f.net.validate().is_ok(), "{p:?}");
     }
+}
 
-    /// Minimal routing delivers random pairs on random fabrics, within the
-    /// Eq. (7) hop structure.
-    #[test]
-    fn switchless_minimal_routes_random_pairs(
-        p in sl_params(),
-        pair_seed in any::<u64>(),
-    ) {
+/// Minimal routing delivers random pairs on random fabrics, within the
+/// Eq. (7) hop structure.
+#[test]
+fn switchless_minimal_routes_random_pairs() {
+    let mut rng = SplitMix64::new(0x5EED_0002);
+    for _ in 0..CASES {
+        let p = draw(&mut rng, sl_params);
         let f = SwitchlessFabric::build(&p);
         let map = PortMap::new(&f.net);
         let o = SlOracle::minimal(&p);
         let walker = Walker::new(&map, &o);
         let n = p.num_endpoints();
-        let mut rng = SplitMix64::new(pair_seed);
         for _ in 0..16 {
             let s = rng.next_below(n as u64) as u32;
             let d = rng.next_below(n as u64) as u32;
             if s == d {
                 continue;
             }
-            let t = walker.walk(s, d, NO_INTERMEDIATE)
-                .map_err(|e| TestCaseError::fail(e))?;
-            prop_assert!(t.hops_of(wsdf::sim::ChannelClass::LongReachGlobal) <= 1);
-            prop_assert!(t.hops_of(wsdf::sim::ChannelClass::LongReachLocal) <= 2);
+            let t = walker
+                .walk(s, d, NO_INTERMEDIATE)
+                .unwrap_or_else(|e| panic!("{p:?}: {e}"));
+            assert!(
+                t.hops_of(wsdf::sim::ChannelClass::LongReachGlobal) <= 1,
+                "{p:?}"
+            );
+            assert!(
+                t.hops_of(wsdf::sim::ChannelClass::LongReachLocal) <= 2,
+                "{p:?}"
+            );
         }
     }
+}
 
-    /// Same for the Reduced scheme wherever it is applicable (h ≥ m).
-    #[test]
-    fn switchless_reduced_routes_random_pairs(
-        p in sl_params().prop_filter("reduced applicable", |p| p.h() >= p.m),
-        pair_seed in any::<u64>(),
-    ) {
+/// Same for the Reduced scheme wherever it is applicable (h ≥ m).
+#[test]
+fn switchless_reduced_routes_random_pairs() {
+    let mut rng = SplitMix64::new(0x5EED_0003);
+    for _ in 0..CASES {
+        let p = draw(&mut rng, |r| sl_params(r).filter(|p| p.h() >= p.m));
         let f = SwitchlessFabric::build(&p);
         let map = PortMap::new(&f.net);
         let o = SlOracle::new(&p, RouteMode::Minimal, VcScheme::Reduced);
         let walker = Walker::new(&map, &o);
         let n = p.num_endpoints();
-        let mut rng = SplitMix64::new(pair_seed);
         for _ in 0..12 {
             let s = rng.next_below(n as u64) as u32;
             let d = rng.next_below(n as u64) as u32;
             if s == d {
                 continue;
             }
-            walker.walk(s, d, NO_INTERMEDIATE).map_err(TestCaseError::fail)?;
+            walker
+                .walk(s, d, NO_INTERMEDIATE)
+                .unwrap_or_else(|e| panic!("{p:?}: {e}"));
         }
     }
+}
 
-    /// Switch-based minimal routing: random fabrics, random pairs, ≤ 3
-    /// switch hops.
-    #[test]
-    fn switchbased_minimal_routes_random_pairs(
-        p in sw_params(),
-        pair_seed in any::<u64>(),
-    ) {
+/// Switch-based minimal routing: random fabrics, random pairs, ≤ 3 switch
+/// hops.
+#[test]
+fn switchbased_minimal_routes_random_pairs() {
+    let mut rng = SplitMix64::new(0x5EED_0004);
+    for _ in 0..CASES {
+        let p = draw(&mut rng, |r| {
+            sw_params(r).filter(|p| p.num_endpoints() >= 2)
+        });
         let f = SwitchFabric::build(&p);
         let map = PortMap::new(&f.net);
         let o = SwOracle::minimal(&p);
         let walker = Walker::new(&map, &o);
         let n = p.num_endpoints();
-        prop_assume!(n >= 2);
-        let mut rng = SplitMix64::new(pair_seed);
         for _ in 0..16 {
             let s = rng.next_below(n as u64) as u32;
             let d = rng.next_below(n as u64) as u32;
             if s == d {
                 continue;
             }
-            let t = walker.walk(s, d, NO_INTERMEDIATE).map_err(TestCaseError::fail)?;
-            prop_assert!(t.network_hops() <= 3);
+            let t = walker
+                .walk(s, d, NO_INTERMEDIATE)
+                .unwrap_or_else(|e| panic!("{p:?}: {e}"));
+            assert!(t.network_hops() <= 3, "{p:?}: {s} → {d}");
         }
     }
+}
 
-    /// Permutation patterns always produce in-range, non-self destinations.
-    #[test]
-    fn permutations_produce_valid_destinations(
-        n in 2u32..512,
-        kind_pick in 0u8..3,
-        seed in any::<u64>(),
-    ) {
-        let kind = [PermKind::BitReverse, PermKind::BitShuffle, PermKind::BitTranspose]
-            [kind_pick as usize];
+/// Permutation patterns always produce in-range, non-self destinations.
+#[test]
+fn permutations_produce_valid_destinations() {
+    let mut rng = SplitMix64::new(0x5EED_0005);
+    for _ in 0..CASES {
+        let n = 2 + rng.next_below(510) as u32; // 2..512
+        let kind = [
+            PermKind::BitReverse,
+            PermKind::BitShuffle,
+            PermKind::BitTranspose,
+        ][rng.next_below(3) as usize];
         let pat = PermutationPattern::new(kind, n, 0.5);
-        let mut rng = SplitMix64::new(seed);
         for src in 0..n {
             if let Some(d) = pat.dest(src, 0, &mut rng) {
-                prop_assert!(d < n);
-                prop_assert_ne!(d, src);
+                assert!(d < n, "{kind:?} n={n} src={src} dst={d}");
+                assert_ne!(d, src, "{kind:?} n={n}");
             } else {
-                prop_assert_eq!(pat.rate(src), 0.0);
+                assert_eq!(pat.rate(src), 0.0, "{kind:?} n={n} src={src}");
             }
         }
     }
+}
 
-    /// Ring patterns are permutations per direction: every endpoint has a
-    /// unique successor within its unit, at the same intra-chip position.
-    #[test]
-    fn ring_is_bijective(p in sl_params().prop_filter("even chip grid", |p| p.m % 2 == 0)) {
-        let mut p = p;
-        p.chiplet = if p.m % 2 == 0 { p.m / 2 } else { 1 };
-        p.nodes_per_chip = (p.chiplet * p.chiplet) as f64;
-        prop_assume!(p.validate().is_ok());
+/// Ring patterns are permutations per direction: every endpoint has a
+/// unique successor within its unit, at the same intra-chip position.
+#[test]
+fn ring_is_bijective() {
+    let mut rng = SplitMix64::new(0x5EED_0006);
+    for _ in 0..CASES {
+        let p = draw(&mut rng, |r| {
+            let mut p = sl_params(r).filter(|p| p.m % 2 == 0)?;
+            p.chiplet = p.m / 2;
+            p.nodes_per_chip = (p.chiplet * p.chiplet) as f64;
+            p.validate().ok()?;
+            let scope = Scope::switchless(&p);
+            (scope.chips_per_cgroup >= 2).then_some(p)
+        });
         let scope = Scope::switchless(&p);
-        prop_assume!(scope.chips_per_cgroup >= 2);
         let ring = RingAllReduce::new(
             &scope,
             scope.chips_per_cgroup,
@@ -182,17 +218,22 @@ proptest! {
         let mut seen = vec![false; n as usize];
         for ep in 0..n {
             let d = ring.successor(ep);
-            prop_assert!(!seen[d as usize]);
+            assert!(!seen[d as usize], "{p:?}: duplicate successor {d}");
             seen[d as usize] = true;
-            prop_assert_eq!(ring.predecessor(d), ep);
+            assert_eq!(ring.predecessor(d), ep, "{p:?}");
         }
     }
+}
 
-    /// Short simulations on random fabrics deliver traffic and never trip
-    /// the deadlock watchdog.
-    #[test]
-    fn random_fabric_simulations_deliver(p in sl_params()) {
-        prop_assume!(p.num_endpoints() <= 2000);
+/// Short simulations on random fabrics deliver traffic and never trip the
+/// deadlock watchdog.
+#[test]
+fn random_fabric_simulations_deliver() {
+    let mut rng = SplitMix64::new(0x5EED_0007);
+    for _ in 0..CASES {
+        let p = draw(&mut rng, |r| {
+            sl_params(r).filter(|p| p.num_endpoints() <= 2000)
+        });
         let bench = Bench::switchless(&p, RouteMode::Minimal, VcScheme::Baseline);
         let cfg = SimConfig {
             warmup_cycles: 150,
@@ -202,7 +243,7 @@ proptest! {
         };
         let pattern = bench.pattern(PatternSpec::Uniform, 0.1);
         let m = bench.run(&cfg, pattern.as_ref()).unwrap();
-        prop_assert!(!m.deadlocked);
-        prop_assert!(m.packets_ejected > 0);
+        assert!(!m.deadlocked, "{p:?}");
+        assert!(m.packets_ejected > 0, "{p:?}");
     }
 }
