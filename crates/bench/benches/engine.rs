@@ -58,7 +58,11 @@ fn bench_parallel_scaling(c: &mut Criterion) {
     g.sample_size(10);
     let p = SlParams::radix16().with_wgroups(5);
     let bench = Bench::switchless(&p, RouteMode::Minimal, VcScheme::Baseline);
-    for parts in [1usize, 4] {
+    // All iterations share the one process-wide persistent executor
+    // (wsdf_exec::global_pool), so this measures pure BSP cycle cost —
+    // no thread creation is included in any sample.
+    for parts in [1usize, 2, 4, 8] {
+        g.meta("partitions", parts);
         g.bench_with_input(BenchmarkId::from_parameter(parts), &parts, |b, &parts| {
             let mut cfg = quick_cfg();
             cfg.partitions = parts;

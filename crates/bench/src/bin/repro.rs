@@ -47,6 +47,11 @@ fn main() {
         std::process::exit(2);
     };
 
+    // Build the process-wide BSP executor up front: every figure/table
+    // simulation below reuses these workers instead of creating threads.
+    let pool = wsdf::exec::global_pool();
+    eprintln!("repro: BSP executor with {} worker(s)", pool.workers());
+
     let run_figures = |which: &str| {
         let figs = match which {
             "fig10ab" => figures::fig10ab(effort),

@@ -7,6 +7,7 @@
 //! enum still implements [`RouteOracle`] itself (one match per call) for
 //! callers that need a uniform oracle view, e.g. route walkers.
 
+use wsdf_exec::BspPool;
 use wsdf_routing::{MeshOracle, RouteMode, SlOracle, SwOracle, SwitchNodeOracle, VcScheme};
 use wsdf_sim::{
     Metrics, NetworkDesc, PacketHeader, RouteChoice, RouteOracle, SimConfig, SimResult, SplitMix64,
@@ -287,14 +288,27 @@ impl Bench {
     /// static. The pattern stays dynamic (queried per packet, not per
     /// flit).
     pub fn run(&self, cfg: &SimConfig, pattern: &dyn TrafficPattern) -> SimResult<Metrics> {
+        self.run_on(cfg, pattern, wsdf_exec::global_pool())
+    }
+
+    /// [`Bench::run`] on an explicit [`BspPool`] executor instead of the
+    /// process-wide pool. Metrics are bit-identical for any pool size —
+    /// the determinism matrix in `tests/determinism_and_vcs.rs` pins this
+    /// down — so the pool choice is purely a scheduling concern.
+    pub fn run_on(
+        &self,
+        cfg: &SimConfig,
+        pattern: &dyn TrafficPattern,
+        pool: &BspPool,
+    ) -> SimResult<Metrics> {
         let mut cfg = cfg.clone();
         cfg.num_vcs = cfg.num_vcs.max(self.oracle.num_vcs());
         let net = self.fabric.net();
         match &self.oracle {
-            BenchOracle::Sl(o) => wsdf_sim::simulate(net, &cfg, o, pattern),
-            BenchOracle::Sw(o) => wsdf_sim::simulate(net, &cfg, o, pattern),
-            BenchOracle::Mesh(o) => wsdf_sim::simulate(net, &cfg, o, pattern),
-            BenchOracle::Switch(o) => wsdf_sim::simulate(net, &cfg, o, pattern),
+            BenchOracle::Sl(o) => wsdf_sim::simulate_on(net, &cfg, o, pattern, pool),
+            BenchOracle::Sw(o) => wsdf_sim::simulate_on(net, &cfg, o, pattern, pool),
+            BenchOracle::Mesh(o) => wsdf_sim::simulate_on(net, &cfg, o, pattern, pool),
+            BenchOracle::Switch(o) => wsdf_sim::simulate_on(net, &cfg, o, pattern, pool),
         }
     }
 

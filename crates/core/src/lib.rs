@@ -41,6 +41,7 @@ pub use report::{Curve, Point};
 pub use sweep::{saturation_rate, sweep, SweepConfig, SweepPoint};
 
 pub use wsdf_analysis as analysis;
+pub use wsdf_exec as exec;
 pub use wsdf_routing as routing;
 pub use wsdf_sim as sim;
 pub use wsdf_topo as topo;

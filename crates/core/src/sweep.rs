@@ -67,12 +67,19 @@ impl SweepConfig {
 /// stopping early past saturation. Deadlocked points (which indicate a
 /// routing bug, not congestion) panic — the routing disciplines are
 /// supposed to make them impossible.
+///
+/// Every point runs on the *same* persistent executor
+/// ([`wsdf_exec::global_pool`], built on first use and shared
+/// process-wide), so worker threads — and their partition-pinned cache
+/// state — are reused across sweep points instead of being re-created per
+/// simulation.
 pub fn sweep(
     bench: &Bench,
     cfg: &SweepConfig,
     spec: PatternSpec,
     rates_chip: &[f64],
 ) -> Vec<SweepPoint> {
+    let pool = wsdf_exec::global_pool();
     let mut out = Vec::new();
     let mut past_saturation = 0usize;
     let mut zero_load = None;
@@ -89,7 +96,7 @@ pub fn sweep(
         let rate_node = rate_chip / bench.nodes_per_chip;
         let pattern = bench.pattern(spec, rate_node);
         let metrics = bench
-            .run(&sim, pattern.as_ref())
+            .run_on(&sim, pattern.as_ref(), pool)
             .unwrap_or_else(|e| panic!("[{}] {spec:?} @ {rate_chip}: {e}", bench.label));
         let latency = metrics.avg_latency().unwrap_or(f64::INFINITY);
         if zero_load.is_none() {

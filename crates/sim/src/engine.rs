@@ -1,20 +1,35 @@
 //! Simulation engine: network compilation, the cycle loop, and the BSP
 //! parallel scheme.
 //!
-//! Routers are split into `partitions` contiguous blocks. Every cycle runs
-//! two steps:
+//! Routers are split into `partitions` contiguous blocks, executed on the
+//! persistent [`BspPool`] executor (`wsdf-exec`). Every cycle is one
+//! [`BspPool::broadcast`] — a release/collect round trip on the pool's
+//! reusable two-phase barrier, *not* a thread spawn/join. Each pool slot
+//! owns a fixed contiguous block of partitions for the whole run (slot
+//! `s` of `k` always handles partitions `[s·P/k, (s+1)·P/k)`), so the same
+//! OS thread touches the same router and ring state every cycle: cache and
+//! NUMA affinity come from the mapping, no `sched_setaffinity` needed.
 //!
-//! 1. **Compute** (parallel over partitions, rayon): each partition delivers
-//!    its incoming mailbox messages into the channel queues it owns, then
-//!    advances its endpoints and routers. Flits/credits crossing into
-//!    another partition are appended to a per-destination outbox.
-//! 2. **Transpose** (sequential, O(P²) pointer swaps): outboxes become next
-//!    cycle's inboxes.
+//! Inside a broadcast, each partition:
+//!
+//! 1. **Delivers** last cycle's cross-partition messages: it drains its
+//!    column of the *read* mailbox buffer into the channel queues it owns.
+//! 2. **Advances** its endpoints and routers one cycle. Flits/credits
+//!    crossing into another partition are appended to its row of the
+//!    *write* mailbox buffer.
+//!
+//! Cross-partition exchange uses double-buffered per-(src, dst) mailboxes
+//! ([`Mailboxes`]): rows are written by their source partition, columns
+//! drained by their destination partition, and the two buffers swap in
+//! O(1) between cycles. The serial O(P²) outbox→inbox transpose that used
+//! to run between cycles is gone — the exchange itself now happens inside
+//! the parallel section.
 //!
 //! Because every channel has latency ≥ 1, nothing produced in cycle *t* can
 //! be consumed before *t+1*, so partitions never observe each other's
-//! in-cycle state: results are bit-identical for any partition count (see
-//! `determinism` tests).
+//! in-cycle state, and the executor never re-splits or re-orders work:
+//! results are bit-identical for any partition count *and* any worker
+//! count (see the determinism matrix in `tests/determinism_and_vcs.rs`).
 //!
 //! ## Monomorphized hot path
 //!
@@ -44,7 +59,7 @@ use crate::pattern::TrafficPattern;
 use crate::router::{
     CreditTarget, CycleCtx, EndpointRt, FlitTarget, Msg, PortIn, PortOut, RouterRt,
 };
-use rayon::prelude::*;
+use wsdf_exec::BspPool;
 
 /// Engine errors.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -79,22 +94,43 @@ impl std::error::Error for SimError {}
 pub type SimResult<T> = Result<T, SimError>;
 
 /// One BSP partition: a contiguous block of routers plus their endpoints
-/// and the channel queues they own.
+/// and the channel queues they own. Cross-partition mailboxes live outside
+/// the partition (in [`Mailboxes`]) so the exchange can run in parallel.
 struct Partition {
     routers: Vec<RouterRt>,
     endpoints: Vec<EndpointRt>,
     flit_qs: Vec<TimedRing<Flit>>,
     credit_qs: Vec<TimedRing<u8>>,
-    outboxes: Vec<Vec<Msg>>,
-    inbox: Vec<Vec<Msg>>,
     metrics: Metrics,
     moved: u64,
     in_flight: i64,
 }
 
 impl Partition {
-    /// Deliver last cycle's cross-partition messages, then advance all
-    /// endpoints and routers one cycle. Monomorphizes per oracle/pattern.
+    /// Deliver one source partition's mailbox into the channel queues this
+    /// partition owns.
+    fn deliver(&mut self, msgs: &mut Vec<Msg>, flit_loc: &[(u32, u32)], credit_loc: &[(u32, u32)]) {
+        for msg in msgs.drain(..) {
+            match msg {
+                Msg::Flit { ch, arrive, flit } => {
+                    let (_, idx) = flit_loc[ch as usize];
+                    self.flit_qs[idx as usize]
+                        .try_push(arrive, flit)
+                        .expect("remote flit ring overflow: capacity bound violated");
+                }
+                Msg::Credit { ch, arrive, vc } => {
+                    let (_, idx) = credit_loc[ch as usize];
+                    self.credit_qs[idx as usize]
+                        .try_push(arrive, vc)
+                        .expect("remote credit ring overflow: capacity bound violated");
+                }
+            }
+        }
+    }
+
+    /// Advance all endpoints and routers one cycle, appending outbound
+    /// cross-partition messages to `outboxes` (this partition's row of the
+    /// write-side mailbox buffer). Monomorphizes per oracle/pattern.
     #[allow(clippy::too_many_arguments)]
     fn advance<O: RouteOracle + ?Sized, P: TrafficPattern + ?Sized>(
         &mut self,
@@ -103,9 +139,8 @@ impl Partition {
         now: u64,
         measure_start: u64,
         measure_end: u64,
-        flit_loc: &[(u32, u32)],
-        credit_loc: &[(u32, u32)],
         packet_len: u8,
+        outboxes: &mut [Vec<Msg>],
     ) {
         self.moved = 0;
         let Partition {
@@ -113,30 +148,10 @@ impl Partition {
             endpoints,
             flit_qs,
             credit_qs,
-            outboxes,
-            inbox,
             metrics,
             moved,
             in_flight,
         } = self;
-        for msgs in inbox.iter_mut() {
-            for msg in msgs.drain(..) {
-                match msg {
-                    Msg::Flit { ch, arrive, flit } => {
-                        let (_, idx) = flit_loc[ch as usize];
-                        flit_qs[idx as usize]
-                            .try_push(arrive, flit)
-                            .expect("remote flit ring overflow: capacity bound violated");
-                    }
-                    Msg::Credit { ch, arrive, vc } => {
-                        let (_, idx) = credit_loc[ch as usize];
-                        credit_qs[idx as usize]
-                            .try_push(arrive, vc)
-                            .expect("remote credit ring overflow: capacity bound violated");
-                    }
-                }
-            }
-        }
         let mut ctx = CycleCtx {
             now,
             flit_qs,
@@ -160,6 +175,86 @@ impl Partition {
     }
 }
 
+/// Double-buffered per-(src, dst) cross-partition mailboxes.
+///
+/// Both buffers are flat `P × P` grids of message vectors indexed
+/// `src * P + dst`. During cycle *t* every partition *p* drains column *p*
+/// of the read buffer (messages written at *t − 1*) and fills row *p* of
+/// the write buffer; rows and columns are disjoint across partitions, so
+/// the whole exchange runs inside the parallel section without locks. The
+/// buffers swap in O(1) at the barrier — by then the read buffer is fully
+/// drained and becomes next cycle's write side.
+struct Mailboxes {
+    read: Vec<Vec<Msg>>,
+    write: Vec<Vec<Msg>>,
+}
+
+impl Mailboxes {
+    fn new(n: usize) -> Self {
+        Mailboxes {
+            read: (0..n * n).map(|_| Vec::new()).collect(),
+            write: (0..n * n).map(|_| Vec::new()).collect(),
+        }
+    }
+
+    fn swap(&mut self) {
+        std::mem::swap(&mut self.read, &mut self.write);
+    }
+}
+
+/// Raw shared view of one cycle's mutable state, handed to the pool
+/// workers. Soundness rests on the slot→partition mapping: each partition
+/// index is processed by exactly one slot per broadcast, and partition `p`
+/// touches only `parts[p]`, read-column `p`, and write-row `p`.
+struct CycleShared {
+    parts: *mut Partition,
+    read: *mut Vec<Msg>,
+    write: *mut Vec<Msg>,
+    n: usize,
+}
+
+// SAFETY: slots dereference disjoint partitions/rows/columns (see above).
+unsafe impl Sync for CycleShared {}
+
+impl CycleShared {
+    /// Deliver + advance partition `p`.
+    ///
+    /// # Safety
+    /// `p < self.n`, and no other thread may process `p` concurrently.
+    #[allow(clippy::too_many_arguments)]
+    unsafe fn run_partition<O: RouteOracle + ?Sized, P: TrafficPattern + ?Sized>(
+        &self,
+        p: usize,
+        oracle: &O,
+        pattern: &P,
+        now: u64,
+        measure_start: u64,
+        measure_end: u64,
+        flit_loc: &[(u32, u32)],
+        credit_loc: &[(u32, u32)],
+        packet_len: u8,
+    ) {
+        let part = &mut *self.parts.add(p);
+        // Drain column p of the read buffer in source order (the same
+        // deterministic order the serial transpose used to impose).
+        for src in 0..self.n {
+            let cell = &mut *self.read.add(src * self.n + p);
+            part.deliver(cell, flit_loc, credit_loc);
+        }
+        // Row p of the write buffer is this partition's outbox set.
+        let outboxes = std::slice::from_raw_parts_mut(self.write.add(p * self.n), self.n);
+        part.advance(
+            oracle,
+            pattern,
+            now,
+            measure_start,
+            measure_end,
+            packet_len,
+            outboxes,
+        );
+    }
+}
+
 /// A compiled, runnable simulation bound to its routing oracle.
 ///
 /// The oracle is a type parameter (owned by value; pass `&MyOracle` thanks
@@ -170,6 +265,7 @@ pub struct Simulation<O: RouteOracle> {
     cfg: SimConfig,
     oracle: O,
     partitions: Vec<Partition>,
+    mail: Mailboxes,
     /// channel id → (owning partition, local flit-queue index)
     flit_loc: Vec<(u32, u32)>,
     /// channel id → (owning partition, local credit-queue index)
@@ -193,7 +289,11 @@ impl<O: RouteOracle> Simulation<O> {
                 cfg.num_vcs
             )));
         }
-        let nparts = effective_partitions(cfg.partitions, net.num_routers());
+        let nparts = effective_partitions(
+            cfg.partitions,
+            net.num_routers(),
+            wsdf_exec::configured_threads(),
+        );
 
         // Contiguous router blocks, balanced by count.
         let nr = net.num_routers();
@@ -242,8 +342,6 @@ impl<O: RouteOracle> Simulation<O> {
                 endpoints: Vec::new(),
                 flit_qs: fc.iter().map(|&c| TimedRing::with_capacity(c)).collect(),
                 credit_qs: cc.iter().map(|&c| TimedRing::with_capacity(c)).collect(),
-                outboxes: (0..nparts).map(|_| Vec::new()).collect(),
-                inbox: (0..nparts).map(|_| Vec::new()).collect(),
                 metrics: Metrics {
                     ejected_per_endpoint: if cfg.per_endpoint_stats {
                         vec![0; net.num_endpoints()]
@@ -396,6 +494,7 @@ impl<O: RouteOracle> Simulation<O> {
         Ok(Simulation {
             cfg: cfg.clone(),
             oracle,
+            mail: Mailboxes::new(partitions.len()),
             partitions,
             flit_loc,
             credit_loc,
@@ -416,14 +515,31 @@ impl<O: RouteOracle> Simulation<O> {
         &self.oracle
     }
 
-    /// Run the full schedule (warm-up + measurement + drain) and return the
+    /// Run the full schedule (warm-up + measurement + drain) on the
+    /// process-wide executor ([`wsdf_exec::global_pool`]) and return the
     /// merged metrics. Errors out if a deadlock is detected.
     pub fn run<P: TrafficPattern + ?Sized>(&mut self, pattern: &P) -> SimResult<Metrics> {
+        self.run_on(wsdf_exec::global_pool(), pattern)
+    }
+
+    /// Like [`run`](Self::run), but on an explicit executor. Results are
+    /// bit-identical for any pool size (the determinism matrix test); the
+    /// pool only bounds how many partitions advance concurrently.
+    ///
+    /// Note that auto partitioning (`cfg.partitions == 0`) was resolved at
+    /// [`Simulation::new`] against the *process-wide* pool size
+    /// ([`wsdf_exec::configured_threads`]); when targeting a pool of a
+    /// different size, set `cfg.partitions` explicitly to match it.
+    pub fn run_on<P: TrafficPattern + ?Sized>(
+        &mut self,
+        pool: &BspPool,
+        pattern: &P,
+    ) -> SimResult<Metrics> {
         let warm = self.cfg.warmup_cycles;
         let meas_end = warm + self.cfg.measure_cycles;
         let total = meas_end + self.cfg.drain_cycles;
         while self.now < total {
-            let (moved, in_flight) = self.step(pattern, warm, meas_end);
+            let (moved, in_flight) = self.step(pool, pattern, warm, meas_end);
             if self.cfg.watchdog_cycles > 0 {
                 if moved == 0 && in_flight > 0 {
                     self.stall += 1;
@@ -445,9 +561,11 @@ impl<O: RouteOracle> Simulation<O> {
         Ok(self.collect())
     }
 
-    /// Advance one cycle. Returns (flits moved, flits in flight).
+    /// Advance one cycle: one pool broadcast over the partitions, then an
+    /// O(1) mailbox-buffer swap. Returns (flits moved, flits in flight).
     fn step<P: TrafficPattern + ?Sized>(
         &mut self,
+        pool: &BspPool,
         pattern: &P,
         measure_start: u64,
         measure_end: u64,
@@ -458,49 +576,41 @@ impl<O: RouteOracle> Simulation<O> {
         let packet_len = self.packet_len;
         let oracle = &self.oracle;
 
-        if self.partitions.len() == 1 {
-            self.partitions[0].advance(
-                oracle,
-                pattern,
-                now,
-                measure_start,
-                measure_end,
-                flit_loc,
-                credit_loc,
-                packet_len,
-            );
-        } else {
-            self.partitions.par_iter_mut().for_each(|p| {
-                p.advance(
-                    oracle,
-                    pattern,
-                    now,
-                    measure_start,
-                    measure_end,
-                    flit_loc,
-                    credit_loc,
-                    packet_len,
-                )
-            });
-        }
-
-        // Transpose outboxes -> inboxes.
         let nparts = self.partitions.len();
-        if nparts > 1 {
-            for i in 0..nparts {
-                for j in 0..nparts {
-                    if i == j {
-                        // Same-partition messages are possible only via the
-                        // Remote fallback; deliver them next cycle too.
-                        let msgs = std::mem::take(&mut self.partitions[i].outboxes[j]);
-                        self.partitions[i].inbox[j] = msgs;
-                    } else {
-                        let msgs = std::mem::take(&mut self.partitions[i].outboxes[j]);
-                        self.partitions[j].inbox[i] = msgs;
-                    }
+        let slots = pool.workers().min(nparts);
+        let shared = CycleShared {
+            parts: self.partitions.as_mut_ptr(),
+            read: self.mail.read.as_mut_ptr(),
+            write: self.mail.write.as_mut_ptr(),
+            n: nparts,
+        };
+        pool.broadcast(slots, |s| {
+            // Fixed contiguous slot→partition mapping: slot s always owns
+            // the same block, so its thread keeps this state cache-hot for
+            // the whole run (partition pinning).
+            let lo = s * nparts / slots;
+            let hi = (s + 1) * nparts / slots;
+            for p in lo..hi {
+                // SAFETY: the slot blocks partition 0..nparts disjointly
+                // and the broadcast joins before `shared` dies.
+                unsafe {
+                    shared.run_partition(
+                        p,
+                        oracle,
+                        pattern,
+                        now,
+                        measure_start,
+                        measure_end,
+                        flit_loc,
+                        credit_loc,
+                        packet_len,
+                    );
                 }
             }
-        }
+        });
+        // Two-phase swap: this cycle's write side becomes next cycle's
+        // read side (the read side was fully drained above).
+        self.mail.swap();
 
         self.now += 1;
         let moved: u64 = self.partitions.iter().map(|p| p.moved).sum();
@@ -532,12 +642,15 @@ impl<O: RouteOracle> Simulation<O> {
     }
 }
 
-/// Resolve the partition count: explicit, or auto-scaled to network size.
-fn effective_partitions(requested: usize, routers: usize) -> usize {
+/// Resolve the partition count. Explicit requests are honored verbatim
+/// (clamped to the router count — determinism makes any value valid);
+/// auto (`0`) scales to the executor's worker count, capped so no
+/// partition drops below ~256 routers (below that, barrier overhead beats
+/// the per-partition compute it buys).
+fn effective_partitions(requested: usize, routers: usize, workers: usize) -> usize {
     let n = if requested == 0 {
-        let threads = rayon::current_num_threads();
         // Don't over-partition small networks: ≥ 256 routers per partition.
-        threads.min(routers / 256 + 1)
+        workers.min(routers / 256 + 1)
     } else {
         requested
     };
@@ -555,6 +668,18 @@ pub fn simulate<O: RouteOracle, P: TrafficPattern + ?Sized>(
     pattern: &P,
 ) -> SimResult<Metrics> {
     Simulation::new(net, cfg, oracle)?.run(pattern)
+}
+
+/// [`simulate`] on an explicit executor instead of the process-wide pool.
+/// Worker count never affects results, only wall-clock time.
+pub fn simulate_on<O: RouteOracle, P: TrafficPattern + ?Sized>(
+    net: &NetworkDesc,
+    cfg: &SimConfig,
+    oracle: O,
+    pattern: &P,
+    pool: &BspPool,
+) -> SimResult<Metrics> {
+    Simulation::new(net, cfg, oracle)?.run_on(pool, pattern)
 }
 
 /// Type-erased entry point for heterogeneous sweeps: same engine, same
@@ -732,6 +857,49 @@ mod tests {
             assert_eq!(x.flits_injected_measured, y.flits_injected_measured);
             assert_eq!(x.class_hops.total(), y.class_hops.total());
         }
+        // And across worker counts: the same partitioned run on explicit
+        // pools of 1, 2, and 4 workers must reproduce the sequential
+        // metrics bit for bit.
+        for workers in [1usize, 2, 4] {
+            let pool = BspPool::new(workers);
+            let mut c = cfg.clone();
+            c.partitions = 4;
+            let m = simulate_on(
+                &net,
+                &c,
+                &RingOracle { n: 16 },
+                &UniformPattern::new(16, 0.3),
+                &pool,
+            )
+            .unwrap();
+            assert_eq!(m.packets_ejected, a.packets_ejected, "workers={workers}");
+            assert_eq!(m.latency_sum, a.latency_sum, "workers={workers}");
+            assert_eq!(
+                m.class_hops.total(),
+                a.class_hops.total(),
+                "workers={workers}"
+            );
+        }
+    }
+
+    #[test]
+    fn effective_partitions_honors_guard_and_caps() {
+        // Auto mode caps at the pool's worker count...
+        assert_eq!(effective_partitions(0, 10_000, 4), 4);
+        // ...and at the ≥256-routers-per-partition guard: small networks
+        // stay sequential no matter how many workers exist.
+        assert_eq!(effective_partitions(0, 100, 8), 1);
+        assert_eq!(effective_partitions(0, 255, 8), 1);
+        assert_eq!(effective_partitions(0, 256, 8), 2);
+        assert_eq!(effective_partitions(0, 1024, 8), 5);
+        assert_eq!(effective_partitions(0, 1_000_000, 8), 8);
+        // Explicit requests are honored (determinism makes them all valid),
+        // clamped only by the router count.
+        assert_eq!(effective_partitions(7, 16, 1), 7);
+        assert_eq!(effective_partitions(99, 16, 4), 16);
+        // Degenerate inputs stay sane.
+        assert_eq!(effective_partitions(0, 0, 8), 1);
+        assert_eq!(effective_partitions(3, 0, 8), 1);
     }
 
     #[test]

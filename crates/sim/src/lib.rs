@@ -21,12 +21,14 @@
 //!   crates (`wsdf-routing`); traffic to a [`TrafficPattern`]
 //!   (`wsdf-traffic`).
 //!
-//! The engine runs either sequentially or as a BSP-parallel simulation
-//! (rayon) with per-partition mailboxes, which keeps the hot path free of
-//! locks: each partition exclusively owns its routers' state, and cross-
-//! partition flit/credit transfer happens through transposed mailbox vectors
-//! between cycles. Determinism is preserved in both modes (per-endpoint
-//! counter-based RNG, fixed arbitration order).
+//! The engine runs either sequentially or as a BSP-parallel simulation on
+//! the persistent [`wsdf_exec::BspPool`] executor, which keeps the hot
+//! path free of locks: each partition exclusively owns its routers' state
+//! and is pinned to the same pool worker for the whole run, and cross-
+//! partition flit/credit transfer happens through double-buffered
+//! per-(src, dst) mailboxes swapped at the cycle barrier. Determinism is
+//! preserved in both modes and for any worker count (per-endpoint
+//! counter-based RNG, fixed arbitration and delivery order).
 
 pub mod arbiter;
 pub mod channel;
@@ -42,10 +44,11 @@ pub mod router;
 
 pub use channel::{ChannelClass, ChannelDesc, ChannelId, RingFull, Terminus, TimedRing};
 pub use config::SimConfig;
-pub use engine::{simulate, simulate_dyn, SimError, SimResult, Simulation};
+pub use engine::{simulate, simulate_dyn, simulate_on, SimError, SimResult, Simulation};
 pub use flit::{Flit, FlitKind, PacketHeader};
 pub use metrics::{ClassCounters, Metrics};
 pub use network::{EndpointDesc, NetworkDesc, RouterDesc};
 pub use oracle::{RouteChoice, RouteOracle};
 pub use pattern::TrafficPattern;
 pub use rng::SplitMix64;
+pub use wsdf_exec::{configured_threads, global_pool, BspPool};

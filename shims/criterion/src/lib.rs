@@ -28,6 +28,13 @@ pub struct Measurement {
     pub mean_ns: f64,
     /// Fastest iteration, nanoseconds.
     pub min_ns: f64,
+    /// Executor worker count the bench ran with
+    /// ([`wsdf_exec::configured_threads`]) — recorded so baselines from
+    /// different machines/thread pins stay comparable.
+    pub threads: usize,
+    /// Free-form per-bench metadata (e.g. `partitions`), set via
+    /// [`BenchmarkGroup::meta`].
+    pub meta: Vec<(String, String)>,
 }
 
 /// The benchmark driver: collects measurements across groups.
@@ -43,6 +50,7 @@ impl Criterion {
             c: self,
             name: name.into(),
             samples: 10,
+            meta: Vec::new(),
         }
     }
 
@@ -52,11 +60,11 @@ impl Criterion {
         F: FnMut(&mut Bencher),
     {
         let samples = 10;
-        self.run_one(id.to_string(), samples, f);
+        self.run_one(id.to_string(), samples, Vec::new(), f);
         self
     }
 
-    fn run_one<F>(&mut self, id: String, samples: usize, mut f: F)
+    fn run_one<F>(&mut self, id: String, samples: usize, meta: Vec<(String, String)>, mut f: F)
     where
         F: FnMut(&mut Bencher),
     {
@@ -77,10 +85,13 @@ impl Criterion {
             } else {
                 b.min.as_nanos() as f64
             },
+            threads: wsdf_exec::configured_threads(),
+            meta,
         };
+        let tags: String = m.meta.iter().map(|(k, v)| format!(" {k}={v}")).collect();
         println!(
-            "{:<52} {:>12.0} ns/iter (min {:>12.0} ns, {} iters)",
-            m.id, m.mean_ns, m.min_ns, m.iters
+            "{:<52} {:>12.0} ns/iter (min {:>12.0} ns, {} iters, {} threads{})",
+            m.id, m.mean_ns, m.min_ns, m.iters, m.threads, tags
         );
         self.results.push(m);
     }
@@ -91,12 +102,21 @@ impl Criterion {
         if let Ok(path) = std::env::var("CRITERION_JSON") {
             let mut out = String::from("[\n");
             for (i, m) in self.results.iter().enumerate() {
+                let meta: String = m
+                    .meta
+                    .iter()
+                    .map(|(k, v)| format!("\"{}\": \"{}\"", json_escape(k), json_escape(v)))
+                    .collect::<Vec<_>>()
+                    .join(", ");
                 out.push_str(&format!(
-                    "  {{\"id\": \"{}\", \"iters\": {}, \"mean_ns\": {:.1}, \"min_ns\": {:.1}}}{}\n",
-                    m.id.replace('"', "'"),
+                    "  {{\"id\": \"{}\", \"iters\": {}, \"mean_ns\": {:.1}, \"min_ns\": {:.1}, \
+                     \"threads\": {}, \"meta\": {{{}}}}}{}\n",
+                    json_escape(&m.id),
                     m.iters,
                     m.mean_ns,
                     m.min_ns,
+                    m.threads,
+                    meta,
                     if i + 1 < self.results.len() { "," } else { "" }
                 ));
             }
@@ -110,11 +130,32 @@ impl Criterion {
     }
 }
 
-/// A named group of benchmarks sharing a sample-size setting.
+/// Escape a string for inclusion in a JSON string literal (quotes,
+/// backslashes, and control characters — ids and meta values are
+/// free-form `Display` output).
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// A named group of benchmarks sharing a sample-size setting and a set of
+/// metadata tags.
 pub struct BenchmarkGroup<'a> {
     c: &'a mut Criterion,
     name: String,
     samples: usize,
+    meta: Vec<(String, String)>,
 }
 
 impl BenchmarkGroup<'_> {
@@ -124,13 +165,28 @@ impl BenchmarkGroup<'_> {
         self
     }
 
+    /// Attach a metadata tag (e.g. `partitions`) to every *subsequent*
+    /// benchmark in this group; setting an existing key overwrites it.
+    /// Tags land in the printed table and the `meta` object of the
+    /// `CRITERION_JSON` baseline, alongside the automatic `threads` field.
+    pub fn meta(&mut self, key: impl Into<String>, value: impl Display) -> &mut Self {
+        let key = key.into();
+        let value = value.to_string();
+        if let Some(slot) = self.meta.iter_mut().find(|(k, _)| *k == key) {
+            slot.1 = value;
+        } else {
+            self.meta.push((key, value));
+        }
+        self
+    }
+
     /// Run one benchmark in this group.
     pub fn bench_function<F>(&mut self, id: impl Display, f: F) -> &mut Self
     where
         F: FnMut(&mut Bencher),
     {
         let full = format!("{}/{}", self.name, id);
-        self.c.run_one(full, self.samples, f);
+        self.c.run_one(full, self.samples, self.meta.clone(), f);
         self
     }
 
@@ -140,7 +196,8 @@ impl BenchmarkGroup<'_> {
         F: FnMut(&mut Bencher, &I),
     {
         let full = format!("{}/{}", self.name, id.0);
-        self.c.run_one(full, self.samples, |b| f(b, input));
+        self.c
+            .run_one(full, self.samples, self.meta.clone(), |b| f(b, input));
         self
     }
 
@@ -231,11 +288,45 @@ mod tests {
         assert_eq!(c.results[0].id, "g/noop");
         assert_eq!(c.results[1].id, "g/param/4");
         assert!(c.results.iter().all(|m| m.iters >= 1));
+        assert!(c.results.iter().all(|m| m.threads >= 1));
+    }
+
+    #[test]
+    fn meta_tags_attach_to_subsequent_benches_and_overwrite() {
+        let mut c = Criterion::default();
+        {
+            let mut g = c.benchmark_group("g");
+            g.sample_size(1);
+            g.bench_function("untagged", |b| b.iter(|| 0));
+            g.meta("partitions", 4);
+            g.bench_function("p4", |b| b.iter(|| 0));
+            g.meta("partitions", 8);
+            g.bench_function("p8", |b| b.iter(|| 0));
+            g.finish();
+        }
+        assert!(c.results[0].meta.is_empty());
+        assert_eq!(
+            c.results[1].meta,
+            vec![("partitions".to_string(), "4".to_string())]
+        );
+        assert_eq!(
+            c.results[2].meta,
+            vec![("partitions".to_string(), "8".to_string())]
+        );
     }
 
     #[test]
     fn benchmark_id_formats() {
         assert_eq!(BenchmarkId::new("f", 3).0, "f/3");
         assert_eq!(BenchmarkId::from_parameter("x").0, "x");
+    }
+
+    #[test]
+    fn json_escape_covers_quotes_backslashes_and_controls() {
+        assert_eq!(json_escape("plain"), "plain");
+        assert_eq!(json_escape("a\"b"), "a\\\"b");
+        assert_eq!(json_escape("C:\\tmp"), "C:\\\\tmp");
+        assert_eq!(json_escape("a\nb\tc"), "a\\nb\\tc");
+        assert_eq!(json_escape("\u{1}"), "\\u0001");
     }
 }

@@ -1,24 +1,21 @@
 //! Offline stand-in for the `rayon` crate.
 //!
 //! The build environment has no network access, so this workspace vendors
-//! the *exact* subset of rayon's API that the engine uses — mutable
-//! parallel slice iteration with `for_each`, plus `current_num_threads` —
-//! implemented over `std::thread::scope`. Work is split into one
-//! contiguous chunk per available core; each `for_each` call spawns and
-//! joins its threads (no global pool), which is adequate at the engine's
-//! granularity of one call per BSP cycle over partition-sized chunks.
+//! the subset of rayon's API its callers use — mutable parallel slice
+//! iteration with `for_each`, `scope`/`spawn`, and `current_num_threads` —
+//! backed by the persistent [`wsdf_exec`] worker pool. Earlier revisions
+//! spawned and joined `std::thread::scope` threads on every call, which at
+//! engine granularity (one call per BSP cycle) ate all the parallelism;
+//! every entry point now rides the process-wide [`wsdf_exec::global_pool`],
+//! so no call here ever creates a thread.
 
-use std::sync::OnceLock;
+use wsdf_exec::global_pool;
 
-/// Number of worker threads parallel iterators will use (the machine's
-/// available parallelism).
+/// Number of worker threads parallel iterators will use. Honors the
+/// `WSDF_THREADS` and `RAYON_NUM_THREADS` overrides (in that order) before
+/// falling back to the machine's available parallelism.
 pub fn current_num_threads() -> usize {
-    static N: OnceLock<usize> = OnceLock::new();
-    *N.get_or_init(|| {
-        std::thread::available_parallelism()
-            .map(|n| n.get())
-            .unwrap_or(1)
-    })
+    wsdf_exec::configured_threads()
 }
 
 /// The rayon prelude: importing it brings `par_iter_mut` into scope.
@@ -51,33 +48,109 @@ impl<'data, T: Send + 'data> IntoParallelRefMutIterator<'data> for [T] {
 /// A mutable parallel iterator over a slice.
 pub struct ParIterMut<'data, T: Send>(&'data mut [T]);
 
-impl<'data, T: Send> ParIterMut<'data, T> {
-    /// Apply `f` to every element, splitting the slice into one chunk per
-    /// available thread. Falls back to a sequential loop for slices that
-    /// cannot benefit from parallelism.
+/// Base pointer of a slice being split across pool slots.
+struct SlicePtr<T>(*mut T);
+// SAFETY: slots dereference disjoint index ranges (see `for_each`).
+unsafe impl<T: Send> Sync for SlicePtr<T> {}
+
+impl<T: Send> ParIterMut<'_, T> {
+    /// Apply `f` to every element, splitting the slice into one contiguous
+    /// block per pool slot. Falls back to a sequential loop when the slice
+    /// or the pool cannot benefit from parallelism.
     pub fn for_each<F>(self, f: F)
     where
         F: Fn(&mut T) + Sync,
     {
-        let threads = current_num_threads();
         let len = self.0.len();
-        if len <= 1 || threads <= 1 {
+        let pool = global_pool();
+        let slots = pool.workers().min(len);
+        if len <= 1 || slots <= 1 {
             for item in self.0 {
                 f(item);
             }
             return;
         }
-        let chunk = len.div_ceil(threads);
-        std::thread::scope(|scope| {
-            for sub in self.0.chunks_mut(chunk) {
-                scope.spawn(|| {
-                    for item in sub {
-                        f(item);
-                    }
-                });
+        let base = SlicePtr(self.0.as_mut_ptr());
+        pool.broadcast(slots, |s| {
+            // Capture the Sync wrapper, not its raw-pointer field.
+            let base = &base;
+            // Balanced contiguous split: slot s owns [s*len/slots, ...).
+            let lo = s * len / slots;
+            let hi = (s + 1) * len / slots;
+            for i in lo..hi {
+                // SAFETY: slot ranges partition 0..len disjointly.
+                f(unsafe { &mut *base.0.add(i) });
             }
         });
     }
+}
+
+/// A fork-join scope, mirroring `rayon::scope`: tasks spawned on it are
+/// guaranteed to finish before `scope` returns.
+///
+/// Shim semantics: tasks accumulate while the scope closure runs and are
+/// executed on the global pool when it returns (tasks may spawn further
+/// tasks; rounds repeat until the queue drains). That preserves rayon's
+/// completion guarantee, which is all the workspace relies on.
+pub struct Scope<'scope> {
+    tasks: std::sync::Mutex<Vec<ScopeTask<'scope>>>,
+}
+
+type ScopeTask<'scope> = Box<dyn FnOnce(&Scope<'scope>) + Send + 'scope>;
+
+impl<'scope> Scope<'scope> {
+    /// Queue `f` to run within this scope.
+    pub fn spawn<F>(&self, f: F)
+    where
+        F: FnOnce(&Scope<'scope>) + Send + 'scope,
+    {
+        self.tasks.lock().unwrap().push(Box::new(f));
+    }
+}
+
+/// Create a scope, run `op` in it, then run every spawned task to
+/// completion on the persistent pool before returning `op`'s result.
+pub fn scope<'scope, F, R>(op: F) -> R
+where
+    F: FnOnce(&Scope<'scope>) -> R,
+{
+    let s = Scope {
+        tasks: std::sync::Mutex::new(Vec::new()),
+    };
+    let out = op(&s);
+    loop {
+        let batch = std::mem::take(&mut *s.tasks.lock().unwrap());
+        if batch.is_empty() {
+            break;
+        }
+        run_batch(&s, batch);
+    }
+    out
+}
+
+fn run_batch<'scope>(s: &Scope<'scope>, batch: Vec<ScopeTask<'scope>>) {
+    let pool = global_pool();
+    let n = batch.len();
+    let slots = pool.workers().min(n);
+    if slots <= 1 {
+        for t in batch {
+            t(s);
+        }
+        return;
+    }
+    let tasks: Vec<std::sync::Mutex<Option<ScopeTask<'scope>>>> = batch
+        .into_iter()
+        .map(|t| std::sync::Mutex::new(Some(t)))
+        .collect();
+    let next = std::sync::atomic::AtomicUsize::new(0);
+    pool.broadcast(slots, |_| loop {
+        let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        if i >= n {
+            break;
+        }
+        let t = tasks[i].lock().unwrap().take().expect("task claimed twice");
+        t(s);
+    });
 }
 
 #[cfg(test)]
@@ -109,5 +182,48 @@ mod tests {
     #[test]
     fn thread_count_is_positive() {
         assert!(super::current_num_threads() >= 1);
+    }
+
+    #[test]
+    fn scope_completes_all_tasks_including_nested() {
+        let count = AtomicUsize::new(0);
+        super::scope(|s| {
+            for _ in 0..10 {
+                s.spawn(|s| {
+                    count.fetch_add(1, Ordering::Relaxed);
+                    s.spawn(|_| {
+                        count.fetch_add(1, Ordering::Relaxed);
+                    });
+                });
+            }
+        });
+        assert_eq!(count.load(Ordering::Relaxed), 20);
+    }
+
+    #[test]
+    fn nested_parallelism_inside_scope_tasks_is_safe() {
+        // A scope task that itself uses par_iter_mut re-enters the pool
+        // from a worker; the pool degrades the inner call to an inline
+        // loop instead of deadlocking on the cycle barrier.
+        let total = AtomicUsize::new(0);
+        super::scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|_| {
+                    let mut v = vec![1usize; 100];
+                    v.par_iter_mut().for_each(|x| *x += 1);
+                    total.fetch_add(v.iter().sum::<usize>(), Ordering::Relaxed);
+                });
+            }
+        });
+        assert_eq!(total.load(Ordering::Relaxed), 4 * 200);
+    }
+
+    #[test]
+    fn scope_returns_op_result() {
+        let r = super::scope(|s| {
+            s.spawn(|_| {});
+            42
+        });
+        assert_eq!(r, 42);
     }
 }

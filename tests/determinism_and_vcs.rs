@@ -100,6 +100,79 @@ fn partitions_bit_identical_on_both_topologies() {
     }
 }
 
+/// The executor must be invisible too: partitions {1, 2, 4, 7} × worker
+/// counts {1, 2, 4} must all produce bit-identical `Metrics` on both
+/// topology families. Partition invariance is the BSP/mailbox contract;
+/// worker invariance is the `BspPool` contract (a broadcast only hands out
+/// slot indices — it never re-splits or re-orders work). Worker pools are
+/// created explicitly so the matrix is exercised even on one-core CI boxes
+/// (threads need not map to distinct cores for determinism).
+#[test]
+fn determinism_matrix_partitions_x_workers() {
+    use wsdf::exec::BspPool;
+    let pools: Vec<BspPool> = [1usize, 2, 4].into_iter().map(BspPool::new).collect();
+    let benches: Vec<(&str, Bench, f64)> = vec![
+        (
+            "switchless",
+            Bench::switchless(
+                &SlParams::radix16().with_wgroups(2),
+                RouteMode::Minimal,
+                VcScheme::Baseline,
+            ),
+            0.12,
+        ),
+        (
+            "switchbased",
+            Bench::switchbased(&SwParams::radix16().with_groups(3), RouteMode::Minimal),
+            0.25,
+        ),
+    ];
+    // Shorter windows than the partition-only test: the matrix multiplies
+    // run count by 12 and determinism does not need long measurements.
+    let quick = |parts: usize| SimConfig {
+        warmup_cycles: 150,
+        measure_cycles: 300,
+        drain_cycles: 150,
+        partitions: parts,
+        ..Default::default()
+    };
+    for (name, bench, rate) in benches {
+        let pattern = bench.pattern(PatternSpec::Uniform, rate);
+        let base = bench
+            .run_on(&quick(1), pattern.as_ref(), &pools[0])
+            .unwrap();
+        assert!(base.packets_ejected > 0, "{name}: no traffic delivered");
+        for parts in [1usize, 2, 4, 7] {
+            for pool in &pools {
+                let w = pool.workers();
+                let m = bench.run_on(&quick(parts), pattern.as_ref(), pool).unwrap();
+                assert_eq!(
+                    m.packets_created, base.packets_created,
+                    "{name} p={parts} w={w}"
+                );
+                assert_eq!(
+                    m.packets_ejected, base.packets_ejected,
+                    "{name} p={parts} w={w}"
+                );
+                assert_eq!(m.latency_sum, base.latency_sum, "{name} p={parts} w={w}");
+                assert_eq!(m.latency_max, base.latency_max, "{name} p={parts} w={w}");
+                assert_eq!(
+                    m.flits_injected_measured, base.flits_injected_measured,
+                    "{name} p={parts} w={w}"
+                );
+                assert_eq!(
+                    m.flits_ejected_measured, base.flits_ejected_measured,
+                    "{name} p={parts} w={w}"
+                );
+                assert_eq!(
+                    m.class_hops.flit_hops, base.class_hops.flit_hops,
+                    "{name} p={parts} w={w}"
+                );
+            }
+        }
+    }
+}
+
 /// Different seeds give different (but sane) results; same seed repeats.
 #[test]
 fn seed_stability() {

@@ -1,0 +1,82 @@
+//! Executor lifecycle torture test: many short-lived pools each driving a
+//! short simulation must leave no threads behind, and the process-wide
+//! pool must stay usable throughout.
+
+use wsdf::exec::{global_pool, BspPool};
+use wsdf::sim::SimConfig;
+use wsdf::{Bench, PatternSpec};
+
+/// Current thread count of this process (Linux; the CI and dev
+/// environments are Linux — elsewhere the leak assertion is skipped).
+fn thread_count() -> Option<usize> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    status
+        .lines()
+        .find_map(|l| l.strip_prefix("Threads:"))
+        .and_then(|v| v.trim().parse().ok())
+}
+
+fn short_cfg(partitions: usize) -> SimConfig {
+    SimConfig {
+        warmup_cycles: 50,
+        measure_cycles: 150,
+        drain_cycles: 100,
+        partitions,
+        ..Default::default()
+    }
+}
+
+/// Create/run/drop many pools and simulations back to back. Every pool
+/// joins its workers on drop, so the process thread count must return to
+/// the baseline, and results must stay bit-identical run over run.
+#[test]
+fn pool_torture_create_run_drop_leaks_nothing() {
+    let bench = Bench::single_mesh(4, 2, 1);
+    let pattern = bench.pattern(PatternSpec::Uniform, 0.2);
+    // Warm everything lazy (global pool included) before taking the
+    // thread-count baseline.
+    let reference = bench.run(&short_cfg(2), pattern.as_ref()).unwrap();
+    assert!(reference.packets_ejected > 0);
+    let baseline = thread_count();
+
+    for round in 0..25 {
+        // Cycle through pool sizes, including more workers than partitions
+        // (idle slots) and more workers than this machine has cores.
+        let workers = 1 + round % 4;
+        let pool = BspPool::new(workers);
+        let m = bench
+            .run_on(&short_cfg(2), pattern.as_ref(), &pool)
+            .unwrap();
+        assert_eq!(
+            m.latency_sum, reference.latency_sum,
+            "round {round} (workers={workers}) diverged"
+        );
+        drop(pool);
+    }
+
+    if let (Some(before), Some(after)) = (baseline, thread_count()) {
+        assert!(
+            after <= before,
+            "leaked threads: {before} before torture, {after} after"
+        );
+    }
+
+    // The global pool is unaffected by foreign pools coming and going.
+    let again = bench.run(&short_cfg(2), pattern.as_ref()).unwrap();
+    assert_eq!(again.latency_sum, reference.latency_sum);
+    assert!(global_pool().workers() >= 1);
+
+    // Pools that never ran a broadcast must also join cleanly on drop.
+    // (Kept in this one test so thread-count sampling never races another
+    // test thread creating pools concurrently.)
+    for _ in 0..50 {
+        let pool = BspPool::new(3);
+        assert_eq!(pool.workers(), 3);
+    }
+    if let (Some(before), Some(after)) = (baseline, thread_count()) {
+        assert!(
+            after <= before,
+            "idle pools leaked threads: {before} -> {after}"
+        );
+    }
+}
