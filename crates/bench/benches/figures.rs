@@ -7,13 +7,21 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use wsdf::routing::{RouteMode, VcScheme};
-use wsdf::{sweep, Bench, PatternSpec, SweepConfig};
+use wsdf::{adaptive_sweep, sweep, AdaptiveConfig, Bench, PatternSpec, SweepConfig};
 use wsdf_bench::{figures, Effort};
 use wsdf_topo::{SlParams, SwParams};
 use wsdf_traffic::{PermKind, RingDirection};
 
 fn quick() -> SweepConfig {
     SweepConfig::default().scaled(0.05)
+}
+
+fn quick_adaptive() -> AdaptiveConfig {
+    AdaptiveConfig {
+        start_chip: 0.2,
+        ..Default::default()
+    }
+    .scaled(0.05)
 }
 
 fn bench_small_figures(c: &mut Criterion) {
@@ -70,6 +78,14 @@ fn bench_figure_families_reduced_scale(c: &mut Criterion) {
         let p = SwParams::radix16().with_groups(5);
         let bench = Bench::switchbased(&p, RouteMode::Minimal);
         b.iter(|| sweep(&bench, &quick(), PatternSpec::Uniform, &[0.3, 0.6]));
+    });
+    // Adaptive saturation search: the full two-phase driver (geometric
+    // coarse scan + knee bisection) on one W-group — times the per-figure
+    // cost of the grid-free workflow.
+    g.bench_function("adaptive_saturation_1wg", |b| {
+        let p = SlParams::radix16().with_wgroups(1);
+        let bench = Bench::switchless(&p, RouteMode::Minimal, VcScheme::Baseline);
+        b.iter(|| adaptive_sweep(&bench, &quick_adaptive(), PatternSpec::Uniform));
     });
     g.finish();
 }

@@ -5,7 +5,7 @@
 //! repro <target> [--smoke|--full] [--json DIR]
 //!
 //! targets: table1 table2 table3 table4 fig9 fig10ab fig10cf fig11 fig12
-//!          fig13 fig14 fig15 equations tables figures all
+//!          fig13 fig14 fig15 equations saturation tables figures all
 //! ```
 //!
 //! Text goes to stdout; with `--json DIR`, figures are also serialized to
@@ -77,6 +77,13 @@ fn main() {
             write_json(dir, "fig15", &figures::fig15_json(&groups));
         }
     };
+    let run_saturation = || {
+        let scan = figures::saturation_scan(effort);
+        print!("{}", figures::render_saturation(&scan));
+        if let Some(dir) = &json_dir {
+            write_json(dir, "saturation", &figures::saturation_json(&scan));
+        }
+    };
     let print_tables = || {
         print!("{}", tables::table_i());
         print!("{}", tables::table_ii());
@@ -98,6 +105,7 @@ fn main() {
             run_figures(&target)
         }
         "fig15" => run_fig15(),
+        "saturation" => run_saturation(),
         "figures" => {
             for which in [
                 "fig10ab", "fig10cf", "fig11", "fig12", "fig13", "fig14", "ablation",
@@ -114,6 +122,7 @@ fn main() {
                 run_figures(which);
             }
             run_fig15();
+            run_saturation();
         }
         other => {
             eprintln!("unknown target: {other}");
@@ -135,6 +144,6 @@ fn usage() {
     eprintln!(
         "usage: repro <target> [--smoke|--full] [--json DIR]\n\
          targets: table1 table2 table3 table4 equations fig9 fig10ab fig10cf\n\
-         \t fig11 fig12 fig13 fig14 fig15 ablation tables figures all"
+         \t fig11 fig12 fig13 fig14 fig15 ablation saturation tables figures all"
     );
 }

@@ -6,7 +6,9 @@
 use crate::Effort;
 use wsdf::report::{Curve, Figure};
 use wsdf::routing::{RouteMode, VcScheme};
-use wsdf::{sweep, Bench, PatternSpec, SweepConfig};
+use wsdf::{
+    adaptive_sweep, sweep, AdaptiveConfig, Bench, PatternSpec, SaturationReport, SweepConfig,
+};
 use wsdf_analysis::EnergyModel;
 use wsdf_sim::SimConfig;
 use wsdf_topo::{SlParams, SwParams};
@@ -301,6 +303,55 @@ pub fn fig14(effort: Effort) -> Vec<Figure> {
         figs.push(fig);
     }
     figs
+}
+
+/// Saturation-throughput table: adaptive knee search over the headline
+/// comparisons (intra-C-group mesh vs switch, then the local W-group
+/// benches), no hand-tuned rate grids. Each entry carries the full
+/// measured point set with p50/p95/p99 latency.
+pub fn saturation_scan(effort: Effort) -> Vec<(String, SaturationReport)> {
+    let cfg = |scale: f64, start: f64| {
+        AdaptiveConfig {
+            start_chip: start,
+            ..Default::default()
+        }
+        .scaled(scale)
+    };
+    let s = effort.small();
+    let mut out = Vec::new();
+    for (bench, start) in [
+        (Bench::single_switch(16), 0.2),
+        (Bench::single_mesh(4, 2, 1), 0.2),
+    ] {
+        let report = adaptive_sweep(&bench, &cfg(s, start), PatternSpec::Uniform);
+        out.push((format!("intra-cgroup/{}", bench.label), report));
+    }
+    for bench in local_benches() {
+        let report = adaptive_sweep(&bench, &cfg(s, 0.15), PatternSpec::Uniform);
+        out.push((format!("local/{}", bench.label), report));
+    }
+    out
+}
+
+/// Render [`saturation_scan`] results as text.
+pub fn render_saturation(scan: &[(String, SaturationReport)]) -> String {
+    let mut s = String::from("== saturation — adaptive knee search: Uniform ==\n");
+    for (label, report) in scan {
+        s.push_str(&report.render(label));
+    }
+    s
+}
+
+/// Serialize [`saturation_scan`] results as a JSON array of
+/// [`SaturationReport::to_json`] objects.
+pub fn saturation_json(scan: &[(String, SaturationReport)]) -> String {
+    let mut s = String::from("[\n");
+    for (i, (label, report)) in scan.iter().enumerate() {
+        s.push_str(report.to_json(label).trim_end());
+        s.push_str(if i + 1 < scan.len() { ",\n" } else { "\n" });
+    }
+    s.push_str("]\n");
+    s
 }
 
 /// One bar of Fig. 15.

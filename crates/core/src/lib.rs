@@ -8,28 +8,38 @@
 //!   oracle and endpoint scoping.
 //! * [`PatternSpec`] — a workload selector that [`Bench::pattern`] turns
 //!   into a concrete traffic generator at a given per-node rate.
-//! * [`sweep()`] — the load-latency sweep runner that regenerates the
+//! * [`sweep()`] — the fixed-grid load-latency sweep runner behind the
 //!   paper's figures: it walks a list of per-chip injection rates, runs a
 //!   full simulation per point, converts units, and stops once the fabric
 //!   is clearly past saturation.
+//! * [`adaptive_sweep()`] — the saturation-seeking runner: a geometric
+//!   coarse scan followed by bisection of the saturation knee, returning a
+//!   [`SaturationReport`] with the saturation throughput, the zero-load
+//!   latency, and every measured point — each carrying p50/p95/p99/max
+//!   latency from the engine's streaming histogram.
 //!
 //! ```no_run
-//! use wsdf::{Bench, PatternSpec, SweepConfig};
+//! use wsdf::{AdaptiveConfig, Bench, PatternSpec};
 //! use wsdf_topo::SlParams;
 //!
 //! // Fig. 10(a), switch-less side: a 4×4-core C-group under uniform load.
+//! // No hand-tuned rate grid: the driver finds the knee on its own.
 //! let bench = Bench::single_mesh(4, 2, 1);
-//! let points = wsdf::sweep(
-//!     &bench,
-//!     &SweepConfig::default(),
-//!     PatternSpec::Uniform,
-//!     &[0.4, 0.8, 1.2, 1.6, 2.0, 2.4, 2.8, 3.2],
+//! let report = wsdf::adaptive_sweep(&bench, &AdaptiveConfig::default(), PatternSpec::Uniform);
+//! println!(
+//!     "saturation {:.2} flits/cycle/chip, zero-load {:.1} cycles",
+//!     report.sat_chip, report.zero_load_latency
 //! );
-//! for p in &points {
-//!     println!("{:.2} flits/cycle/chip → {:.1} cycles", p.offered_chip, p.latency);
+//! for p in &report.points {
+//!     println!(
+//!         "{:.2} flits/cycle/chip → mean {:.1} / p99 {:.1} cycles",
+//!         p.offered_chip, p.latency, p.p99
+//!     );
 //! }
 //! # let _ = SlParams::radix16();
 //! ```
+
+#![deny(missing_docs)]
 
 pub mod bench;
 pub mod json;
@@ -37,8 +47,11 @@ pub mod report;
 pub mod sweep;
 
 pub use bench::{Bench, BenchOracle, Fabric, PatternSpec};
-pub use report::{Curve, Point};
-pub use sweep::{saturation_rate, sweep, SweepConfig, SweepPoint};
+pub use report::{Curve, Figure, Point};
+pub use sweep::{
+    adaptive_sweep, saturation_rate, sweep, AdaptiveConfig, SaturationReport, SweepConfig,
+    SweepPoint,
+};
 
 pub use wsdf_analysis as analysis;
 pub use wsdf_exec as exec;

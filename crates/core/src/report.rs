@@ -53,15 +53,18 @@ impl Curve {
     /// Render as aligned text rows.
     pub fn render(&self) -> String {
         let mut s = format!(
-            "  {:<18} {:>10} {:>12} {:>12} {:>6}\n",
-            self.label, "offered", "latency(cyc)", "accepted", "sat"
+            "  {:<18} {:>10} {:>12} {:>8} {:>8} {:>8} {:>12} {:>6}\n",
+            self.label, "offered", "latency(cyc)", "p50", "p95", "p99", "accepted", "sat"
         );
         for p in &self.points {
             s.push_str(&format!(
-                "  {:<18} {:>10.3} {:>12.1} {:>12.3} {:>6}\n",
+                "  {:<18} {:>10.3} {:>12.1} {:>8.1} {:>8.1} {:>8.1} {:>12.3} {:>6}\n",
                 "",
                 p.offered_chip,
                 p.latency,
+                p.p50,
+                p.p95,
+                p.p99,
                 p.accepted_chip,
                 if p.saturated { "*" } else { "" }
             ));
@@ -133,16 +136,8 @@ impl Figure {
             s.push_str("      \"points\": [\n");
             for (pi, p) in c.points.iter().enumerate() {
                 s.push_str(&format!(
-                    "        {{\"offered_chip\": {}, \"offered_node\": {}, \"latency\": {}, \
-                     \"accepted_chip\": {}, \"accepted_node\": {}, \"delivered\": {}, \
-                     \"saturated\": {}}}{}\n",
-                    json::num(p.offered_chip),
-                    json::num(p.offered_node),
-                    json::num(p.latency),
-                    json::num(p.accepted_chip),
-                    json::num(p.accepted_node),
-                    json::num(p.delivered),
-                    p.saturated,
+                    "        {}{}\n",
+                    point_json(p),
                     if pi + 1 < c.points.len() { "," } else { "" }
                 ));
             }
@@ -159,14 +154,6 @@ impl Figure {
     /// Parse a figure previously written by [`Figure::to_json`].
     pub fn from_json(text: &str) -> Result<Figure, String> {
         let v = Value::parse(text)?;
-        fn field<'a>(v: &'a Value, k: &str) -> Result<&'a Value, String> {
-            v.get(k).ok_or_else(|| format!("missing key '{k}'"))
-        }
-        let num = |v: &Value, k: &str| -> Result<f64, String> {
-            field(v, k)?
-                .as_f64()
-                .ok_or_else(|| format!("'{k}' not a number"))
-        };
         let mut fig = Figure::new(
             field(&v, "id")?.as_str().ok_or("'id' not a string")?,
             field(&v, "title")?.as_str().ok_or("'title' not a string")?,
@@ -180,17 +167,7 @@ impl Figure {
                 .as_arr()
                 .ok_or("'points' not an array")?
             {
-                points.push(SweepPoint {
-                    offered_chip: num(p, "offered_chip")?,
-                    offered_node: num(p, "offered_node")?,
-                    latency: num(p, "latency")?,
-                    accepted_chip: num(p, "accepted_chip")?,
-                    accepted_node: num(p, "accepted_node")?,
-                    delivered: num(p, "delivered")?,
-                    saturated: field(p, "saturated")?
-                        .as_bool()
-                        .ok_or("'saturated' not a bool")?,
-                });
+                points.push(point_from_json(p)?);
             }
             fig.push(Curve::new(
                 field(c, "label")?.as_str().ok_or("'label' not a string")?,
@@ -199,6 +176,121 @@ impl Figure {
         }
         Ok(fig)
     }
+}
+
+impl crate::sweep::SaturationReport {
+    /// Serialize to pretty JSON (`label` names the bench/workload, matching
+    /// the curve labels of the figure files).
+    pub fn to_json(&self, label: &str) -> String {
+        let mut s = String::new();
+        s.push_str("{\n");
+        s.push_str(&format!("  \"label\": \"{}\",\n", json::escape(label)));
+        s.push_str(&format!("  \"sat_chip\": {},\n", json::num(self.sat_chip)));
+        s.push_str(&format!("  \"sat_node\": {},\n", json::num(self.sat_node)));
+        s.push_str(&format!(
+            "  \"zero_load_latency\": {},\n",
+            json::num(self.zero_load_latency)
+        ));
+        s.push_str("  \"points\": [\n");
+        for (pi, p) in self.points.iter().enumerate() {
+            s.push_str(&format!(
+                "    {}{}\n",
+                point_json(p),
+                if pi + 1 < self.points.len() { "," } else { "" }
+            ));
+        }
+        s.push_str("  ]\n}\n");
+        s
+    }
+
+    /// Parse a report previously written by
+    /// [`to_json`](Self::to_json). Returns `(label, report)`.
+    pub fn from_json(text: &str) -> Result<(String, Self), String> {
+        let v = Value::parse(text)?;
+        let label = field(&v, "label")?
+            .as_str()
+            .ok_or("'label' not a string")?
+            .to_string();
+        let mut points = Vec::new();
+        for p in field(&v, "points")?
+            .as_arr()
+            .ok_or("'points' not an array")?
+        {
+            points.push(point_from_json(p)?);
+        }
+        Ok((
+            label,
+            crate::sweep::SaturationReport {
+                sat_chip: num(&v, "sat_chip")?,
+                sat_node: num(&v, "sat_node")?,
+                zero_load_latency: num(&v, "zero_load_latency")?,
+                points,
+            },
+        ))
+    }
+}
+
+/// Member of a JSON object by key, as a parse error when absent.
+fn field<'a>(v: &'a Value, k: &str) -> Result<&'a Value, String> {
+    v.get(k).ok_or_else(|| format!("missing key '{k}'"))
+}
+
+/// Required numeric member of a JSON object.
+fn num(v: &Value, k: &str) -> Result<f64, String> {
+    field(v, k)?
+        .as_f64()
+        .ok_or_else(|| format!("'{k}' not a number"))
+}
+
+/// Numeric member that older files may lack (pre-percentile baselines);
+/// missing maps to NaN, matching the writer's non-finite encoding.
+fn num_or_nan(v: &Value, k: &str) -> Result<f64, String> {
+    match v.get(k) {
+        None => Ok(f64::NAN),
+        Some(m) => m.as_f64().ok_or_else(|| format!("'{k}' not a number")),
+    }
+}
+
+/// One [`SweepPoint`] as a single-line JSON object (shared by the figure
+/// and saturation-report writers).
+fn point_json(p: &SweepPoint) -> String {
+    format!(
+        "{{\"offered_chip\": {}, \"offered_node\": {}, \"latency\": {}, \
+         \"p50\": {}, \"p95\": {}, \"p99\": {}, \"latency_max\": {}, \
+         \"accepted_chip\": {}, \"accepted_node\": {}, \"delivered\": {}, \
+         \"saturated\": {}}}",
+        json::num(p.offered_chip),
+        json::num(p.offered_node),
+        json::num(p.latency),
+        json::num(p.p50),
+        json::num(p.p95),
+        json::num(p.p99),
+        json::num(p.latency_max),
+        json::num(p.accepted_chip),
+        json::num(p.accepted_node),
+        json::num(p.delivered),
+        p.saturated
+    )
+}
+
+/// Parse one [`SweepPoint`] object. The percentile fields are optional so
+/// baselines recorded before they existed still load (they read as NaN).
+fn point_from_json(p: &Value) -> Result<SweepPoint, String> {
+    Ok(SweepPoint {
+        offered_chip: num(p, "offered_chip")?,
+        offered_node: num(p, "offered_node")?,
+        latency: num(p, "latency")?,
+        p50: num_or_nan(p, "p50")?,
+        p95: num_or_nan(p, "p95")?,
+        p99: num_or_nan(p, "p99")?,
+        latency_max: num_or_nan(p, "latency_max")?,
+        accepted_chip: num(p, "accepted_chip")?,
+        accepted_node: num(p, "accepted_node")?,
+        delivered: num(p, "delivered")?,
+        saturated: field(p, "saturated")?
+            .as_bool()
+            .ok_or("'saturated' not a bool")?,
+    })
 }
 
 #[cfg(test)]
@@ -210,6 +302,10 @@ mod tests {
             offered_chip: offered,
             offered_node: offered / 4.0,
             latency: lat,
+            p50: lat * 0.9,
+            p95: lat * 1.5,
+            p99: lat * 2.0,
+            latency_max: lat * 3.0,
             accepted_chip: acc,
             accepted_node: acc / 4.0,
             delivered: 1.0,
@@ -241,6 +337,40 @@ mod tests {
         assert_eq!(back.id, "fig10a");
         assert_eq!(back.curves[0].label, "2D-Mesh");
         assert_eq!(back.curves[0].points, f.curves[0].points);
+    }
+
+    #[test]
+    fn points_without_percentiles_still_parse() {
+        // Figure files recorded before the percentile fields existed must
+        // still load; the missing fields read as NaN.
+        let json = r#"{
+          "id": "old", "title": "t",
+          "curves": [{"label": "c", "points": [
+            {"offered_chip": 0.4, "offered_node": 0.1, "latency": 9,
+             "accepted_chip": 0.4, "accepted_node": 0.1, "delivered": 1,
+             "saturated": false}
+          ]}]
+        }"#;
+        let fig = Figure::from_json(json).unwrap();
+        let p = &fig.curves[0].points[0];
+        assert_eq!(p.latency, 9.0);
+        assert!(p.p50.is_nan() && p.p95.is_nan() && p.p99.is_nan());
+        assert!(p.latency_max.is_nan());
+    }
+
+    #[test]
+    fn saturation_report_round_trips() {
+        let report = crate::sweep::SaturationReport {
+            sat_chip: 2.4,
+            sat_node: 0.6,
+            zero_load_latency: 11.5,
+            points: vec![pt(0.4, 10.0, 0.4), pt(2.4, 60.0, 2.3)],
+        };
+        let json = report.to_json("2D-Mesh");
+        assert!(json.contains("\"p95\""));
+        let (label, back) = crate::sweep::SaturationReport::from_json(&json).unwrap();
+        assert_eq!(label, "2D-Mesh");
+        assert_eq!(back, report);
     }
 
     #[test]

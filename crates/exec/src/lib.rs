@@ -34,6 +34,8 @@
 //! exchange messages only between cycles), results are bit-identical for
 //! *any* worker count, including 1.
 
+#![deny(missing_docs)]
+
 use std::sync::{Arc, Condvar, Mutex, OnceLock};
 use std::thread::JoinHandle;
 

@@ -18,6 +18,8 @@
 //!   verify reachability, hop counts (Eq. 7 diameters), up*/down* legality
 //!   and VC monotonicity without running the simulator.
 
+#![deny(missing_docs)]
+
 pub mod mesh;
 pub mod switchbased;
 pub mod switchless;

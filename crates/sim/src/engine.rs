@@ -19,7 +19,8 @@
 //!    *write* mailbox buffer.
 //!
 //! Cross-partition exchange uses double-buffered per-(src, dst) mailboxes
-//! ([`Mailboxes`]): rows are written by their source partition, columns
+//! (the private `Mailboxes` grid): rows are written by their source
+//! partition, columns
 //! drained by their destination partition, and the two buffers swap in
 //! O(1) between cycles. The serial O(P²) outbox→inbox transpose that used
 //! to run between cycles is gone — the exchange itself now happens inside
@@ -95,7 +96,7 @@ pub type SimResult<T> = Result<T, SimError>;
 
 /// One BSP partition: a contiguous block of routers plus their endpoints
 /// and the channel queues they own. Cross-partition mailboxes live outside
-/// the partition (in [`Mailboxes`]) so the exchange can run in parallel.
+/// the partition (in `Mailboxes`) so the exchange can run in parallel.
 struct Partition {
     routers: Vec<RouterRt>,
     endpoints: Vec<EndpointRt>,

@@ -30,6 +30,8 @@
 //! preserved in both modes and for any worker count (per-endpoint
 //! counter-based RNG, fixed arbitration and delivery order).
 
+#![deny(missing_docs)]
+
 pub mod arbiter;
 pub mod channel;
 pub mod config;
@@ -46,7 +48,7 @@ pub use channel::{ChannelClass, ChannelDesc, ChannelId, RingFull, Terminus, Time
 pub use config::SimConfig;
 pub use engine::{simulate, simulate_dyn, simulate_on, SimError, SimResult, Simulation};
 pub use flit::{Flit, FlitKind, PacketHeader};
-pub use metrics::{ClassCounters, Metrics};
+pub use metrics::{ClassCounters, LatencyHistogram, Metrics};
 pub use network::{EndpointDesc, NetworkDesc, RouterDesc};
 pub use oracle::{RouteChoice, RouteOracle};
 pub use pattern::TrafficPattern;

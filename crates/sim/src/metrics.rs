@@ -41,6 +41,145 @@ impl ClassCounters {
     }
 }
 
+/// Streaming log-linear latency histogram: fixed bucket layout, no
+/// allocation on the record path, mergeable across partitions like
+/// [`ClassCounters`].
+///
+/// Layout (HDR-histogram style): values below [`Self::SUBS`] get exact
+/// unit-width buckets; above that, each power-of-two range `[2^k, 2^{k+1})`
+/// is split into [`Self::SUBS`] equal sub-buckets, bounding the relative
+/// quantization error of any recorded value by `1/SUBS` (≈ 3%). The layout
+/// is a pure function of the value, so merging histograms from different
+/// partitions is exact (bucket-wise addition) and percentiles are
+/// bit-identical for any partition/worker split of the same simulation.
+#[derive(Clone, PartialEq, Eq)]
+pub struct LatencyHistogram {
+    counts: [u64; Self::BUCKETS],
+    total: u64,
+}
+
+impl LatencyHistogram {
+    /// Sub-bucket resolution: `log2` of the number of sub-buckets per
+    /// power-of-two range.
+    pub const SUB_BITS: u32 = 5;
+    /// Sub-buckets per power-of-two range (and width of the exact linear
+    /// region at the bottom of the scale).
+    pub const SUBS: u64 = 1 << Self::SUB_BITS;
+    /// Total bucket count, covering the full `u64` value range.
+    pub const BUCKETS: usize = ((64 - Self::SUB_BITS + 1) * Self::SUBS as u32) as usize;
+
+    /// The bucket index a value lands in.
+    #[inline]
+    pub fn bucket_index(v: u64) -> usize {
+        if v < Self::SUBS {
+            v as usize
+        } else {
+            let msb = 63 - v.leading_zeros();
+            let group = msb - Self::SUB_BITS;
+            let sub = (v >> group) - Self::SUBS;
+            ((group + 1) as u64 * Self::SUBS + sub) as usize
+        }
+    }
+
+    /// Lower bound (inclusive) of bucket `idx` — the value
+    /// [`quantile`](Self::quantile) reports for a hit in that bucket.
+    #[inline]
+    pub fn bucket_lower(idx: usize) -> u64 {
+        let idx = idx as u64;
+        if idx < Self::SUBS {
+            idx
+        } else {
+            let group = idx / Self::SUBS - 1;
+            let sub = idx % Self::SUBS;
+            (Self::SUBS + sub) << group
+        }
+    }
+
+    /// Record one latency sample. Constant-time, allocation-free.
+    #[inline]
+    pub fn record(&mut self, v: u64) {
+        self.counts[Self::bucket_index(v)] += 1;
+        self.total += 1;
+    }
+
+    /// Number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.total
+    }
+
+    /// True if nothing was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.total == 0
+    }
+
+    /// Merge another histogram into this one (bucket-wise addition; exact
+    /// and associative).
+    pub fn merge(&mut self, other: &LatencyHistogram) {
+        for (a, b) in self.counts.iter_mut().zip(other.counts.iter()) {
+            *a += b;
+        }
+        self.total += other.total;
+    }
+
+    /// The `q`-quantile (`q` clamped to `[0, 1]`) as the lower bound of the
+    /// bucket holding the `⌈q·n⌉`-th smallest sample, or `None` when empty.
+    /// Guaranteed `quantile(q) ≤ exact q-quantile < quantile(q)·(1 + 1/SUBS)
+    /// + 1`, and monotone in `q`.
+    pub fn quantile(&self, q: f64) -> Option<u64> {
+        if self.total == 0 {
+            return None;
+        }
+        let q = q.clamp(0.0, 1.0);
+        // Rank of the target sample, 1-based; q = 0 maps to the smallest.
+        let rank = ((q * self.total as f64).ceil() as u64).clamp(1, self.total);
+        let mut seen = 0u64;
+        for (idx, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return Some(Self::bucket_lower(idx));
+            }
+        }
+        unreachable!("histogram total disagrees with bucket counts")
+    }
+
+    /// Median latency (see [`quantile`](Self::quantile)).
+    pub fn p50(&self) -> Option<u64> {
+        self.quantile(0.50)
+    }
+
+    /// 95th-percentile latency.
+    pub fn p95(&self) -> Option<u64> {
+        self.quantile(0.95)
+    }
+
+    /// 99th-percentile latency.
+    pub fn p99(&self) -> Option<u64> {
+        self.quantile(0.99)
+    }
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        LatencyHistogram {
+            counts: [0; Self::BUCKETS],
+            total: 0,
+        }
+    }
+}
+
+impl std::fmt::Debug for LatencyHistogram {
+    /// Compact summary — the raw bucket array is ~2k entries and would
+    /// drown any derived `Metrics` debug dump.
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("LatencyHistogram")
+            .field("count", &self.total)
+            .field("p50", &self.p50())
+            .field("p95", &self.p95())
+            .field("p99", &self.p99())
+            .finish()
+    }
+}
+
 /// Aggregated results of one simulation run.
 #[derive(Debug, Clone, Default)]
 pub struct Metrics {
@@ -52,6 +191,10 @@ pub struct Metrics {
     pub latency_sum: u64,
     /// Maximum packet latency observed.
     pub latency_max: u64,
+    /// Streaming latency distribution over the same packets as
+    /// [`latency_sum`](Self::latency_sum) — the source of
+    /// p50/p95/p99 tail-latency reporting.
+    pub latency_hist: LatencyHistogram,
     /// Flits ejected during the measurement window (any packet) — the
     /// accepted-throughput numerator.
     pub flits_ejected_measured: u64,
@@ -130,6 +273,7 @@ impl Metrics {
         self.packets_ejected += other.packets_ejected;
         self.latency_sum += other.latency_sum;
         self.latency_max = self.latency_max.max(other.latency_max);
+        self.latency_hist.merge(&other.latency_hist);
         self.flits_ejected_measured += other.flits_ejected_measured;
         self.flits_injected_measured += other.flits_injected_measured;
         self.class_hops.merge(&other.class_hops);
@@ -221,6 +365,77 @@ mod tests {
         assert_eq!(a.latency_sum, 25);
         assert_eq!(a.latency_max, 15);
         assert!(a.deadlocked);
+    }
+
+    #[test]
+    fn histogram_records_and_quantiles() {
+        let mut h = LatencyHistogram::default();
+        assert!(h.is_empty());
+        assert_eq!(h.quantile(0.5), None);
+        for v in 1..=100u64 {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 100);
+        // Values ≤ 31 are exact; above that the lower bucket bound is
+        // within 1/SUBS of the true value.
+        assert_eq!(h.quantile(0.0), Some(1));
+        assert_eq!(h.quantile(0.25), Some(25));
+        let p50 = h.p50().unwrap();
+        assert!(p50 <= 50 && 50 < p50 + p50 / LatencyHistogram::SUBS + 1);
+        let p99 = h.p99().unwrap();
+        assert!(p99 <= 99 && 99 < p99 + p99 / LatencyHistogram::SUBS + 1);
+        // Monotone in q.
+        assert!(h.quantile(0.1) <= h.quantile(0.9));
+        assert_eq!(h.quantile(1.0), h.quantile(0.999));
+    }
+
+    #[test]
+    fn histogram_bucket_layout_is_contiguous() {
+        // Every value maps into exactly one bucket whose bounds contain it,
+        // and bucket lower bounds are strictly increasing.
+        for idx in 1..LatencyHistogram::BUCKETS {
+            assert!(
+                LatencyHistogram::bucket_lower(idx) > LatencyHistogram::bucket_lower(idx - 1),
+                "bucket {idx} lower bound not increasing"
+            );
+        }
+        for v in (0..4096u64).chain([u64::MAX / 2, u64::MAX]) {
+            let idx = LatencyHistogram::bucket_index(v);
+            assert!(LatencyHistogram::bucket_lower(idx) <= v, "v={v}");
+            if idx + 1 < LatencyHistogram::BUCKETS {
+                assert!(v < LatencyHistogram::bucket_lower(idx + 1), "v={v}");
+            }
+        }
+    }
+
+    #[test]
+    fn histogram_merge_matches_combined_stream() {
+        let mut a = LatencyHistogram::default();
+        let mut b = LatencyHistogram::default();
+        let mut both = LatencyHistogram::default();
+        for v in [3u64, 40, 40, 700, 12_345] {
+            a.record(v);
+            both.record(v);
+        }
+        for v in [1u64, 99, 5_000_000] {
+            b.record(v);
+            both.record(v);
+        }
+        a.merge(&b);
+        assert_eq!(a, both);
+        assert_eq!(a.count(), 8);
+    }
+
+    #[test]
+    fn metrics_merge_includes_histogram() {
+        let mut a = Metrics::default();
+        a.latency_hist.record(10);
+        let mut b = Metrics::default();
+        b.latency_hist.record(20);
+        b.latency_hist.record(30);
+        a.merge(&b);
+        assert_eq!(a.latency_hist.count(), 3);
+        assert_eq!(a.latency_hist.quantile(0.0), Some(10));
     }
 
     #[test]

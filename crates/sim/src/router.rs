@@ -593,6 +593,7 @@ fn eject(flit: Flit, arrive: u64, ctx: &mut CycleCtx<'_>) {
             ctx.metrics.packets_ejected += 1;
             ctx.metrics.latency_sum += lat;
             ctx.metrics.latency_max = ctx.metrics.latency_max.max(lat);
+            ctx.metrics.latency_hist.record(lat);
         }
     }
 }

@@ -22,6 +22,8 @@
 //! label+1. Switch routers have `radix` ports: terminals, then locals, then
 //! globals.
 
+#![deny(missing_docs)]
+
 pub mod address;
 pub mod mesh;
 pub mod switchbased;

@@ -17,6 +17,8 @@
 //! harness converts the paper's per-chip x-axes by dividing by
 //! `nodes_per_chip`.
 
+#![deny(missing_docs)]
+
 pub mod adversarial;
 pub mod perm;
 pub mod ring;

@@ -9,53 +9,50 @@
 
 use wsdf::routing::{RouteMode, VcScheme};
 use wsdf::topo::{SlParams, SwParams};
-use wsdf::{saturation_rate, sweep, Bench, PatternSpec, SweepConfig};
+use wsdf::{adaptive_sweep, AdaptiveConfig, Bench, PatternSpec};
 
 fn main() {
     // 9 W-groups keep the example under a minute; the full repro harness
     // runs the paper's 41-group system (`repro fig13`).
     let swp = SwParams::radix16().with_groups(9);
     let slp = SlParams::radix16().with_wgroups(9);
-    let cfg = SweepConfig::default().scaled(0.3);
+    // Adaptive saturation search: no per-(bench, pattern) rate grids to
+    // hand-tune — the driver brackets and bisects each knee itself. Start
+    // low: adversarial patterns saturate an order of magnitude below
+    // uniform traffic.
+    let cfg = AdaptiveConfig {
+        start_chip: 0.05,
+        ..Default::default()
+    }
+    .scaled(0.3);
 
-    for (spec, name, rates_min, rates_mis) in [
-        (
-            PatternSpec::Hotspot,
-            "hotspot (4 active W-groups)",
-            rates(0.5, 5),
-            rates(1.0, 6),
-        ),
-        (
-            PatternSpec::WorstCase,
-            "worst-case (Wi -> Wi+1)",
-            rates(0.2, 5),
-            rates(0.6, 6),
-        ),
+    for (spec, name) in [
+        (PatternSpec::Hotspot, "hotspot (4 active W-groups)"),
+        (PatternSpec::WorstCase, "worst-case (Wi -> Wi+1)"),
     ] {
         println!("== {name} ==");
-        for (bench, r) in [
-            (Bench::switchbased(&swp, RouteMode::Minimal), &rates_min),
-            (
-                Bench::switchless(&slp, RouteMode::Minimal, VcScheme::Baseline),
-                &rates_min,
-            ),
-            (Bench::switchbased(&swp, RouteMode::Valiant), &rates_mis),
-            (
-                Bench::switchless(&slp, RouteMode::Valiant, VcScheme::Baseline),
-                &rates_mis,
-            ),
+        for bench in [
+            Bench::switchbased(&swp, RouteMode::Minimal),
+            Bench::switchless(&slp, RouteMode::Minimal, VcScheme::Baseline),
+            Bench::switchbased(&swp, RouteMode::Valiant),
+            Bench::switchless(&slp, RouteMode::Valiant, VcScheme::Baseline),
         ] {
             let mode = if bench.label.contains("Mis") {
                 "valiant"
             } else {
                 "minimal"
             };
-            let sat = saturation_rate(&sweep(&bench, &cfg, spec, r));
+            let report = adaptive_sweep(&bench, &cfg, spec);
+            let knee = report.points.iter().rev().find(|p| !p.saturated);
+            let p99 = knee.map(|p| p.p99).unwrap_or(f64::NAN);
             println!(
-                "  {:<10} {:<8} saturation {:>5.2} flits/cycle/chip",
+                "  {:<10} {:<8} saturation {:>5.2} flits/cycle/chip \
+                 ({} sims, p99 at knee {:>6.1} cyc)",
                 bench.label.replace("-Mis", ""),
                 mode,
-                sat
+                report.sat_chip,
+                report.points.len(),
+                p99
             );
         }
         println!();
@@ -66,8 +63,4 @@ fn main() {
          the load over a random intermediate W-group, trading path length\n\
          for an order of magnitude in throughput — with one extra VC."
     );
-}
-
-fn rates(max: f64, steps: usize) -> Vec<f64> {
-    (1..=steps).map(|i| max * i as f64 / steps as f64).collect()
 }

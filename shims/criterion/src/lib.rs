@@ -7,9 +7,10 @@
 //!
 //! Measurement is deliberately simple — per benchmark: one warm-up
 //! iteration, then up to `sample_size` timed iterations bounded by a
-//! wall-clock budget, reporting the mean and minimum. Results print as a
-//! table; set `CRITERION_JSON=<path>` to also write them as a JSON array
-//! (used to record `BENCH_*.json` baselines).
+//! wall-clock budget, reporting the mean, the minimum, and the
+//! p50/p95/p99 iteration-time percentiles (nearest-rank over the recorded
+//! samples). Results print as a table; set `CRITERION_JSON=<path>` to also
+//! write them as a JSON array (used to record `BENCH_*.json` baselines).
 
 use std::fmt::Display;
 use std::time::{Duration, Instant};
@@ -28,6 +29,12 @@ pub struct Measurement {
     pub mean_ns: f64,
     /// Fastest iteration, nanoseconds.
     pub min_ns: f64,
+    /// Median iteration time, nanoseconds (nearest-rank).
+    pub p50_ns: f64,
+    /// 95th-percentile iteration time, nanoseconds (nearest-rank).
+    pub p95_ns: f64,
+    /// 99th-percentile iteration time, nanoseconds (nearest-rank).
+    pub p99_ns: f64,
     /// Executor worker count the bench ran with
     /// ([`wsdf_exec::configured_threads`]) — recorded so baselines from
     /// different machines/thread pins stay comparable.
@@ -73,9 +80,20 @@ impl Criterion {
             iters: 0,
             total: Duration::ZERO,
             min: Duration::MAX,
+            recorded: Vec::new(),
         };
         f(&mut b);
         let iters = b.iters.max(1);
+        let mut sorted = std::mem::take(&mut b.recorded);
+        sorted.sort_unstable();
+        let pct = |q: f64| -> f64 {
+            if sorted.is_empty() {
+                return 0.0;
+            }
+            // Nearest-rank: the ⌈q·n⌉-th smallest sample (1-based).
+            let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+            sorted[rank - 1].as_nanos() as f64
+        };
         let m = Measurement {
             id,
             iters: b.iters,
@@ -85,13 +103,17 @@ impl Criterion {
             } else {
                 b.min.as_nanos() as f64
             },
+            p50_ns: pct(0.50),
+            p95_ns: pct(0.95),
+            p99_ns: pct(0.99),
             threads: wsdf_exec::configured_threads(),
             meta,
         };
         let tags: String = m.meta.iter().map(|(k, v)| format!(" {k}={v}")).collect();
         println!(
-            "{:<52} {:>12.0} ns/iter (min {:>12.0} ns, {} iters, {} threads{})",
-            m.id, m.mean_ns, m.min_ns, m.iters, m.threads, tags
+            "{:<52} {:>12.0} ns/iter (min {:>12.0}, p50 {:>12.0}, p99 {:>12.0} ns, {} iters, \
+             {} threads{})",
+            m.id, m.mean_ns, m.min_ns, m.p50_ns, m.p99_ns, m.iters, m.threads, tags
         );
         self.results.push(m);
     }
@@ -110,11 +132,15 @@ impl Criterion {
                     .join(", ");
                 out.push_str(&format!(
                     "  {{\"id\": \"{}\", \"iters\": {}, \"mean_ns\": {:.1}, \"min_ns\": {:.1}, \
+                     \"p50_ns\": {:.1}, \"p95_ns\": {:.1}, \"p99_ns\": {:.1}, \
                      \"threads\": {}, \"meta\": {{{}}}}}{}\n",
                     json_escape(&m.id),
                     m.iters,
                     m.mean_ns,
                     m.min_ns,
+                    m.p50_ns,
+                    m.p95_ns,
+                    m.p99_ns,
                     m.threads,
                     meta,
                     if i + 1 < self.results.len() { "," } else { "" }
@@ -226,20 +252,24 @@ pub struct Bencher {
     iters: u64,
     total: Duration,
     min: Duration,
+    recorded: Vec<Duration>,
 }
 
 impl Bencher {
     /// Time `f`: one warm-up call, then up to the configured sample count
-    /// (bounded by a wall-clock budget).
+    /// (bounded by a wall-clock budget). Every sample is kept so the shim
+    /// can report iteration-time percentiles alongside mean/min.
     pub fn iter<R, F: FnMut() -> R>(&mut self, mut f: F) {
         std::hint::black_box(f());
         let budget_start = Instant::now();
+        self.recorded.reserve(self.samples as usize);
         for _ in 0..self.samples {
             let t0 = Instant::now();
             std::hint::black_box(f());
             let dt = t0.elapsed();
             self.total += dt;
             self.min = self.min.min(dt);
+            self.recorded.push(dt);
             self.iters += 1;
             if budget_start.elapsed() > TIME_BUDGET {
                 break;
@@ -313,6 +343,22 @@ mod tests {
             c.results[2].meta,
             vec![("partitions".to_string(), "8".to_string())]
         );
+    }
+
+    #[test]
+    fn iteration_percentiles_are_ordered() {
+        let mut c = Criterion::default();
+        {
+            let mut g = c.benchmark_group("g");
+            g.sample_size(8);
+            g.bench_function("work", |b| {
+                b.iter(|| std::hint::black_box((0..1000u64).sum::<u64>()))
+            });
+            g.finish();
+        }
+        let m = &c.results[0];
+        assert!(m.min_ns <= m.p50_ns, "{} > {}", m.min_ns, m.p50_ns);
+        assert!(m.p50_ns <= m.p95_ns && m.p95_ns <= m.p99_ns);
     }
 
     #[test]

@@ -5,7 +5,7 @@
 use wsdf::routing::{RouteMode, VcScheme};
 use wsdf::sim::SimConfig;
 use wsdf::topo::{SlParams, SwParams};
-use wsdf::{Bench, PatternSpec};
+use wsdf::{adaptive_sweep, AdaptiveConfig, Bench, PatternSpec, SweepConfig};
 
 fn cfg(partitions: usize) -> SimConfig {
     SimConfig {
@@ -95,6 +95,7 @@ fn partitions_bit_identical_on_both_topologies() {
                 m.flits_per_channel, base.flits_per_channel,
                 "{name} p={parts}"
             );
+            assert_eq!(m.latency_hist, base.latency_hist, "{name} p={parts}");
             assert_eq!(m.deadlocked, base.deadlocked, "{name} p={parts}");
         }
     }
@@ -169,6 +170,50 @@ fn determinism_matrix_partitions_x_workers() {
                     "{name} p={parts} w={w}"
                 );
             }
+        }
+    }
+}
+
+/// The adaptive bisection sweep must be bit-identical across partition
+/// counts {1, 2, 4} on both topology families: the driver's rate
+/// decisions depend only on merged metrics, which the BSP contract makes
+/// partition-invariant — so the whole search trajectory (every probed
+/// rate, every percentile, the final saturation estimate) must reproduce
+/// exactly.
+#[test]
+fn adaptive_sweep_bit_identical_across_partitions() {
+    let benches: Vec<(&str, Bench)> = vec![
+        (
+            "switchless",
+            Bench::switchless(
+                &SlParams::radix16().with_wgroups(1),
+                RouteMode::Minimal,
+                VcScheme::Baseline,
+            ),
+        ),
+        (
+            "switchbased",
+            Bench::switchbased(&SwParams::radix16().with_groups(1), RouteMode::Minimal),
+        ),
+    ];
+    for (name, bench) in benches {
+        let run = |parts: usize| {
+            let mut base = SweepConfig::default().scaled(0.1);
+            base.sim.partitions = parts;
+            let cfg = AdaptiveConfig {
+                base,
+                start_chip: 0.2,
+                max_points: 16,
+                ..Default::default()
+            };
+            adaptive_sweep(&bench, &cfg, PatternSpec::Uniform)
+        };
+        let base = run(1);
+        assert!(base.points.len() >= 3, "{name}: sweep too short");
+        assert!(base.sat_chip > 0.0, "{name}: no saturation estimate");
+        for parts in [2usize, 4] {
+            let m = run(parts);
+            assert_eq!(m, base, "{name} p={parts}: adaptive sweep diverged");
         }
     }
 }

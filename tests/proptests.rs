@@ -8,7 +8,7 @@
 
 use wsdf::routing::{PortMap, RouteMode, SlOracle, SwOracle, VcScheme, Walker};
 use wsdf::sim::flit::NO_INTERMEDIATE;
-use wsdf::sim::{SimConfig, SplitMix64, TrafficPattern};
+use wsdf::sim::{LatencyHistogram, SimConfig, SplitMix64, TrafficPattern};
 use wsdf::topo::{SlParams, SwParams, SwitchFabric, SwitchlessFabric};
 use wsdf::traffic::{PermKind, PermutationPattern, RingAllReduce, RingDirection, Scope};
 use wsdf::{Bench, PatternSpec};
@@ -221,6 +221,111 @@ fn ring_is_bijective() {
             assert!(!seen[d as usize], "{p:?}: duplicate successor {d}");
             seen[d as usize] = true;
             assert_eq!(ring.predecessor(d), ep, "{p:?}");
+        }
+    }
+}
+
+/// A random latency value drawn across the full magnitude range (uniform
+/// in bit width, then uniform within it — stresses every bucket group).
+fn any_latency(rng: &mut SplitMix64) -> u64 {
+    let width = 1 + rng.next_below(64) as u32;
+    rng.next_u64() >> (64 - width)
+}
+
+/// Every value lands in exactly one histogram bucket whose bounds contain
+/// it, and the bucket's relative width respects the 1/SUBS quantization
+/// guarantee.
+#[test]
+fn histogram_buckets_contain_their_values() {
+    let mut rng = SplitMix64::new(0x5EED_0008);
+    for _ in 0..CASES {
+        for _ in 0..64 {
+            let v = any_latency(&mut rng);
+            let idx = LatencyHistogram::bucket_index(v);
+            let lower = LatencyHistogram::bucket_lower(idx);
+            assert!(lower <= v, "v={v}: below bucket {idx} lower {lower}");
+            if idx + 1 < LatencyHistogram::BUCKETS {
+                let next = LatencyHistogram::bucket_lower(idx + 1);
+                assert!(v < next, "v={v}: at/above bucket {} lower {next}", idx + 1);
+                // Bucket width ≤ max(1, lower/SUBS): the quantization bound.
+                assert!(
+                    next - lower <= (lower / LatencyHistogram::SUBS).max(1),
+                    "bucket {idx} too wide: [{lower}, {next})"
+                );
+            }
+        }
+    }
+}
+
+/// Histogram merging is associative and commutative, and merging matches
+/// recording the concatenated stream directly.
+#[test]
+fn histogram_merge_is_associative() {
+    let mut rng = SplitMix64::new(0x5EED_0009);
+    for _ in 0..CASES {
+        let mut parts: Vec<LatencyHistogram> = Vec::new();
+        let mut all = LatencyHistogram::default();
+        for _ in 0..3 {
+            let mut h = LatencyHistogram::default();
+            for _ in 0..rng.next_below(40) {
+                let v = any_latency(&mut rng);
+                h.record(v);
+                all.record(v);
+            }
+            parts.push(h);
+        }
+        let (a, b, c) = (&parts[0], &parts[1], &parts[2]);
+        // (a ⊕ b) ⊕ c
+        let mut ab_c = a.clone();
+        ab_c.merge(b);
+        ab_c.merge(c);
+        // a ⊕ (b ⊕ c)
+        let mut bc = b.clone();
+        bc.merge(c);
+        let mut a_bc = a.clone();
+        a_bc.merge(&bc);
+        assert_eq!(ab_c, a_bc, "associativity");
+        // b ⊕ a == a ⊕ b
+        let mut ba = b.clone();
+        ba.merge(a);
+        let mut ab = a.clone();
+        ab.merge(b);
+        assert_eq!(ab, ba, "commutativity");
+        assert_eq!(ab_c, all, "merge must equal the concatenated stream");
+    }
+}
+
+/// Quantiles are monotone in q and bracket the exact order statistics:
+/// `quantile(q)` is the lower bound of the bucket holding the true
+/// nearest-rank sample.
+#[test]
+fn histogram_quantiles_are_monotone_and_tight() {
+    let mut rng = SplitMix64::new(0x5EED_000A);
+    for _ in 0..CASES {
+        let n = 1 + rng.next_below(200) as usize;
+        let mut values: Vec<u64> = Vec::with_capacity(n);
+        let mut h = LatencyHistogram::default();
+        for _ in 0..n {
+            let v = any_latency(&mut rng);
+            values.push(v);
+            h.record(v);
+        }
+        values.sort_unstable();
+        let mut prev = 0u64;
+        for i in 0..=20 {
+            let q = i as f64 / 20.0;
+            let got = h.quantile(q).unwrap();
+            assert!(got >= prev, "quantile not monotone at q={q}");
+            prev = got;
+            // Exact nearest-rank reference value.
+            let rank = ((q * n as f64).ceil() as usize).clamp(1, n);
+            let exact = values[rank - 1];
+            assert_eq!(
+                LatencyHistogram::bucket_index(got),
+                LatencyHistogram::bucket_index(exact),
+                "q={q}: reported {got} not in exact sample {exact}'s bucket"
+            );
+            assert!(got <= exact, "q={q}: lower bound {got} above exact {exact}");
         }
     }
 }
