@@ -3,7 +3,7 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use wsdf::routing::{RouteMode, VcScheme};
-use wsdf::{Bench, PatternSpec};
+use wsdf::{Bench, PatternSpec, Workload, WorkloadUnits};
 use wsdf_sim::SimConfig;
 use wsdf_topo::{SlParams, SwParams, SwitchFabric, SwitchlessFabric};
 
@@ -73,10 +73,38 @@ fn bench_parallel_scaling(c: &mut Criterion) {
     g.finish();
 }
 
+fn bench_collectives(c: &mut Criterion) {
+    let mut g = c.benchmark_group("collectives");
+    g.sample_size(10);
+    // One W-group of the radix-16 switch-less fabric, one participant per
+    // chip — the same setup as `repro collectives`, at reduced payload.
+    let p = SlParams::radix16().with_wgroups(1);
+    let bench = Bench::switchless(&p, RouteMode::Minimal, VcScheme::Baseline);
+    let participants: Vec<u32> = (0..bench.scope.num_chips())
+        .map(|c| bench.scope.node_of(c, 0))
+        .collect();
+    let cases = [
+        (
+            "ring_allreduce_32x64",
+            Workload::ring_allreduce(&participants, 64),
+        ),
+        ("all_to_all_32x4", Workload::all_to_all(&participants, 4)),
+    ];
+    for (name, wl) in cases {
+        g.meta("workload", &wl.name);
+        g.bench_function(name, |b| {
+            let cfg = SimConfig::default();
+            b.iter(|| wsdf::run_workload(&bench, &cfg, &wl, &WorkloadUnits::default()).unwrap());
+        });
+    }
+    g.finish();
+}
+
 criterion_group!(
     benches,
     bench_topology_build,
     bench_simulation_cycles,
-    bench_parallel_scaling
+    bench_parallel_scaling,
+    bench_collectives
 );
 criterion_main!(benches);

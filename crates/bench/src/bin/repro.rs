@@ -1,18 +1,60 @@
 //! The reproduction harness: regenerates every table and figure of the
-//! paper's evaluation.
+//! paper's evaluation, plus the closed-loop collective suite.
 //!
 //! ```text
 //! repro <target> [--smoke|--full] [--json DIR]
-//!
-//! targets: table1 table2 table3 table4 fig9 fig10ab fig10cf fig11 fig12
-//!          fig13 fig14 fig15 equations saturation tables figures all
+//! repro --list
 //! ```
 //!
-//! Text goes to stdout; with `--json DIR`, figures are also serialized to
-//! `DIR/<figure-id>.json`.
+//! `--list` enumerates every target with a one-line description (the same
+//! listing an unknown target prints). Text goes to stdout; with
+//! `--json DIR`, figures and reports are also serialized to
+//! `DIR/<target-id>.json`.
 
 use std::io::Write;
-use wsdf_bench::{figures, tables, Effort};
+use wsdf_bench::{collectives, figures, tables, Effort};
+
+/// Every runnable target with a one-line description (`--list`).
+const TARGETS: &[(&str, &str)] = &[
+    ("table1", "Table I: topology comparison (closed form)"),
+    ("table2", "Table II: network cost model"),
+    ("table3", "Table III: wafer/system scale parameters"),
+    ("table4", "Table IV: simulation parameters"),
+    ("equations", "Closed-form equation summary (diameter, cost)"),
+    ("fig9", "Fig. 9: wafer layout and bandwidth budget"),
+    (
+        "fig10ab",
+        "Fig. 10(a,b): intra-C-group latency, mesh vs switch",
+    ),
+    (
+        "fig10cf",
+        "Fig. 10(c-f): intra-W-group latency, four patterns",
+    ),
+    (
+        "fig11",
+        "Fig. 11: full radix-16 system, uniform + bit-reverse",
+    ),
+    ("fig12", "Fig. 12: radix-32 system latency"),
+    ("fig13", "Fig. 13: adversarial patterns, minimal vs Valiant"),
+    (
+        "fig14",
+        "Fig. 14: ring-allreduce collectives (open-loop sweeps)",
+    ),
+    ("fig15", "Fig. 15: energy per bit by channel class"),
+    ("ablation", "VC-scheme ablation (Baseline vs Reduced)"),
+    (
+        "saturation",
+        "Adaptive saturation knee search, headline benches",
+    ),
+    (
+        "collectives",
+        "Closed-loop collectives: completion cycles on both families, \
+         verified over partitions {1,2,4}",
+    ),
+    ("tables", "All tables and closed-form outputs"),
+    ("figures", "All simulated figures"),
+    ("all", "Everything above"),
+];
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -26,6 +68,10 @@ fn main() {
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
+            "--list" => {
+                print!("{}", target_listing());
+                return;
+            }
             "--smoke" => effort = Effort::Smoke,
             "--full" => effort = Effort::Full,
             "--json" => match it.next() {
@@ -84,6 +130,13 @@ fn main() {
             write_json(dir, "saturation", &figures::saturation_json(&scan));
         }
     };
+    let run_collectives = || {
+        let reports = collectives::collectives(effort);
+        print!("{}", collectives::render_collectives(&reports));
+        if let Some(dir) = &json_dir {
+            write_json(dir, "collectives", &collectives::collectives_json(&reports));
+        }
+    };
     let print_tables = || {
         print!("{}", tables::table_i());
         print!("{}", tables::table_ii());
@@ -106,6 +159,7 @@ fn main() {
         }
         "fig15" => run_fig15(),
         "saturation" => run_saturation(),
+        "collectives" => run_collectives(),
         "figures" => {
             for which in [
                 "fig10ab", "fig10cf", "fig11", "fig12", "fig13", "fig14", "ablation",
@@ -123,13 +177,23 @@ fn main() {
             }
             run_fig15();
             run_saturation();
+            run_collectives();
         }
         other => {
-            eprintln!("unknown target: {other}");
-            usage();
+            eprintln!("unknown target: {other}\n");
+            eprint!("{}", target_listing());
             std::process::exit(2);
         }
     }
+}
+
+/// The `--list` output: every target with its description.
+fn target_listing() -> String {
+    let mut s = String::from("targets:\n");
+    for (name, desc) in TARGETS {
+        s.push_str(&format!("  {name:<12} {desc}\n"));
+    }
+    s
 }
 
 fn write_json(dir: &str, id: &str, json: &str) {
@@ -141,9 +205,6 @@ fn write_json(dir: &str, id: &str, json: &str) {
 }
 
 fn usage() {
-    eprintln!(
-        "usage: repro <target> [--smoke|--full] [--json DIR]\n\
-         targets: table1 table2 table3 table4 equations fig9 fig10ab fig10cf\n\
-         \t fig11 fig12 fig13 fig14 fig15 ablation saturation tables figures all"
-    );
+    eprintln!("usage: repro <target> [--smoke|--full] [--json DIR]  |  repro --list\n");
+    eprint!("{}", target_listing());
 }

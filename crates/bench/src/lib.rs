@@ -5,6 +5,7 @@
 //! (reduced-scale timing). See DESIGN.md for the experiment index and
 //! EXPERIMENTS.md for recorded paper-vs-measured results.
 
+pub mod collectives;
 pub mod figures;
 pub mod tables;
 

@@ -17,6 +17,10 @@
 //!   [`SaturationReport`] with the saturation throughput, the zero-load
 //!   latency, and every measured point — each carrying p50/p95/p99/max
 //!   latency from the engine's streaming histogram.
+//! * [`run_workload()`] — the closed-loop runner: drives a collective
+//!   [`Workload`] DAG (allreduce, all-to-all, pipelines, ...) to
+//!   quiescence and reports completion cycles and achieved bandwidth per
+//!   phase as a [`WorkloadReport`].
 //!
 //! ```no_run
 //! use wsdf::{AdaptiveConfig, Bench, PatternSpec};
@@ -42,16 +46,21 @@
 #![deny(missing_docs)]
 
 pub mod bench;
+pub mod collective;
 pub mod json;
 pub mod report;
 pub mod sweep;
 
 pub use bench::{Bench, BenchOracle, Fabric, PatternSpec};
+pub use collective::{
+    run_workload, run_workload_on, LatencySummary, PhaseReport, WorkloadReport, WorkloadUnits,
+};
 pub use report::{Curve, Figure, Point};
 pub use sweep::{
     adaptive_sweep, saturation_rate, sweep, AdaptiveConfig, SaturationReport, SweepConfig,
     SweepPoint,
 };
+pub use wsdf_workload::Workload;
 
 pub use wsdf_analysis as analysis;
 pub use wsdf_exec as exec;
@@ -59,3 +68,4 @@ pub use wsdf_routing as routing;
 pub use wsdf_sim as sim;
 pub use wsdf_topo as topo;
 pub use wsdf_traffic as traffic;
+pub use wsdf_workload as workload;

@@ -301,7 +301,7 @@ const ANCHOR_SLACK: f64 = 1.5;
 ///
 /// Phase 1 anchors the zero-load reference: the start rate is probed, then
 /// validated by one geometrically slower probe — backing off further while
-/// the slower probe is materially faster ([`ANCHOR_SLACK`]) or the current
+/// the slower probe is materially faster (`ANCHOR_SLACK`) or the current
 /// lowest point is outright saturated, so a start inside the congested
 /// region (which cannot be detected from its own numbers alone) does not
 /// poison the reference. The scan then walks geometric steps up from the

@@ -53,12 +53,13 @@
 use crate::channel::{Terminus, TimedRing};
 use crate::config::SimConfig;
 use crate::flit::Flit;
+use crate::flit::{PacketHeader, NO_INTERMEDIATE};
 use crate::metrics::Metrics;
 use crate::network::NetworkDesc;
 use crate::oracle::RouteOracle;
 use crate::pattern::TrafficPattern;
 use crate::router::{
-    CreditTarget, CycleCtx, EndpointRt, FlitTarget, Msg, PortIn, PortOut, RouterRt,
+    Arrival, CreditTarget, CycleCtx, EndpointRt, FlitTarget, Msg, PortIn, PortOut, RouterRt,
 };
 use wsdf_exec::BspPool;
 
@@ -105,6 +106,9 @@ struct Partition {
     metrics: Metrics,
     moved: u64,
     in_flight: i64,
+    /// Packet-arrival events of this cycle (closed-loop runs only; stays
+    /// empty — and unallocated — in open-loop runs).
+    arrivals: Vec<Arrival>,
 }
 
 impl Partition {
@@ -141,6 +145,7 @@ impl Partition {
         measure_start: u64,
         measure_end: u64,
         packet_len: u8,
+        collect_arrivals: bool,
         outboxes: &mut [Vec<Msg>],
     ) {
         self.moved = 0;
@@ -152,6 +157,7 @@ impl Partition {
             metrics,
             moved,
             in_flight,
+            arrivals,
         } = self;
         let mut ctx = CycleCtx {
             now,
@@ -159,6 +165,8 @@ impl Partition {
             credit_qs,
             outboxes,
             metrics,
+            arrivals,
+            collect_arrivals,
             moved,
             in_flight,
             measuring: now >= measure_start && now < measure_end,
@@ -234,6 +242,7 @@ impl CycleShared {
         flit_loc: &[(u32, u32)],
         credit_loc: &[(u32, u32)],
         packet_len: u8,
+        collect_arrivals: bool,
     ) {
         let part = &mut *self.parts.add(p);
         // Drain column p of the read buffer in source order (the same
@@ -251,6 +260,7 @@ impl CycleShared {
             measure_start,
             measure_end,
             packet_len,
+            collect_arrivals,
             outboxes,
         );
     }
@@ -271,6 +281,8 @@ pub struct Simulation<O: RouteOracle> {
     flit_loc: Vec<(u32, u32)>,
     /// channel id → (owning partition, local credit-queue index)
     credit_loc: Vec<(u32, u32)>,
+    /// endpoint id → (owning partition, local endpoint index)
+    ep_loc: Vec<(u32, u32)>,
     now: u64,
     stall: u64,
     endpoints_total: u64,
@@ -358,6 +370,7 @@ impl<O: RouteOracle> Simulation<O> {
                 },
                 moved: 0,
                 in_flight: 0,
+                arrivals: Vec::new(),
             })
             .collect();
 
@@ -448,8 +461,10 @@ impl<O: RouteOracle> Simulation<O> {
                 ej_of[endpoint as usize] = c;
             }
         }
+        let mut ep_loc = Vec::with_capacity(net.num_endpoints());
         for (e, ed) in net.endpoints.iter().enumerate() {
             let p = part_of(ed.router as usize) as usize;
+            ep_loc.push((p as u32, partitions[p].endpoints.len() as u32));
             let inj = inj_of[e];
             let ej = ej_of[e];
             let inj_ch = &net.channels[inj];
@@ -499,6 +514,7 @@ impl<O: RouteOracle> Simulation<O> {
             partitions,
             flit_loc,
             credit_loc,
+            ep_loc,
             now: 0,
             stall: 0,
             endpoints_total: net.num_endpoints() as u64,
@@ -540,7 +556,7 @@ impl<O: RouteOracle> Simulation<O> {
         let meas_end = warm + self.cfg.measure_cycles;
         let total = meas_end + self.cfg.drain_cycles;
         while self.now < total {
-            let (moved, in_flight) = self.step(pool, pattern, warm, meas_end);
+            let (moved, in_flight) = self.step(pool, pattern, warm, meas_end, false);
             if self.cfg.watchdog_cycles > 0 {
                 if moved == 0 && in_flight > 0 {
                     self.stall += 1;
@@ -570,6 +586,7 @@ impl<O: RouteOracle> Simulation<O> {
         pattern: &P,
         measure_start: u64,
         measure_end: u64,
+        collect_arrivals: bool,
     ) -> (u64, i64) {
         let now = self.now;
         let flit_loc = &self.flit_loc;
@@ -605,6 +622,7 @@ impl<O: RouteOracle> Simulation<O> {
                         flit_loc,
                         credit_loc,
                         packet_len,
+                        collect_arrivals,
                     );
                 }
             }
@@ -630,8 +648,15 @@ impl<O: RouteOracle> Simulation<O> {
 
     /// Merge per-partition metrics into the final result.
     fn collect(&self) -> Metrics {
+        self.collect_with(self.cfg.measure_cycles)
+    }
+
+    /// [`collect`](Self::collect) with an explicit rate denominator —
+    /// closed-loop runs measure over every cycle actually simulated, not
+    /// the configured open-loop window.
+    fn collect_with(&self, measure_cycles: u64) -> Metrics {
         let mut m = Metrics {
-            measure_cycles: self.cfg.measure_cycles,
+            measure_cycles,
             endpoints: self.endpoints_total,
             cycles_run: self.now,
             ..Default::default()
@@ -640,6 +665,194 @@ impl<O: RouteOracle> Simulation<O> {
             m.merge(&p.metrics);
         }
         m
+    }
+
+    /// Run a closed-loop workload to quiescence on the process-wide
+    /// executor. See [`run_closed_loop_on`](Self::run_closed_loop_on).
+    pub fn run_closed_loop<W: WorkloadDriver>(&mut self, driver: &mut W) -> SimResult<Metrics> {
+        self.run_closed_loop_on(wsdf_exec::global_pool(), driver)
+    }
+
+    /// Run a closed-loop workload to quiescence on an explicit executor.
+    ///
+    /// Unlike [`run_on`](Self::run_on), there is no fixed cycle schedule:
+    /// every cycle starts with [`WorkloadDriver::pre_cycle`] (the driver
+    /// submits whatever messages became eligible through the [`Injector`]),
+    /// advances the network one BSP broadcast, and ends — at the barrier,
+    /// where partition state is globally consistent — by handing the cycle's
+    /// packet [`Arrival`] events to [`WorkloadDriver::on_arrivals`]. The
+    /// run terminates at **quiescence**: the driver reports
+    /// [`done`](WorkloadDriver::done), no flit is in flight, and every
+    /// source queue is empty. All three conditions are functions of merged
+    /// per-partition state evaluated between broadcasts, so the stopping
+    /// cycle — and every metric — is bit-identical for any partition or
+    /// worker count, exactly like the open-loop path.
+    ///
+    /// The whole run is measured (`measure_start = 0`, no drain phase);
+    /// the returned [`Metrics::measure_cycles`] equals the cycles actually
+    /// simulated. The deadlock watchdog stays armed: if nothing moves for
+    /// `watchdog_cycles` consecutive cycles before quiescence — flits stuck
+    /// *or* a driver that never finishes — the run fails with
+    /// [`SimError::Deadlock`] instead of spinning forever.
+    pub fn run_closed_loop_on<W: WorkloadDriver>(
+        &mut self,
+        pool: &BspPool,
+        driver: &mut W,
+    ) -> SimResult<Metrics> {
+        let idle = IdlePattern;
+        let mut events: Vec<Arrival> = Vec::new();
+        self.stall = 0;
+        loop {
+            {
+                // Serial injection point: deterministic by construction
+                // (runs between broadcasts, in whatever order the driver
+                // submits — the driver owns that order).
+                let Simulation {
+                    partitions,
+                    oracle,
+                    ep_loc,
+                    now,
+                    ..
+                } = self;
+                let mut inj = Injector {
+                    parts: partitions,
+                    ep_loc,
+                    oracle,
+                    now: *now,
+                };
+                driver.pre_cycle(*now, &mut inj);
+            }
+            let cycle = self.now;
+            let (moved, in_flight) = self.step(pool, &idle, 0, u64::MAX, true);
+            // Drain this cycle's arrival events in partition order — the
+            // concatenation reproduces ascending-router order for any
+            // partition count (partitions are contiguous router blocks).
+            events.clear();
+            for p in &mut self.partitions {
+                events.append(&mut p.arrivals);
+            }
+            driver.on_arrivals(cycle, &events);
+            if in_flight == 0 && self.backlog() == 0 && driver.done() {
+                break;
+            }
+            if self.cfg.watchdog_cycles > 0 {
+                if moved == 0 {
+                    self.stall += 1;
+                    if self.stall >= self.cfg.watchdog_cycles {
+                        return Err(SimError::Deadlock {
+                            cycle: self.now,
+                            in_flight: in_flight.max(0) as u64,
+                        });
+                    }
+                } else {
+                    self.stall = 0;
+                }
+            }
+        }
+        Ok(self.collect_with(self.now))
+    }
+}
+
+/// Driver side of a closed-loop (workload-driven) simulation: the engine
+/// owns the cycle loop, the driver owns *what* gets injected *when*.
+///
+/// Contract for determinism: decisions may depend only on the cycle number
+/// and on previously observed [`Arrival`] events (both are partition- and
+/// worker-count-invariant), and submissions for one cycle must come in a
+/// deterministic order — e.g. sorted by a message id.
+pub trait WorkloadDriver {
+    /// Called before cycle `now` advances. Submit every packet that is
+    /// eligible at `now` through `inj`; packets queue at their source
+    /// endpoint and serialize into the network under credit backpressure.
+    fn pre_cycle(&mut self, now: u64, inj: &mut Injector<'_>);
+
+    /// Called after cycle `now`, at the BSP barrier, with every packet
+    /// whose tail was ejected this cycle. `Arrival::arrive` may lie up to
+    /// one ejection-channel latency in the future (see [`Arrival`]).
+    fn on_arrivals(&mut self, now: u64, arrivals: &[Arrival]);
+
+    /// True once every expected arrival has been observed. Quiescence —
+    /// the end of the run — additionally requires the network and all
+    /// source queues to be empty.
+    fn done(&self) -> bool;
+}
+
+/// Closed-loop injection handle passed to [`WorkloadDriver::pre_cycle`].
+///
+/// Lives only between BSP broadcasts, so pushing into endpoint source
+/// queues needs no synchronization.
+pub struct Injector<'a> {
+    parts: &'a mut [Partition],
+    ep_loc: &'a [(u32, u32)],
+    oracle: &'a dyn RouteOracle,
+    now: u64,
+}
+
+impl Injector<'_> {
+    /// Current cycle (packets submitted now are created at this cycle).
+    pub fn now(&self) -> u64 {
+        self.now
+    }
+
+    /// Number of endpoints in the network.
+    pub fn endpoints(&self) -> u32 {
+        self.ep_loc.len() as u32
+    }
+
+    /// Submit one packet of `len` flits from endpoint `src` to `dst`.
+    ///
+    /// `id` is the caller's tag (message id + sequence in the low 56 bits;
+    /// the top 8 are reserved for the engine's in-network VC stamp) and
+    /// comes back verbatim in the matching [`Arrival`]. The packet is
+    /// tagged by the routing oracle (Valiant intermediate groups etc.)
+    /// using the source endpoint's deterministic RNG stream and then
+    /// queued; `Metrics::packets_created` counts it this cycle.
+    ///
+    /// # Panics
+    /// If `src`/`dst` are out of range, equal, `len` is 0, or `id` uses
+    /// the reserved top 8 bits (the in-network VC stamp would corrupt it
+    /// and the [`Arrival`] would come back with a different id).
+    pub fn submit(&mut self, src: u32, dst: u32, id: u64, len: u8) {
+        assert!(len >= 1, "zero-length packet");
+        assert_ne!(src, dst, "closed-loop self-traffic is not routable");
+        assert_eq!(
+            id >> 56,
+            0,
+            "packet id {id:#x} overlaps the reserved VC-stamp bits"
+        );
+        assert!(
+            (dst as usize) < self.ep_loc.len(),
+            "dst {dst} out of range ({} endpoints)",
+            self.ep_loc.len()
+        );
+        let (p, e) = self.ep_loc[src as usize];
+        let part = &mut self.parts[p as usize];
+        let mut pkt = PacketHeader {
+            id,
+            src,
+            dst,
+            inter_w: NO_INTERMEDIATE,
+            created: self.now,
+            len,
+        };
+        let ep = &mut part.endpoints[e as usize];
+        self.oracle.tag_packet(&mut pkt, ep.rng_mut());
+        ep.push_packet(pkt);
+        part.metrics.packets_created += 1;
+    }
+}
+
+/// The pattern bound of a closed-loop run: offers zero open-loop load, so
+/// endpoint generation is inert and every injected flit comes from the
+/// [`Injector`].
+struct IdlePattern;
+
+impl TrafficPattern for IdlePattern {
+    fn rate(&self, _src: u32) -> f64 {
+        0.0
+    }
+    fn dest(&self, _src: u32, _seq: u64, _rng: &mut crate::rng::SplitMix64) -> Option<u32> {
+        None
     }
 }
 
@@ -932,6 +1145,110 @@ mod tests {
         .unwrap();
         assert_eq!(m.packets_created, 0);
         assert_eq!(m.packets_ejected, 0);
+    }
+
+    /// Minimal closed-loop driver: a fixed burst of packets 0 → n/2, done
+    /// when every flit has arrived.
+    struct Burst {
+        sent: bool,
+        packets: u64,
+        dst: u32,
+        arrived_flits: u64,
+        expect_flits: u64,
+        last_arrival: u64,
+    }
+
+    impl WorkloadDriver for Burst {
+        fn pre_cycle(&mut self, _now: u64, inj: &mut Injector<'_>) {
+            if !self.sent {
+                for i in 0..self.packets {
+                    inj.submit(0, self.dst, i, 4);
+                }
+                self.sent = true;
+            }
+        }
+        fn on_arrivals(&mut self, _now: u64, arrivals: &[Arrival]) {
+            for a in arrivals {
+                assert_eq!(a.dst, self.dst);
+                self.arrived_flits += a.flits as u64;
+                self.last_arrival = self.last_arrival.max(a.arrive);
+            }
+        }
+        fn done(&self) -> bool {
+            self.arrived_flits == self.expect_flits
+        }
+    }
+
+    fn burst(packets: u64, dst: u32) -> Burst {
+        Burst {
+            sent: false,
+            packets,
+            dst,
+            arrived_flits: 0,
+            expect_flits: packets * 4,
+            last_arrival: 0,
+        }
+    }
+
+    #[test]
+    fn closed_loop_runs_to_quiescence() {
+        let net = ring(8);
+        let mut sim = Simulation::new(&net, &small_cfg(), &RingOracle { n: 8 }).unwrap();
+        let mut driver = burst(6, 4);
+        let m = sim.run_closed_loop(&mut driver).unwrap();
+        assert!(driver.done());
+        assert_eq!(m.packets_created, 6);
+        assert_eq!(m.packets_ejected, 6);
+        // Quiescence, not a fixed budget: the loop stopped within one
+        // ejection latency of the last arrival, far before the open-loop
+        // schedule (900 cycles) would have.
+        assert!(m.cycles_run <= driver.last_arrival + 1);
+        assert!(m.cycles_run < 900, "quiescence exit ran {}", m.cycles_run);
+        // Closed-loop rates are normalized over the cycles actually run.
+        assert_eq!(m.measure_cycles, m.cycles_run);
+        assert_eq!(m.latency_hist.count(), 6);
+    }
+
+    #[test]
+    fn closed_loop_deterministic_across_partitions_and_workers() {
+        let net = ring(16);
+        let run = |parts: usize, workers: usize| {
+            let mut c = small_cfg();
+            c.partitions = parts;
+            let mut sim = Simulation::new(&net, &c, &RingOracle { n: 16 }).unwrap();
+            let mut driver = burst(10, 7);
+            let pool = BspPool::new(workers);
+            let m = sim.run_closed_loop_on(&pool, &mut driver).unwrap();
+            (m, driver.last_arrival)
+        };
+        let (base, base_last) = run(1, 1);
+        assert_eq!(base.packets_ejected, 10);
+        for (parts, workers) in [(2, 1), (4, 2), (7, 4)] {
+            let (m, last) = run(parts, workers);
+            assert_eq!(m.cycles_run, base.cycles_run, "p={parts} w={workers}");
+            assert_eq!(m.latency_sum, base.latency_sum, "p={parts} w={workers}");
+            assert_eq!(m.latency_hist, base.latency_hist, "p={parts} w={workers}");
+            assert_eq!(last, base_last, "p={parts} w={workers}");
+        }
+    }
+
+    #[test]
+    fn closed_loop_starved_driver_trips_watchdog() {
+        /// Never submits, never done: the watchdog must end the run.
+        struct Never;
+        impl WorkloadDriver for Never {
+            fn pre_cycle(&mut self, _now: u64, _inj: &mut Injector<'_>) {}
+            fn on_arrivals(&mut self, _now: u64, _arrivals: &[Arrival]) {}
+            fn done(&self) -> bool {
+                false
+            }
+        }
+        let net = ring(4);
+        let mut cfg = small_cfg();
+        cfg.watchdog_cycles = 50;
+        let mut sim = Simulation::new(&net, &cfg, &RingOracle { n: 4 }).unwrap();
+        let err = sim.run_closed_loop(&mut Never).unwrap_err();
+        assert!(matches!(err, SimError::Deadlock { .. }));
     }
 
     #[test]

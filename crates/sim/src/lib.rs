@@ -20,6 +20,11 @@
 //! * Routing is delegated to a [`RouteOracle`] implemented by downstream
 //!   crates (`wsdf-routing`); traffic to a [`TrafficPattern`]
 //!   (`wsdf-traffic`).
+//! * Besides the open-loop schedule ([`Simulation::run`]), the engine has a
+//!   **closed-loop** mode ([`Simulation::run_closed_loop`]): a
+//!   [`WorkloadDriver`] injects packets between cycles, observes
+//!   [`Arrival`] events at the BSP barrier, and the run ends at quiescence
+//!   — the substrate of the `wsdf-workload` collective subsystem.
 //!
 //! The engine runs either sequentially or as a BSP-parallel simulation on
 //! the persistent [`wsdf_exec::BspPool`] executor, which keeps the hot
@@ -46,11 +51,14 @@ pub mod router;
 
 pub use channel::{ChannelClass, ChannelDesc, ChannelId, RingFull, Terminus, TimedRing};
 pub use config::SimConfig;
-pub use engine::{simulate, simulate_dyn, simulate_on, SimError, SimResult, Simulation};
+pub use engine::{
+    simulate, simulate_dyn, simulate_on, Injector, SimError, SimResult, Simulation, WorkloadDriver,
+};
 pub use flit::{Flit, FlitKind, PacketHeader};
 pub use metrics::{ClassCounters, LatencyHistogram, Metrics};
 pub use network::{EndpointDesc, NetworkDesc, RouterDesc};
 pub use oracle::{RouteChoice, RouteOracle};
 pub use pattern::TrafficPattern;
 pub use rng::SplitMix64;
+pub use router::Arrival;
 pub use wsdf_exec::{configured_threads, global_pool, BspPool};

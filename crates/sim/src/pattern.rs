@@ -7,6 +7,25 @@
 use crate::rng::SplitMix64;
 
 /// A synthetic or collective traffic workload.
+///
+/// # Contract
+///
+/// Patterns are shared *immutably* across every BSP partition and worker
+/// thread for the whole run — hence the `Sync + Send` bound. An
+/// implementation must not mutate interior state (no `Cell`/`Mutex`
+/// counters): all variability has to come from the arguments.
+///
+/// **Per-endpoint determinism:** `dest` is called with the *calling
+/// endpoint's* private [`SplitMix64`] stream and a per-source packet
+/// sequence number. The result must be a pure function of
+/// `(src, seq, draws from rng)` — never of global state, wall-clock, or
+/// call interleaving — so that any partitioning of the endpoints across
+/// threads replays the identical packet stream. This is what makes
+/// simulation results bit-identical for every partition and worker count
+/// (see `tests/determinism_and_vcs.rs`).
+///
+/// Patterns must not emit self-traffic: the engine cannot route a packet
+/// whose source equals its destination (debug builds assert this).
 pub trait TrafficPattern: Sync + Send {
     /// Offered load at endpoint `src` in flits/cycle (per *endpoint*, i.e.
     /// per network interface — the harness converts per-chip rates).
@@ -90,6 +109,28 @@ mod tests {
             }
         }
         assert!(!seen[3], "self-traffic must be remapped");
+    }
+
+    /// The `allow_self = false` contract: no draw may ever produce
+    /// self-traffic, at any rate, from any source, on any seed — the
+    /// engine cannot route such a packet. The redraw maps `src` to the
+    /// next endpoint instead of rejecting (keeps rates exact).
+    #[test]
+    fn no_self_traffic_at_any_rate() {
+        for rate in [0.01, 0.5, 1.0, 4.0] {
+            let p = UniformPattern::new(9, rate);
+            assert!(!p.allow_self);
+            for src in 0..9u32 {
+                for seed in 0..4u64 {
+                    let mut rng = SplitMix64::new(seed);
+                    for seq in 0..1_000 {
+                        let d = p.dest(src, seq, &mut rng).unwrap();
+                        assert_ne!(d, src, "self-traffic from {src} (seed {seed})");
+                        assert!(d < 9);
+                    }
+                }
+            }
+        }
     }
 
     #[test]

@@ -51,6 +51,27 @@ pub enum Msg {
     },
 }
 
+/// A fully ejected packet, reported to a closed-loop workload driver.
+///
+/// Emitted once per packet, at its *tail* flit's ejection. Because flits
+/// of one packet ride the same channel in order, the tail arrives last, so
+/// `arrive` is the cycle at which the whole packet has reached `dst` —
+/// the reassembly timestamp closed-loop workloads key dependency release
+/// off. Recording happens at send time with the future arrival cycle
+/// stamped in (the ejection channel has latency ≥ 1), so a driver may see
+/// events up to one channel latency ahead of the current cycle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Arrival {
+    /// Cycle at which the packet's last flit reaches the endpoint.
+    pub arrive: u64,
+    /// Packet id (closed-loop drivers encode their message tag here).
+    pub id: u64,
+    /// Destination endpoint.
+    pub dst: u32,
+    /// Packet length in flits.
+    pub flits: u8,
+}
+
 /// Where a flit sent on an output port lands.
 #[derive(Debug, Clone, Copy)]
 pub enum FlitTarget {
@@ -153,6 +174,11 @@ pub struct CycleCtx<'a> {
     pub outboxes: &'a mut [Vec<Msg>],
     /// Partition-local metrics.
     pub metrics: &'a mut Metrics,
+    /// Packet-arrival events for the closed-loop workload driver (tail
+    /// ejections); unused (and never pushed) in open-loop runs.
+    pub arrivals: &'a mut Vec<Arrival>,
+    /// True when a closed-loop run wants [`Arrival`] events collected.
+    pub collect_arrivals: bool,
     /// Count of flit movements this cycle (watchdog).
     pub moved: &'a mut u64,
     /// Net change in in-network flits this cycle (watchdog bookkeeping).
@@ -595,6 +621,14 @@ fn eject(flit: Flit, arrive: u64, ctx: &mut CycleCtx<'_>) {
             ctx.metrics.latency_max = ctx.metrics.latency_max.max(lat);
             ctx.metrics.latency_hist.record(lat);
         }
+        if ctx.collect_arrivals {
+            ctx.arrivals.push(Arrival {
+                arrive,
+                id: flit.pkt.id,
+                dst: flit.pkt.dst,
+                flits: flit.pkt.len,
+            });
+        }
     }
 }
 
@@ -704,6 +738,17 @@ impl EndpointRt {
     /// Packets waiting in the source queue (backpressure indicator).
     pub fn backlog(&self) -> usize {
         self.queue.len()
+    }
+
+    /// Enqueue a fully formed packet into the source queue (closed-loop
+    /// injection: the engine's [`crate::engine::Injector`] calls this
+    /// between cycles). The packet serializes into the network through the
+    /// same credit-limited [`inject_flits`](Self::inject_flits) path as
+    /// open-loop traffic — as fast as backpressure allows, no faster.
+    pub(crate) fn push_packet(&mut self, pkt: PacketHeader) {
+        debug_assert_ne!(pkt.src, pkt.dst, "closed-loop self-traffic");
+        debug_assert_eq!(pkt.id & VC_MASK, 0, "packet id overlaps VC stamp bits");
+        self.queue.push_back(pkt);
     }
 
     /// One cycle: eject arrived flits, generate new packets, inject flits.

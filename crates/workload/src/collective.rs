@@ -1,0 +1,510 @@
+//! Collective workloads as message dependency DAGs.
+//!
+//! A [`Workload`] is a list of [`Message`]s plus, per message, the set of
+//! predecessor messages that must *fully arrive* (every flit reassembled at
+//! the destination) before it may be injected. The closed-loop driver
+//! releases messages as their dependencies complete, so the schedule is
+//! data-driven exactly like a real collective implementation: step `s+1`
+//! of a ring allreduce cannot leave a node before step `s`'s chunk has
+//! been received and reduced.
+//!
+//! Builders for the standard collectives are provided — ring and
+//! recursive-doubling **allreduce**, staggered **all-to-all**, binomial
+//! **broadcast**/**reduce**, and a multi-stage **pipeline** — and arbitrary
+//! DAGs can be assembled with [`Workload::push`]. Messages carry a *phase*
+//! tag (e.g. reduce-scatter vs allgather) so reports can attribute time
+//! and bandwidth per phase.
+
+use crate::message::{packet_count, MAX_MESSAGES, MAX_PACKETS_PER_MESSAGE};
+
+/// One point-to-point message of a collective.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Message {
+    /// Source endpoint.
+    pub src: u32,
+    /// Destination endpoint.
+    pub dst: u32,
+    /// Payload size in flits.
+    pub flits: u64,
+    /// Index into [`Workload::phases`].
+    pub phase: u32,
+}
+
+/// A dependency-aware collective workload (a message DAG).
+#[derive(Debug, Clone)]
+pub struct Workload {
+    /// Human-readable workload name ("ring-allreduce", ...).
+    pub name: String,
+    /// Phase labels, indexed by [`Message::phase`].
+    pub phases: Vec<String>,
+    msgs: Vec<Message>,
+    /// Predecessors per message (indices into `msgs`).
+    preds: Vec<Vec<u32>>,
+}
+
+impl Workload {
+    /// An empty workload (assemble with [`push`](Self::push)).
+    pub fn new(name: impl Into<String>) -> Self {
+        Workload {
+            name: name.into(),
+            phases: Vec::new(),
+            msgs: Vec::new(),
+            preds: Vec::new(),
+        }
+    }
+
+    /// Add (or find) a phase label, returning its index.
+    pub fn phase(&mut self, label: impl Into<String>) -> u32 {
+        let label = label.into();
+        if let Some(i) = self.phases.iter().position(|p| *p == label) {
+            return i as u32;
+        }
+        self.phases.push(label);
+        (self.phases.len() - 1) as u32
+    }
+
+    /// Append a message with explicit predecessors; returns its id.
+    pub fn push(&mut self, msg: Message, preds: &[u32]) -> u32 {
+        let id = self.msgs.len() as u32;
+        self.msgs.push(msg);
+        self.preds.push(preds.to_vec());
+        id
+    }
+
+    /// The messages, in id order.
+    pub fn messages(&self) -> &[Message] {
+        &self.msgs
+    }
+
+    /// Predecessor ids of message `m`.
+    pub fn preds(&self, m: u32) -> &[u32] {
+        &self.preds[m as usize]
+    }
+
+    /// Number of messages.
+    pub fn len(&self) -> usize {
+        self.msgs.len()
+    }
+
+    /// True if the workload has no messages.
+    pub fn is_empty(&self) -> bool {
+        self.msgs.is_empty()
+    }
+
+    /// Total payload over all messages, in flits.
+    pub fn total_flits(&self) -> u64 {
+        self.msgs.iter().map(|m| m.flits).sum()
+    }
+
+    /// Structural validation: endpoint ids in range, no self-messages, no
+    /// zero-length messages, tag space not exceeded, dependencies in range
+    /// and acyclic (so the closed-loop run is guaranteed to make progress).
+    pub fn validate(&self, endpoints: u32) -> Result<(), String> {
+        if self.msgs.len() as u64 > MAX_MESSAGES {
+            return Err(format!(
+                "{} messages exceed the tag space ({MAX_MESSAGES})",
+                self.msgs.len()
+            ));
+        }
+        for (i, m) in self.msgs.iter().enumerate() {
+            if m.src >= endpoints || m.dst >= endpoints {
+                return Err(format!(
+                    "message {i}: {} -> {} out of range ({endpoints} endpoints)",
+                    m.src, m.dst
+                ));
+            }
+            if m.src == m.dst {
+                return Err(format!("message {i}: self-message at endpoint {}", m.src));
+            }
+            if m.flits == 0 {
+                return Err(format!("message {i}: zero flits"));
+            }
+            if packet_count(m.flits, 1) > MAX_PACKETS_PER_MESSAGE {
+                return Err(format!("message {i}: {} flits exceed tag space", m.flits));
+            }
+            if m.phase as usize >= self.phases.len() {
+                return Err(format!("message {i}: phase {} unlabeled", m.phase));
+            }
+            for &p in &self.preds[i] {
+                if p as usize >= self.msgs.len() {
+                    return Err(format!("message {i}: predecessor {p} out of range"));
+                }
+            }
+        }
+        // Kahn's algorithm: every message must be reachable from the
+        // zero-predecessor frontier, otherwise the DAG has a cycle and the
+        // run would starve.
+        let mut waiting: Vec<u32> = self.preds.iter().map(|p| p.len() as u32).collect();
+        let succs = self.successors();
+        let mut frontier: Vec<u32> = (0..self.msgs.len() as u32)
+            .filter(|&i| waiting[i as usize] == 0)
+            .collect();
+        let mut released = 0usize;
+        while let Some(m) = frontier.pop() {
+            released += 1;
+            for &s in &succs[m as usize] {
+                waiting[s as usize] -= 1;
+                if waiting[s as usize] == 0 {
+                    frontier.push(s);
+                }
+            }
+        }
+        if released != self.msgs.len() {
+            return Err(format!(
+                "dependency cycle: only {released} of {} messages can ever run",
+                self.msgs.len()
+            ));
+        }
+        Ok(())
+    }
+
+    /// Successor lists (inverse of the predecessor lists).
+    pub(crate) fn successors(&self) -> Vec<Vec<u32>> {
+        let mut succs: Vec<Vec<u32>> = vec![Vec::new(); self.msgs.len()];
+        for (i, preds) in self.preds.iter().enumerate() {
+            for &p in preds {
+                succs[p as usize].push(i as u32);
+            }
+        }
+        succs
+    }
+
+    // --- Collective builders ------------------------------------------------
+
+    /// Ring allreduce over `participants` (≥ 2 distinct endpoints), each
+    /// contributing `data_flits` of payload.
+    ///
+    /// The textbook bandwidth-optimal schedule: the data is split into
+    /// `p` chunks of `⌈data/p⌉` flits; a **reduce-scatter** phase of
+    /// `p − 1` steps pipelines partial sums around the ring, then an
+    /// **allgather** phase of `p − 1` steps circulates the reduced chunks.
+    /// In every step each node sends one chunk to its ring successor, and
+    /// a node's step-`s` send depends on having received its predecessor's
+    /// step-`s−1` chunk — the dependency structure that makes completion
+    /// time `2(p−1) × (chunk latency)` under zero contention.
+    pub fn ring_allreduce(participants: &[u32], data_flits: u64) -> Workload {
+        let p = participants.len();
+        assert!(p >= 2, "ring allreduce needs at least 2 participants");
+        let chunk = data_flits.div_ceil(p as u64).max(1);
+        let mut wl = Workload::new("ring-allreduce");
+        let rs = wl.phase("reduce-scatter");
+        let ag = wl.phase("allgather");
+        // msg id of (step s, node i) is s*p + i by construction.
+        let mid = |s: usize, i: usize| (s * p + i) as u32;
+        for s in 0..2 * (p - 1) {
+            let phase = if s < p - 1 { rs } else { ag };
+            for i in 0..p {
+                let msg = Message {
+                    src: participants[i],
+                    dst: participants[(i + 1) % p],
+                    flits: chunk,
+                    phase,
+                };
+                if s == 0 {
+                    wl.push(msg, &[]);
+                } else {
+                    // The chunk node i forwards at step s is the one it
+                    // received from its ring predecessor at step s−1.
+                    wl.push(msg, &[mid(s - 1, (i + p - 1) % p)]);
+                }
+            }
+        }
+        wl
+    }
+
+    /// Recursive-doubling allreduce over a power-of-two number of
+    /// `participants`, each contributing `data_flits` of payload.
+    ///
+    /// `log2 p` exchange rounds; in round `k` every node swaps its full
+    /// (partially reduced) vector with the partner at XOR distance `2^k`,
+    /// and may only do so once its round-`k−1` exchange has arrived. Each
+    /// round is its own phase (`xchg0`, `xchg1`, ...), so reports show the
+    /// per-round time doubling as partners move further apart.
+    pub fn rd_allreduce(participants: &[u32], data_flits: u64) -> Result<Workload, String> {
+        let p = participants.len();
+        if p < 2 || !p.is_power_of_two() {
+            return Err(format!(
+                "recursive doubling needs a power-of-two participant count, got {p}"
+            ));
+        }
+        let rounds = p.trailing_zeros() as usize;
+        let mut wl = Workload::new("rd-allreduce");
+        let flits = data_flits.max(1);
+        let mid = |k: usize, i: usize| (k * p + i) as u32;
+        for k in 0..rounds {
+            let phase = wl.phase(format!("xchg{k}"));
+            for i in 0..p {
+                let partner = i ^ (1 << k);
+                let msg = Message {
+                    src: participants[i],
+                    dst: participants[partner],
+                    flits,
+                    phase,
+                };
+                if k == 0 {
+                    wl.push(msg, &[]);
+                } else {
+                    // Node i's round-k send needs its round-(k−1) inbound
+                    // message — the one its previous partner sent it.
+                    wl.push(msg, &[mid(k - 1, i ^ (1 << (k - 1)))]);
+                }
+            }
+        }
+        Ok(wl)
+    }
+
+    /// All-to-all (personalized exchange): every participant sends
+    /// `flits_per_pair` flits to every other participant.
+    ///
+    /// Dependency-free — the network's backpressure is the only governor —
+    /// but the *submission* order is staggered round-robin (step `s`: node
+    /// `i` targets node `i+s`), the classic schedule that avoids every
+    /// source hammering the same destination at once.
+    pub fn all_to_all(participants: &[u32], flits_per_pair: u64) -> Workload {
+        let p = participants.len();
+        assert!(p >= 2, "all-to-all needs at least 2 participants");
+        let mut wl = Workload::new("all-to-all");
+        let phase = wl.phase("exchange");
+        let flits = flits_per_pair.max(1);
+        for s in 1..p {
+            for i in 0..p {
+                wl.push(
+                    Message {
+                        src: participants[i],
+                        dst: participants[(i + s) % p],
+                        flits,
+                        phase,
+                    },
+                    &[],
+                );
+            }
+        }
+        wl
+    }
+
+    /// Binomial-tree broadcast of `data_flits` from `participants[0]` to
+    /// the rest.
+    ///
+    /// Round `k` doubles the set of endpoints holding the data: each
+    /// holder forwards to the participant at index distance `2^k`. A
+    /// relay depends on the message that delivered its own copy.
+    pub fn broadcast(participants: &[u32], data_flits: u64) -> Workload {
+        let p = participants.len();
+        assert!(p >= 2, "broadcast needs at least 2 participants");
+        let mut wl = Workload::new("broadcast");
+        let phase = wl.phase("broadcast");
+        let flits = data_flits.max(1);
+        // recv[i] = id of the message that delivers the data to index i.
+        let mut recv: Vec<Option<u32>> = vec![None; p];
+        let mut stride = 1usize;
+        while stride < p {
+            for i in 0..stride.min(p) {
+                let j = i + stride;
+                if j >= p {
+                    continue;
+                }
+                let deps: Vec<u32> = recv[i].into_iter().collect();
+                let id = wl.push(
+                    Message {
+                        src: participants[i],
+                        dst: participants[j],
+                        flits,
+                        phase,
+                    },
+                    &deps,
+                );
+                recv[j] = Some(id);
+            }
+            stride *= 2;
+        }
+        wl
+    }
+
+    /// Binomial-tree reduce of `data_flits` per participant onto
+    /// `participants[0]` — [`broadcast`](Self::broadcast) run backwards:
+    /// a node sends its partial sum up the tree only after every child
+    /// contribution has arrived.
+    pub fn reduce(participants: &[u32], data_flits: u64) -> Workload {
+        let p = participants.len();
+        assert!(p >= 2, "reduce needs at least 2 participants");
+        let mut wl = Workload::new("reduce");
+        let phase = wl.phase("reduce");
+        let flits = data_flits.max(1);
+        // Mirror the broadcast rounds in reverse: in the last broadcast
+        // round, leaves at distance `stride` send first.
+        let mut strides = Vec::new();
+        let mut s = 1usize;
+        while s < p {
+            strides.push(s);
+            s *= 2;
+        }
+        // recvd[i] = messages index i must have absorbed before sending.
+        let mut recvd: Vec<Vec<u32>> = vec![Vec::new(); p];
+        for &stride in strides.iter().rev() {
+            for i in 0..stride.min(p) {
+                let j = i + stride;
+                if j >= p {
+                    continue;
+                }
+                let deps = recvd[j].clone();
+                let id = wl.push(
+                    Message {
+                        src: participants[j],
+                        dst: participants[i],
+                        flits,
+                        phase,
+                    },
+                    &deps,
+                );
+                recvd[i].push(id);
+            }
+        }
+        wl
+    }
+
+    /// A pipeline-parallel schedule: `microbatches` activations of
+    /// `flits_per_activation` flits flow through the `stages` endpoints in
+    /// order; stage `j` forwards microbatch `m` once it has received it
+    /// from stage `j − 1`. Each stage boundary is a phase (`s0→s1`, ...),
+    /// so the report shows the pipeline fill/drain ramp per link.
+    pub fn pipeline(stages: &[u32], microbatches: u32, flits_per_activation: u64) -> Workload {
+        let n = stages.len();
+        assert!(n >= 2, "pipeline needs at least 2 stages");
+        assert!(microbatches >= 1, "pipeline needs at least 1 microbatch");
+        let mut wl = Workload::new("pipeline");
+        let flits = flits_per_activation.max(1);
+        let links = n - 1;
+        let mid = |j: usize, m: u32| j as u32 * microbatches + m;
+        for j in 0..links {
+            let phase = wl.phase(format!("s{j}\u{2192}s{}", j + 1));
+            for m in 0..microbatches {
+                let msg = Message {
+                    src: stages[j],
+                    dst: stages[j + 1],
+                    flits,
+                    phase,
+                };
+                if j == 0 {
+                    wl.push(msg, &[]);
+                } else {
+                    wl.push(msg, &[mid(j - 1, m)]);
+                }
+            }
+        }
+        wl
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ids(n: u32) -> Vec<u32> {
+        (0..n).collect()
+    }
+
+    #[test]
+    fn ring_allreduce_shape() {
+        let wl = Workload::ring_allreduce(&ids(4), 16);
+        assert_eq!(wl.len(), 2 * 3 * 4); // 2(p-1) steps × p messages
+        assert_eq!(wl.total_flits(), 24 * 4); // chunk = 16/4 = 4
+        assert_eq!(wl.phases, vec!["reduce-scatter", "allgather"]);
+        wl.validate(4).unwrap();
+        // Step 0 has no deps; later steps depend on the ring predecessor.
+        for i in 0..4 {
+            assert!(wl.preds(i).is_empty());
+        }
+        assert_eq!(wl.preds(4), &[3]); // step1 node0 ← step0 node3
+        assert_eq!(wl.preds(5), &[0]); // step1 node1 ← step0 node0
+    }
+
+    #[test]
+    fn rd_allreduce_requires_power_of_two() {
+        assert!(Workload::rd_allreduce(&ids(6), 8).is_err());
+        let wl = Workload::rd_allreduce(&ids(8), 8).unwrap();
+        assert_eq!(wl.len(), 3 * 8);
+        assert_eq!(wl.phases.len(), 3);
+        wl.validate(8).unwrap();
+        // Round-1 send of node 0 depends on round-0 message 0^1 = node 1's.
+        assert_eq!(wl.preds(8), &[1]);
+    }
+
+    #[test]
+    fn all_to_all_is_complete_and_staggered() {
+        let wl = Workload::all_to_all(&ids(5), 3);
+        assert_eq!(wl.len(), 5 * 4);
+        wl.validate(5).unwrap();
+        let mut pairs: Vec<(u32, u32)> = wl.messages().iter().map(|m| (m.src, m.dst)).collect();
+        pairs.sort_unstable();
+        pairs.dedup();
+        assert_eq!(pairs.len(), 20, "every ordered pair exactly once");
+        // First p messages target distance 1, not a common hotspot.
+        let first: Vec<u32> = wl.messages()[..5].iter().map(|m| m.dst).collect();
+        assert_eq!(first, vec![1, 2, 3, 4, 0]);
+    }
+
+    #[test]
+    fn broadcast_and_reduce_are_trees() {
+        for p in [2u32, 3, 5, 8] {
+            let b = Workload::broadcast(&ids(p), 7);
+            assert_eq!(b.len() as u32, p - 1, "p={p}");
+            b.validate(p).unwrap();
+            let r = Workload::reduce(&ids(p), 7);
+            assert_eq!(r.len() as u32, p - 1, "p={p}");
+            r.validate(p).unwrap();
+            // Reduce root receives ceil(log2 p) partial sums.
+            let to_root = r.messages().iter().filter(|m| m.dst == 0).count();
+            assert_eq!(to_root as u32, (p as f64).log2().ceil() as u32);
+        }
+    }
+
+    #[test]
+    fn pipeline_chains_microbatches() {
+        let wl = Workload::pipeline(&[3, 1, 4], 2, 8);
+        assert_eq!(wl.len(), 4); // 2 links × 2 microbatches
+        assert_eq!(wl.phases.len(), 2);
+        wl.validate(5).unwrap();
+        // Second link's microbatch m depends on the first link's m.
+        assert_eq!(wl.preds(2), &[0]);
+        assert_eq!(wl.preds(3), &[1]);
+    }
+
+    #[test]
+    fn validate_rejects_bad_graphs() {
+        let mut wl = Workload::new("bad");
+        let ph = wl.phase("p");
+        let msg = |src, dst| Message {
+            src,
+            dst,
+            flits: 1,
+            phase: ph,
+        };
+        wl.push(msg(0, 0), &[]);
+        assert!(wl.validate(4).unwrap_err().contains("self-message"));
+
+        let mut wl = Workload::new("cycle");
+        let ph = wl.phase("p");
+        let m = |src, dst| Message {
+            src,
+            dst,
+            flits: 1,
+            phase: ph,
+        };
+        wl.push(m(0, 1), &[1]);
+        wl.push(m(1, 2), &[0]);
+        assert!(wl.validate(4).unwrap_err().contains("cycle"));
+
+        let mut wl = Workload::new("range");
+        let ph = wl.phase("p");
+        wl.push(
+            Message {
+                src: 0,
+                dst: 9,
+                flits: 1,
+                phase: ph,
+            },
+            &[],
+        );
+        assert!(wl.validate(4).unwrap_err().contains("out of range"));
+    }
+}

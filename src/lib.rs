@@ -8,7 +8,8 @@
 //! * [`wsdf_sim`] — cycle-accurate flit-level simulator substrate
 //! * [`wsdf_topo`] — topology builders (switch-based and switch-less Dragonfly)
 //! * [`wsdf_routing`] — routing algorithms and VC disciplines
-//! * [`wsdf_traffic`] — synthetic/adversarial/collective workloads
+//! * [`wsdf_traffic`] — synthetic/adversarial/collective traffic patterns
+//! * [`wsdf_workload`] — closed-loop collective workload DAGs + driver
 //! * [`wsdf_analysis`] — analytical cost/throughput/layout models
 //! * [`wsdf`] — high-level API used by examples, tests and the harness
 
@@ -18,3 +19,4 @@ pub use wsdf_routing as routing;
 pub use wsdf_sim as sim;
 pub use wsdf_topo as topo;
 pub use wsdf_traffic as traffic;
+pub use wsdf_workload as workload;

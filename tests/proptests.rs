@@ -352,3 +352,78 @@ fn random_fabric_simulations_deliver() {
         assert!(m.packets_ejected > 0, "{p:?}");
     }
 }
+
+/// Closed-loop conservation over random workload DAGs: every message's
+/// flits are injected exactly once (`flits_injected == Σ size`), every
+/// message reassembles exactly once (over-delivery panics inside the
+/// driver; under-delivery would hang and trip the watchdog), and
+/// completion respects the dependency order.
+#[test]
+fn workload_flit_conservation() {
+    use wsdf::workload::{packet_count, run_collective, Message, Workload};
+    let mut rng = SplitMix64::new(0x5EED_0009);
+    for case in 0..10 {
+        let p = draw(&mut rng, |r| {
+            sl_params(r).filter(|p| (2..=600).contains(&p.num_endpoints()))
+        });
+        let bench = Bench::switchless(&p, RouteMode::Minimal, VcScheme::Baseline);
+        let n = bench.endpoints() as u64;
+        // A random layered DAG: each layer's messages depend on a random
+        // subset of the previous layer.
+        let mut wl = Workload::new(format!("random-{case}"));
+        let layers = 1 + rng.next_below(3);
+        let mut prev: Vec<u32> = Vec::new();
+        for l in 0..layers {
+            let phase = wl.phase(format!("layer{l}"));
+            let count = 1 + rng.next_below(6) as usize;
+            let mut layer = Vec::with_capacity(count);
+            for _ in 0..count {
+                let src = rng.next_below(n) as u32;
+                let mut dst = rng.next_below(n) as u32;
+                if dst == src {
+                    dst = (dst + 1) % n as u32;
+                }
+                let flits = 1 + rng.next_below(19);
+                let deps: Vec<u32> = prev.iter().copied().filter(|_| rng.chance(0.5)).collect();
+                layer.push(wl.push(
+                    Message {
+                        src,
+                        dst,
+                        flits,
+                        phase,
+                    },
+                    &deps,
+                ));
+            }
+            prev = layer;
+        }
+        let mut cfg = SimConfig::default();
+        cfg.num_vcs = cfg.num_vcs.max(bench.num_vcs());
+        let out = run_collective(bench.fabric.net(), &cfg, &bench.oracle, &wl)
+            .unwrap_or_else(|e| panic!("case {case} ({p:?}): {e}"));
+        // Conservation: flits injected per message == its size, and every
+        // flit that entered came back out.
+        let total = wl.total_flits();
+        assert_eq!(out.metrics.flits_injected_measured, total, "case {case}");
+        assert_eq!(out.metrics.flits_ejected_measured, total, "case {case}");
+        let packets: u64 = wl
+            .messages()
+            .iter()
+            .map(|m| packet_count(m.flits, cfg.packet_len))
+            .sum();
+        assert_eq!(out.metrics.packets_created, packets, "case {case}");
+        assert_eq!(out.metrics.packets_ejected, packets, "case {case}");
+        // Exactly-once reassembly with a completion cycle for everyone,
+        // bounded by the reported end-to-end time.
+        assert_eq!(out.message_completion.len(), wl.len());
+        for (m, &done) in out.message_completion.iter().enumerate() {
+            assert!(done >= 1 && done <= out.completion_cycles, "case {case}");
+            for &pred in wl.preds(m as u32) {
+                assert!(
+                    done > out.message_completion[pred as usize],
+                    "case {case}: message {m} completed before its dependency {pred}"
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,136 @@
+//! Closed-loop collective invariants: completion times are a property of
+//! the network, not of the BSP execution schedule.
+//!
+//! The acceptance bar for the workload subsystem: allreduce and
+//! all-to-all completion cycles (and every other report field) must be
+//! bit-identical across partition counts {1, 2, 4} *and* worker counts
+//! {1, 2, 4} on both evaluated topology families, with every run
+//! terminating at quiescence rather than a fixed cycle budget.
+
+use wsdf::exec::BspPool;
+use wsdf::routing::{RouteMode, VcScheme};
+use wsdf::sim::SimConfig;
+use wsdf::topo::{SlParams, SwParams};
+use wsdf::{run_workload, run_workload_on, Bench, Workload, WorkloadReport, WorkloadUnits};
+
+/// One participant per chip, in chip order (32 chips on both fabrics).
+fn chip_participants(bench: &Bench) -> Vec<u32> {
+    (0..bench.scope.num_chips())
+        .map(|c| bench.scope.node_of(c, 0))
+        .collect()
+}
+
+fn families() -> Vec<(&'static str, Bench)> {
+    vec![
+        (
+            "switchless",
+            Bench::switchless(
+                &SlParams::radix16().with_wgroups(1),
+                RouteMode::Minimal,
+                VcScheme::Baseline,
+            ),
+        ),
+        (
+            "switchbased",
+            Bench::switchbased(&SwParams::radix16().with_groups(1), RouteMode::Minimal),
+        ),
+    ]
+}
+
+fn acceptance_workloads(participants: &[u32]) -> Vec<Workload> {
+    vec![
+        Workload::ring_allreduce(participants, 64),
+        Workload::all_to_all(participants, 4),
+    ]
+}
+
+fn cfg(partitions: usize) -> SimConfig {
+    SimConfig {
+        partitions,
+        ..Default::default()
+    }
+}
+
+/// Allreduce + all-to-all completion cycles (and the full report) are
+/// bit-identical across partitions {1, 2, 4} on both topology families.
+#[test]
+fn collective_reports_bit_identical_across_partitions() {
+    for (name, bench) in families() {
+        let participants = chip_participants(&bench);
+        for wl in acceptance_workloads(&participants) {
+            let run = |parts: usize| -> WorkloadReport {
+                run_workload(&bench, &cfg(parts), &wl, &WorkloadUnits::default()).unwrap()
+            };
+            let base = run(1);
+            assert!(base.completion_cycles > 0, "{name}/{}", wl.name);
+            assert_eq!(base.flits, wl.total_flits());
+            for parts in [2usize, 4] {
+                let r = run(parts);
+                assert_eq!(r, base, "{name}/{} partitions={parts}", wl.name);
+            }
+        }
+    }
+}
+
+/// The executor is invisible too: explicit pools of 1, 2, and 4 workers
+/// reproduce the same reports at a fixed partitioning.
+#[test]
+fn collective_reports_bit_identical_across_workers() {
+    for (name, bench) in families() {
+        let participants = chip_participants(&bench);
+        let wl = Workload::ring_allreduce(&participants, 32);
+        let run = |workers: usize| -> WorkloadReport {
+            let pool = BspPool::new(workers);
+            run_workload_on(&bench, &cfg(4), &wl, &WorkloadUnits::default(), &pool).unwrap()
+        };
+        let base = run(1);
+        for workers in [2usize, 4] {
+            assert_eq!(run(workers), base, "{name} workers={workers}");
+        }
+    }
+}
+
+/// Quiescence semantics: the run ends when the collective does — no fixed
+/// cycle budget — and the whole run is measured.
+#[test]
+fn collective_runs_end_at_quiescence() {
+    for (_, bench) in families() {
+        let participants = chip_participants(&bench);
+        let wl = Workload::broadcast(&participants, 32);
+        let r = run_workload(&bench, &cfg(1), &wl, &WorkloadUnits::default()).unwrap();
+        // Every packet is a latency sample (32-flit messages segment into
+        // 8 packets of 4 flits); completion bounds every sample.
+        assert_eq!(r.latency.count, r.messages * 8);
+        assert!(r.latency.max <= r.completion_cycles as f64);
+        // Phases tile the run: the last phase ends at completion.
+        let end = r.phases.iter().map(|p| p.end_cycle).max().unwrap();
+        assert_eq!(end, r.completion_cycles);
+    }
+}
+
+/// Dependency semantics on a real fabric: a pipeline's stage boundaries
+/// start strictly later the deeper the stage, and ring-allreduce's
+/// allgather cannot begin before some reduce-scatter chain finishes.
+#[test]
+fn phase_ordering_follows_dependencies() {
+    let bench = &families()[0].1;
+    let participants = chip_participants(bench);
+
+    let stages: Vec<u32> = participants.iter().copied().take(6).collect();
+    let pipe = Workload::pipeline(&stages, 4, 16);
+    let r = run_workload(bench, &cfg(1), &pipe, &WorkloadUnits::default()).unwrap();
+    for w in r.phases.windows(2) {
+        assert!(
+            w[1].start_cycle > w[0].start_cycle,
+            "stage fill must ramp: {:?}",
+            r.phases
+        );
+    }
+
+    let ar = Workload::ring_allreduce(&participants, 64);
+    let r = run_workload(bench, &cfg(1), &ar, &WorkloadUnits::default()).unwrap();
+    let rs = &r.phases[0];
+    let ag = &r.phases[1];
+    assert!(ag.start_cycle > rs.start_cycle);
+    assert_eq!(ag.end_cycle, r.completion_cycles);
+}
