@@ -5,7 +5,7 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use wsdf::routing::{RouteMode, VcScheme};
 use wsdf::{Bench, PatternSpec, Workload, WorkloadUnits};
 use wsdf_sim::SimConfig;
-use wsdf_topo::{SlParams, SwParams, SwitchFabric, SwitchlessFabric};
+use wsdf_topo::{FaultSet, FaultSpec, SlParams, SwParams, SwitchFabric, SwitchlessFabric};
 
 fn quick_cfg() -> SimConfig {
     SimConfig {
@@ -100,11 +100,43 @@ fn bench_collectives(c: &mut Criterion) {
     g.finish();
 }
 
+fn bench_resilience(c: &mut Criterion) {
+    let mut g = c.benchmark_group("resilience");
+    g.sample_size(10);
+    // Same W-group as the simulation group; fraction 0 exercises the
+    // pristine path through the fault-capable entry points (the zero-cost
+    // claim), 0.1 the detour oracle + live-pattern filtering.
+    let p = SlParams::radix16().with_wgroups(1);
+    let bench = Bench::switchless(&p, RouteMode::Minimal, VcScheme::Baseline);
+    for frac in [0.0f64, 0.1] {
+        let fs = FaultSet::sample(
+            bench.fabric.net(),
+            &FaultSpec {
+                link_fraction: frac,
+                router_fraction: frac / 2.0,
+                ..Default::default()
+            },
+        );
+        let fb = bench.with_fault_set(&fs);
+        g.meta("fault_fraction", frac);
+        g.bench_with_input(
+            BenchmarkId::new("wgroup_uniform_0.15", format!("{frac}")),
+            &frac,
+            |b, _| {
+                let pat = fb.pattern(PatternSpec::Uniform, 0.15);
+                b.iter(|| fb.run(&quick_cfg(), pat.as_ref()).unwrap());
+            },
+        );
+    }
+    g.finish();
+}
+
 criterion_group!(
     benches,
     bench_topology_build,
     bench_simulation_cycles,
     bench_parallel_scaling,
-    bench_collectives
+    bench_collectives,
+    bench_resilience
 );
 criterion_main!(benches);

@@ -1,5 +1,6 @@
 //! The reproduction harness: regenerates every table and figure of the
-//! paper's evaluation, plus the closed-loop collective suite.
+//! paper's evaluation, plus the closed-loop collective and fault-injection
+//! resilience suites.
 //!
 //! ```text
 //! repro <target> [--smoke|--full] [--json DIR]
@@ -9,52 +10,13 @@
 //! `--list` enumerates every target with a one-line description (the same
 //! listing an unknown target prints). Text goes to stdout; with
 //! `--json DIR`, figures and reports are also serialized to
-//! `DIR/<target-id>.json`.
+//! `DIR/<target-id>.json`. The target table itself lives in
+//! [`wsdf_bench::targets`], shared with the coverage test that keeps every
+//! registered target runnable.
 
 use std::io::Write;
-use wsdf_bench::{collectives, figures, tables, Effort};
-
-/// Every runnable target with a one-line description (`--list`).
-const TARGETS: &[(&str, &str)] = &[
-    ("table1", "Table I: topology comparison (closed form)"),
-    ("table2", "Table II: network cost model"),
-    ("table3", "Table III: wafer/system scale parameters"),
-    ("table4", "Table IV: simulation parameters"),
-    ("equations", "Closed-form equation summary (diameter, cost)"),
-    ("fig9", "Fig. 9: wafer layout and bandwidth budget"),
-    (
-        "fig10ab",
-        "Fig. 10(a,b): intra-C-group latency, mesh vs switch",
-    ),
-    (
-        "fig10cf",
-        "Fig. 10(c-f): intra-W-group latency, four patterns",
-    ),
-    (
-        "fig11",
-        "Fig. 11: full radix-16 system, uniform + bit-reverse",
-    ),
-    ("fig12", "Fig. 12: radix-32 system latency"),
-    ("fig13", "Fig. 13: adversarial patterns, minimal vs Valiant"),
-    (
-        "fig14",
-        "Fig. 14: ring-allreduce collectives (open-loop sweeps)",
-    ),
-    ("fig15", "Fig. 15: energy per bit by channel class"),
-    ("ablation", "VC-scheme ablation (Baseline vs Reduced)"),
-    (
-        "saturation",
-        "Adaptive saturation knee search, headline benches",
-    ),
-    (
-        "collectives",
-        "Closed-loop collectives: completion cycles on both families, \
-         verified over partitions {1,2,4}",
-    ),
-    ("tables", "All tables and closed-form outputs"),
-    ("figures", "All simulated figures"),
-    ("all", "Everything above"),
-];
+use wsdf_bench::targets::{listing, run_target};
+use wsdf_bench::Effort;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -69,7 +31,7 @@ fn main() {
     while let Some(a) = it.next() {
         match a.as_str() {
             "--list" => {
-                print!("{}", target_listing());
+                print!("{}", listing());
                 return;
             }
             "--smoke" => effort = Effort::Smoke,
@@ -98,102 +60,26 @@ fn main() {
     let pool = wsdf::exec::global_pool();
     eprintln!("repro: BSP executor with {} worker(s)", pool.workers());
 
-    let run_figures = |which: &str| {
-        let figs = match which {
-            "fig10ab" => figures::fig10ab(effort),
-            "fig10cf" => figures::fig10cf(effort),
-            "fig11" => figures::fig11(effort),
-            "fig12" => figures::fig12(effort),
-            "fig13" => figures::fig13(effort),
-            "fig14" => figures::fig14(effort),
-            "ablation" => figures::vc_ablation(effort),
-            _ => unreachable!(),
-        };
-        for f in &figs {
-            println!("{}", f.render());
-            if let Some(dir) = &json_dir {
-                write_json(dir, &f.id, &f.to_json());
-            }
-        }
+    // Stream aggregates member by member: each target's text and JSON
+    // land as soon as it finishes, so a panic in a later member (e.g. a
+    // partition-divergence assert) cannot swallow completed output.
+    let members: Vec<String> = match wsdf_bench::targets::aggregate_members(&target) {
+        Some(m) => m.iter().map(|s| s.to_string()).collect(),
+        None => vec![target.clone()],
     };
-    let run_fig15 = || {
-        let groups = figures::fig15(effort);
-        print!("{}", figures::render_fig15(&groups));
-        if let Some(dir) = &json_dir {
-            write_json(dir, "fig15", &figures::fig15_json(&groups));
-        }
-    };
-    let run_saturation = || {
-        let scan = figures::saturation_scan(effort);
-        print!("{}", figures::render_saturation(&scan));
-        if let Some(dir) = &json_dir {
-            write_json(dir, "saturation", &figures::saturation_json(&scan));
-        }
-    };
-    let run_collectives = || {
-        let reports = collectives::collectives(effort);
-        print!("{}", collectives::render_collectives(&reports));
-        if let Some(dir) = &json_dir {
-            write_json(dir, "collectives", &collectives::collectives_json(&reports));
-        }
-    };
-    let print_tables = || {
-        print!("{}", tables::table_i());
-        print!("{}", tables::table_ii());
-        print!("{}", tables::table_iii_text());
-        print!("{}", tables::table_iv());
-        print!("{}", tables::equations_summary());
-        print!("{}", tables::fig9());
-    };
-
-    match target.as_str() {
-        "table1" => print!("{}", tables::table_i()),
-        "table2" => print!("{}", tables::table_ii()),
-        "table3" => print!("{}", tables::table_iii_text()),
-        "table4" => print!("{}", tables::table_iv()),
-        "equations" => print!("{}", tables::equations_summary()),
-        "fig9" => print!("{}", tables::fig9()),
-        "tables" => print_tables(),
-        "fig10ab" | "fig10cf" | "fig11" | "fig12" | "fig13" | "fig14" | "ablation" => {
-            run_figures(&target)
-        }
-        "fig15" => run_fig15(),
-        "saturation" => run_saturation(),
-        "collectives" => run_collectives(),
-        "figures" => {
-            for which in [
-                "fig10ab", "fig10cf", "fig11", "fig12", "fig13", "fig14", "ablation",
-            ] {
-                run_figures(which);
-            }
-            run_fig15();
-        }
-        "all" => {
-            print_tables();
-            for which in [
-                "fig10ab", "fig10cf", "fig11", "fig12", "fig13", "fig14", "ablation",
-            ] {
-                run_figures(which);
-            }
-            run_fig15();
-            run_saturation();
-            run_collectives();
-        }
-        other => {
-            eprintln!("unknown target: {other}\n");
-            eprint!("{}", target_listing());
+    for name in &members {
+        let Some(out) = run_target(name, effort) else {
+            eprintln!("unknown target: {name}\n");
+            eprint!("{}", listing());
             std::process::exit(2);
+        };
+        print!("{}", out.text);
+        if let Some(dir) = &json_dir {
+            for (id, json) in &out.json {
+                write_json(dir, id, json);
+            }
         }
     }
-}
-
-/// The `--list` output: every target with its description.
-fn target_listing() -> String {
-    let mut s = String::from("targets:\n");
-    for (name, desc) in TARGETS {
-        s.push_str(&format!("  {name:<12} {desc}\n"));
-    }
-    s
 }
 
 fn write_json(dir: &str, id: &str, json: &str) {
@@ -206,5 +92,5 @@ fn write_json(dir: &str, id: &str, json: &str) {
 
 fn usage() {
     eprintln!("usage: repro <target> [--smoke|--full] [--json DIR]  |  repro --list\n");
-    eprint!("{}", target_listing());
+    eprint!("{}", listing());
 }

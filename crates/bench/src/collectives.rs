@@ -37,8 +37,9 @@ fn chip_participants(scope: &Scope) -> Vec<u32> {
 
 /// The two evaluated fabrics at matching scale: one W-group (32 chips) of
 /// the radix-16 switch-less configuration and one group (32 chips) of the
-/// switch-based baseline.
-fn family_benches() -> Vec<Bench> {
+/// switch-based baseline. Shared with the resilience suite so both
+/// degradation and collective numbers describe the same fabrics.
+pub fn family_benches() -> Vec<Bench> {
     vec![
         Bench::switchless(
             &SlParams::radix16().with_wgroups(1),
@@ -88,7 +89,7 @@ pub fn collectives(effort: Effort) -> Vec<WorkloadReport> {
                     })
                 })
                 .collect();
-            let base = reports.swap_remove(0);
+            let base = reports.remove(0);
             for (r, &parts) in reports.iter().zip(&PARTITIONS[1..]) {
                 assert_eq!(
                     *r, base,

@@ -7,7 +7,9 @@
 
 pub mod collectives;
 pub mod figures;
+pub mod resilience;
 pub mod tables;
+pub mod targets;
 
 /// Scale factor presets for simulation windows.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]

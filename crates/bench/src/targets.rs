@@ -1,0 +1,266 @@
+//! The target registry behind the `repro` binary.
+//!
+//! Every runnable target is one [`Target`] entry: name, description, and a
+//! runner producing a [`TargetOutput`] (rendered text plus named JSON
+//! artifacts). The binary, the `--list` output, the unknown-target error,
+//! and the coverage test in `tests/targets.rs` all read this one table, so
+//! a target cannot be registered without a working runner or vice versa.
+//!
+//! Aggregate targets (`tables`, `figures`, `all`) are member lists over
+//! the same table ([`aggregate_members`]), not separate code paths.
+
+use crate::{collectives, figures, resilience, tables, Effort};
+
+/// Output of one target run: human-readable text plus `(id, json)` pairs
+/// for `--json DIR` serialization.
+#[derive(Debug, Clone, Default)]
+pub struct TargetOutput {
+    /// Rendered text (what the binary prints to stdout).
+    pub text: String,
+    /// JSON artifacts, written to `DIR/<id>.json` under `--json`.
+    pub json: Vec<(String, String)>,
+}
+
+impl TargetOutput {
+    fn text(text: String) -> Self {
+        TargetOutput {
+            text,
+            json: Vec::new(),
+        }
+    }
+
+    fn merge(&mut self, other: TargetOutput) {
+        self.text.push_str(&other.text);
+        self.json.extend(other.json);
+    }
+}
+
+/// One runnable target.
+pub struct Target {
+    /// CLI name.
+    pub name: &'static str,
+    /// One-line description (`--list`).
+    pub desc: &'static str,
+    /// Full-system scale (radix-16/32 at 41/145 groups): minutes-long
+    /// even in release builds (fig11 alone is ~2.5 CPU-minutes at
+    /// `--smoke`), so neither the dev-profile coverage test nor CI runs
+    /// them; the coverage test asserts they resolve to runners, and they
+    /// stay runnable on demand via `repro <target> --smoke`.
+    pub full_scale: bool,
+    /// The runner.
+    pub run: fn(Effort) -> TargetOutput,
+}
+
+fn figs(figs: Vec<wsdf::Figure>) -> TargetOutput {
+    let mut out = TargetOutput::default();
+    for f in figs {
+        out.text.push_str(&f.render());
+        out.text.push('\n');
+        out.json.push((f.id.clone(), f.to_json()));
+    }
+    out
+}
+
+/// Every *leaf* target (aggregates are separate; see
+/// [`aggregate_members`]).
+pub const TARGETS: &[Target] = &[
+    Target {
+        name: "table1",
+        desc: "Table I: topology comparison (closed form)",
+        full_scale: false,
+        run: |_| TargetOutput::text(tables::table_i()),
+    },
+    Target {
+        name: "table2",
+        desc: "Table II: network cost model",
+        full_scale: false,
+        run: |_| TargetOutput::text(tables::table_ii()),
+    },
+    Target {
+        name: "table3",
+        desc: "Table III: wafer/system scale parameters",
+        full_scale: false,
+        run: |_| TargetOutput::text(tables::table_iii_text()),
+    },
+    Target {
+        name: "table4",
+        desc: "Table IV: simulation parameters",
+        full_scale: false,
+        run: |_| TargetOutput::text(tables::table_iv()),
+    },
+    Target {
+        name: "equations",
+        desc: "Closed-form equation summary (diameter, cost)",
+        full_scale: false,
+        run: |_| TargetOutput::text(tables::equations_summary()),
+    },
+    Target {
+        name: "fig9",
+        desc: "Fig. 9: wafer layout and bandwidth budget",
+        full_scale: false,
+        run: |_| TargetOutput::text(tables::fig9()),
+    },
+    Target {
+        name: "fig10ab",
+        desc: "Fig. 10(a,b): intra-C-group latency, mesh vs switch",
+        full_scale: false,
+        run: |e| figs(figures::fig10ab(e)),
+    },
+    Target {
+        name: "fig10cf",
+        desc: "Fig. 10(c-f): intra-W-group latency, four patterns",
+        full_scale: false,
+        run: |e| figs(figures::fig10cf(e)),
+    },
+    Target {
+        name: "fig11",
+        desc: "Fig. 11: full radix-16 system, uniform + bit-reverse",
+        full_scale: true,
+        run: |e| figs(figures::fig11(e)),
+    },
+    Target {
+        name: "fig12",
+        desc: "Fig. 12: radix-32 system latency",
+        full_scale: true,
+        run: |e| figs(figures::fig12(e)),
+    },
+    Target {
+        name: "fig13",
+        desc: "Fig. 13: adversarial patterns, minimal vs Valiant",
+        full_scale: true,
+        run: |e| figs(figures::fig13(e)),
+    },
+    Target {
+        name: "fig14",
+        desc: "Fig. 14: ring-allreduce collectives (open-loop sweeps)",
+        full_scale: false,
+        run: |e| figs(figures::fig14(e)),
+    },
+    Target {
+        name: "fig15",
+        desc: "Fig. 15: energy per bit by channel class",
+        full_scale: true,
+        run: |e| {
+            let groups = figures::fig15(e);
+            TargetOutput {
+                text: figures::render_fig15(&groups),
+                json: vec![("fig15".into(), figures::fig15_json(&groups))],
+            }
+        },
+    },
+    Target {
+        name: "ablation",
+        desc: "VC-scheme ablation (Baseline vs Reduced)",
+        full_scale: false,
+        run: |e| figs(figures::vc_ablation(e)),
+    },
+    Target {
+        name: "saturation",
+        desc: "Adaptive saturation knee search, headline benches",
+        full_scale: false,
+        run: |e| {
+            let scan = figures::saturation_scan(e);
+            TargetOutput {
+                text: figures::render_saturation(&scan),
+                json: vec![("saturation".into(), figures::saturation_json(&scan))],
+            }
+        },
+    },
+    Target {
+        name: "collectives",
+        desc: "Closed-loop collectives: completion cycles on both families, \
+               verified over partitions {1,2,4}",
+        full_scale: false,
+        run: |e| {
+            let reports = collectives::collectives(e);
+            TargetOutput {
+                text: collectives::render_collectives(&reports),
+                json: vec![(
+                    "collectives".into(),
+                    collectives::collectives_json(&reports),
+                )],
+            }
+        },
+    },
+    Target {
+        name: "resilience",
+        desc: "Fault-injection degradation: throughput/latency/allreduce vs \
+               fault fraction, verified over partitions {1,2,4}",
+        full_scale: false,
+        run: |e| {
+            let reports = resilience::resilience(e);
+            TargetOutput {
+                text: resilience::render_resilience(&reports),
+                json: vec![("resilience".into(), resilience::resilience_json(&reports))],
+            }
+        },
+    },
+];
+
+/// Members of an aggregate target, or `None` if `name` is not an
+/// aggregate. Member names always resolve in [`TARGETS`] (the coverage
+/// test pins this down).
+pub fn aggregate_members(name: &str) -> Option<&'static [&'static str]> {
+    match name {
+        "tables" => Some(&["table1", "table2", "table3", "table4", "equations", "fig9"]),
+        "figures" => Some(&[
+            "fig10ab", "fig10cf", "fig11", "fig12", "fig13", "fig14", "ablation", "fig15",
+        ]),
+        "all" => Some(&[
+            "table1",
+            "table2",
+            "table3",
+            "table4",
+            "equations",
+            "fig9",
+            "fig10ab",
+            "fig10cf",
+            "fig11",
+            "fig12",
+            "fig13",
+            "fig14",
+            "ablation",
+            "fig15",
+            "saturation",
+            "collectives",
+            "resilience",
+        ]),
+        _ => None,
+    }
+}
+
+/// The aggregates, with descriptions (for `--list`).
+pub const AGGREGATES: &[(&str, &str)] = &[
+    ("tables", "All tables and closed-form outputs"),
+    ("figures", "All simulated figures"),
+    ("all", "Everything above"),
+];
+
+/// Look up a leaf target by name.
+pub fn find(name: &str) -> Option<&'static Target> {
+    TARGETS.iter().find(|t| t.name == name)
+}
+
+/// Run a target (leaf or aggregate) at `effort`. `None` for unknown names.
+pub fn run_target(name: &str, effort: Effort) -> Option<TargetOutput> {
+    if let Some(members) = aggregate_members(name) {
+        let mut out = TargetOutput::default();
+        for m in members {
+            out.merge(run_target(m, effort).expect("aggregate member must be registered"));
+        }
+        return Some(out);
+    }
+    find(name).map(|t| (t.run)(effort))
+}
+
+/// The `--list` output: every target with its description.
+pub fn listing() -> String {
+    let mut s = String::from("targets:\n");
+    for t in TARGETS {
+        s.push_str(&format!("  {:<12} {}\n", t.name, t.desc));
+    }
+    for (name, desc) in AGGREGATES {
+        s.push_str(&format!("  {name:<12} {desc}\n"));
+    }
+    s
+}

@@ -1,0 +1,88 @@
+//! Coverage test for the `repro` target registry: every registered target
+//! must actually run in `--smoke` mode without panicking, and the
+//! aggregate targets must be composed of registered members — so a target
+//! can neither rot silently nor be listed without a runner.
+
+use wsdf_bench::targets::{aggregate_members, find, listing, run_target, AGGREGATES, TARGETS};
+use wsdf_bench::Effort;
+
+/// Every non-full-scale leaf target runs end to end in smoke mode. The
+/// full-scale figures (radix-16/32 at 41/145 groups) take minutes per
+/// target even in release builds, so they are only asserted to resolve
+/// (`full_scale_targets_resolve` below) and run on demand via
+/// `repro <target> --smoke`.
+#[test]
+fn every_registered_target_runs_in_smoke_mode() {
+    for t in TARGETS {
+        if t.full_scale {
+            continue;
+        }
+        let out = run_target(t.name, Effort::Smoke)
+            .unwrap_or_else(|| panic!("registered target '{}' did not resolve", t.name));
+        assert!(
+            !out.text.is_empty(),
+            "target '{}' produced no output",
+            t.name
+        );
+    }
+}
+
+/// The resilience target is registered, non-full-scale (so the test above
+/// really runs it), and emits a JSON artifact.
+#[test]
+fn resilience_target_is_registered_and_serializes() {
+    let t = find("resilience").expect("resilience must be registered");
+    assert!(!t.full_scale);
+    let out = run_target("resilience", Effort::Smoke).unwrap();
+    assert!(out.text.contains("resilience"));
+    let (id, json) = &out.json[0];
+    assert_eq!(id, "resilience");
+    wsdf::json::Value::parse(json).expect("resilience JSON must parse");
+}
+
+/// Full-scale targets still resolve to runners (they are skipped above
+/// for time, not because they are unwired; their runners compile against
+/// the same figure functions the registry names).
+#[test]
+fn full_scale_targets_resolve() {
+    let full: Vec<&str> = TARGETS
+        .iter()
+        .filter(|t| t.full_scale)
+        .map(|t| t.name)
+        .collect();
+    assert!(!full.is_empty());
+    for name in full {
+        assert!(find(name).is_some());
+    }
+}
+
+/// Aggregates reference only registered leaves, and the listing covers
+/// every name (leaves + aggregates).
+#[test]
+fn aggregates_and_listing_are_consistent() {
+    let l = listing();
+    for t in TARGETS {
+        assert!(l.contains(t.name), "listing misses '{}'", t.name);
+    }
+    for (name, _) in AGGREGATES {
+        assert!(l.contains(name), "listing misses aggregate '{name}'");
+        for m in aggregate_members(name).unwrap() {
+            assert!(
+                find(m).is_some(),
+                "aggregate '{name}' references unregistered '{m}'"
+            );
+        }
+    }
+    // `all` must cover every leaf: a new target cannot be forgotten.
+    let all = aggregate_members("all").unwrap();
+    for t in TARGETS {
+        assert!(all.contains(&t.name), "'all' misses '{}'", t.name);
+    }
+}
+
+/// Unknown names are rejected, not silently ignored.
+#[test]
+fn unknown_target_is_rejected() {
+    assert!(run_target("fig99", Effort::Smoke).is_none());
+    assert!(find("fig99").is_none());
+}

@@ -8,13 +8,15 @@
 //! callers that need a uniform oracle view, e.g. route walkers.
 
 use wsdf_exec::BspPool;
-use wsdf_routing::{MeshOracle, RouteMode, SlOracle, SwOracle, SwitchNodeOracle, VcScheme};
+use wsdf_routing::{
+    DetourOracle, MeshOracle, ReachMap, RouteMode, SlOracle, SwOracle, SwitchNodeOracle, VcScheme,
+};
 use wsdf_sim::{
-    Metrics, NetworkDesc, PacketHeader, RouteChoice, RouteOracle, SimConfig, SimResult, SplitMix64,
-    TrafficPattern,
+    FaultMap, Metrics, NetworkDesc, PacketHeader, RouteChoice, RouteOracle, SimConfig, SimResult,
+    SplitMix64, TrafficPattern,
 };
 use wsdf_topo::{
-    single_mesh, single_switch, MeshFabric, SlParams, SwParams, SwitchFabric, SwitchNode,
+    single_mesh, single_switch, FaultSet, MeshFabric, SlParams, SwParams, SwitchFabric, SwitchNode,
     SwitchlessFabric,
 };
 use wsdf_traffic::{
@@ -23,6 +25,7 @@ use wsdf_traffic::{
 };
 
 /// A built network of one of the four evaluated kinds.
+#[derive(Clone)]
 pub enum Fabric {
     /// Switch-less Dragonfly on wafers.
     Switchless(SwitchlessFabric),
@@ -76,6 +79,9 @@ pub enum BenchOracle {
     Mesh(MeshOracle),
     /// Single ideal switch (VOQ) routing.
     Switch(SwitchNodeOracle),
+    /// Fault-aware up*/down* detour routing (any fabric with dead
+    /// links/routers — see [`Bench::with_fault_set`]).
+    Detour(DetourOracle),
 }
 
 impl BenchOracle {
@@ -86,6 +92,7 @@ impl BenchOracle {
             BenchOracle::Sw(o) => o,
             BenchOracle::Mesh(o) => o,
             BenchOracle::Switch(o) => o,
+            BenchOracle::Detour(o) => o,
         }
     }
 }
@@ -104,6 +111,7 @@ impl RouteOracle for BenchOracle {
             BenchOracle::Sw(o) => o.route(router, in_port, in_vc, pkt, rng),
             BenchOracle::Mesh(o) => o.route(router, in_port, in_vc, pkt, rng),
             BenchOracle::Switch(o) => o.route(router, in_port, in_vc, pkt, rng),
+            BenchOracle::Detour(o) => o.route(router, in_port, in_vc, pkt, rng),
         }
     }
 
@@ -113,6 +121,7 @@ impl RouteOracle for BenchOracle {
             BenchOracle::Sw(o) => o.initial_vc(pkt),
             BenchOracle::Mesh(o) => o.initial_vc(pkt),
             BenchOracle::Switch(o) => o.initial_vc(pkt),
+            BenchOracle::Detour(o) => o.initial_vc(pkt),
         }
     }
 
@@ -122,6 +131,7 @@ impl RouteOracle for BenchOracle {
             BenchOracle::Sw(o) => o.num_vcs(),
             BenchOracle::Mesh(o) => o.num_vcs(),
             BenchOracle::Switch(o) => o.num_vcs(),
+            BenchOracle::Detour(o) => o.num_vcs(),
         }
     }
 
@@ -131,12 +141,29 @@ impl RouteOracle for BenchOracle {
             BenchOracle::Sw(o) => o.tag_packet(pkt, rng),
             BenchOracle::Mesh(o) => o.tag_packet(pkt, rng),
             BenchOracle::Switch(o) => o.tag_packet(pkt, rng),
+            BenchOracle::Detour(o) => o.tag_packet(pkt, rng),
         }
     }
 }
 
+/// Fault state of a degraded [`Bench`]: the engine-facing map plus the
+/// reachability summary used to filter workloads.
+#[derive(Debug, Clone)]
+pub struct BenchFaults {
+    /// Dead routers/channels (sealed), handed to the engine so faulted
+    /// channels reject traversal with hard asserts.
+    pub map: FaultMap,
+    /// Per-endpoint liveness/component summary.
+    pub reach: ReachMap,
+    /// Failed undirected fabric links.
+    pub dead_links: u32,
+    /// Failed routers.
+    pub dead_routers: u32,
+}
+
 /// A fabric, its routing oracle, and its endpoint scoping — everything a
 /// simulation run needs besides the workload and rates.
+#[derive(Clone)]
 pub struct Bench {
     /// The built network.
     pub fabric: Fabric,
@@ -149,6 +176,9 @@ pub struct Bench {
     pub nodes_per_chip: f64,
     /// Display label ("SW-less-2B", "SW-based", ...).
     pub label: String,
+    /// Fault state, if this bench was degraded with
+    /// [`Bench::with_fault_set`]; `None` = pristine.
+    pub faults: Option<BenchFaults>,
 }
 
 impl Bench {
@@ -172,6 +202,7 @@ impl Bench {
             scope,
             nodes_per_chip: p.nodes_per_chip,
             label: format!("SW-less{width_tag}{mode_tag}"),
+            faults: None,
         }
     }
 
@@ -193,6 +224,7 @@ impl Bench {
             scope,
             nodes_per_chip: 1.0,
             label: format!("SW-based{mode_tag}"),
+            faults: None,
         }
     }
 
@@ -217,6 +249,7 @@ impl Bench {
             scope,
             nodes_per_chip: (chiplet * chiplet) as f64,
             label: "2D-Mesh".into(),
+            faults: None,
         }
     }
 
@@ -238,7 +271,38 @@ impl Bench {
             scope,
             nodes_per_chip: 1.0,
             label: "Switch".into(),
+            faults: None,
         }
+    }
+
+    /// Degrade this bench with a sampled [`FaultSet`].
+    ///
+    /// An **empty** fault set returns a plain clone — same oracle, same
+    /// hot path — so a zero-fault resilience point is *exactly* the
+    /// pristine bench (bit-identical metrics). A non-empty set swaps the
+    /// oracle for a precomputed [`DetourOracle`] over the live graph,
+    /// hands the sealed [`FaultMap`] to the engine (dead channels reject
+    /// traversal with hard asserts), and filters every generated pattern
+    /// down to routable endpoint pairs.
+    pub fn with_fault_set(&self, fs: &FaultSet) -> Bench {
+        let mut out = self.clone();
+        if fs.is_empty() {
+            return out;
+        }
+        let oracle = DetourOracle::build(self.fabric.net(), fs.map());
+        out.faults = Some(BenchFaults {
+            reach: oracle.reach_map(),
+            map: fs.map().clone(),
+            dead_links: fs.dead_links(),
+            dead_routers: fs.dead_routers(),
+        });
+        out.oracle = BenchOracle::Detour(oracle);
+        out
+    }
+
+    /// The engine-facing fault map, if degraded.
+    pub fn fault_map(&self) -> Option<&FaultMap> {
+        self.faults.as_ref().map(|f| &f.map)
     }
 
     /// Number of endpoints.
@@ -258,7 +322,21 @@ impl Bench {
 
     /// Build the traffic generator for `spec` at `rate_node`
     /// flits/cycle/endpoint.
+    ///
+    /// On a degraded bench the generator is wrapped in a [`LivePattern`]
+    /// filter: dead endpoints offer no load and draws toward unroutable
+    /// destinations are skipped, so open-loop traffic only exercises pairs
+    /// the detour oracle can actually serve.
     pub fn pattern(&self, spec: PatternSpec, rate_node: f64) -> Box<dyn TrafficPattern> {
+        let inner = self.pattern_unfiltered(spec, rate_node);
+        match &self.faults {
+            None => inner,
+            Some(f) => Box::new(LivePattern::new(inner, f.reach.clone())),
+        }
+    }
+
+    /// The raw (fault-oblivious) generator behind [`Bench::pattern`].
+    fn pattern_unfiltered(&self, spec: PatternSpec, rate_node: f64) -> Box<dyn TrafficPattern> {
         let n = self.endpoints();
         match spec {
             PatternSpec::Uniform => Box::new(UniformPattern::new(n, rate_node)),
@@ -304,11 +382,23 @@ impl Bench {
         let mut cfg = cfg.clone();
         cfg.num_vcs = cfg.num_vcs.max(self.oracle.num_vcs());
         let net = self.fabric.net();
+        let faults = self.fault_map();
         match &self.oracle {
-            BenchOracle::Sl(o) => wsdf_sim::simulate_on(net, &cfg, o, pattern, pool),
-            BenchOracle::Sw(o) => wsdf_sim::simulate_on(net, &cfg, o, pattern, pool),
-            BenchOracle::Mesh(o) => wsdf_sim::simulate_on(net, &cfg, o, pattern, pool),
-            BenchOracle::Switch(o) => wsdf_sim::simulate_on(net, &cfg, o, pattern, pool),
+            BenchOracle::Sl(o) => {
+                wsdf_sim::simulate_faulted_on(net, &cfg, o, pattern, pool, faults)
+            }
+            BenchOracle::Sw(o) => {
+                wsdf_sim::simulate_faulted_on(net, &cfg, o, pattern, pool, faults)
+            }
+            BenchOracle::Mesh(o) => {
+                wsdf_sim::simulate_faulted_on(net, &cfg, o, pattern, pool, faults)
+            }
+            BenchOracle::Switch(o) => {
+                wsdf_sim::simulate_faulted_on(net, &cfg, o, pattern, pool, faults)
+            }
+            BenchOracle::Detour(o) => {
+                wsdf_sim::simulate_faulted_on(net, &cfg, o, pattern, pool, faults)
+            }
         }
     }
 
@@ -319,7 +409,59 @@ impl Bench {
     pub fn run_dyn(&self, cfg: &SimConfig, pattern: &dyn TrafficPattern) -> SimResult<Metrics> {
         let mut cfg = cfg.clone();
         cfg.num_vcs = cfg.num_vcs.max(self.oracle.num_vcs());
-        wsdf_sim::simulate_dyn(self.fabric.net(), &cfg, self.oracle.as_dyn(), pattern)
+        wsdf_sim::simulate_faulted_on(
+            self.fabric.net(),
+            &cfg,
+            self.oracle.as_dyn(),
+            pattern,
+            wsdf_exec::global_pool(),
+            self.fault_map(),
+        )
+    }
+}
+
+/// Fault filter around a [`TrafficPattern`]: endpoints on dead routers
+/// offer zero load, and destination draws that are unroutable under the
+/// bench's [`ReachMap`] are skipped (the generation event is dropped, the
+/// inner pattern's RNG consumption is unchanged — so the surviving stream
+/// is a deterministic subsequence of the pristine one).
+pub struct LivePattern {
+    inner: Box<dyn TrafficPattern>,
+    reach: ReachMap,
+    live_fraction: f64,
+}
+
+impl LivePattern {
+    /// Wrap `inner` under `reach`.
+    pub fn new(inner: Box<dyn TrafficPattern>, reach: ReachMap) -> Self {
+        let live_fraction = reach.live_endpoints() as f64 / reach.endpoints().max(1) as f64;
+        LivePattern {
+            inner,
+            reach,
+            live_fraction,
+        }
+    }
+}
+
+impl TrafficPattern for LivePattern {
+    fn rate(&self, src: u32) -> f64 {
+        if self.reach.live(src) {
+            self.inner.rate(src)
+        } else {
+            0.0
+        }
+    }
+
+    fn dest(&self, src: u32, seq: u64, rng: &mut SplitMix64) -> Option<u32> {
+        self.inner
+            .dest(src, seq, rng)
+            .filter(|&d| self.reach.routable(src, d))
+    }
+
+    fn active_fraction(&self) -> f64 {
+        // Approximation: live endpoints are assumed uniformly spread over
+        // the inner pattern's active subset (exact for uniform traffic).
+        self.inner.active_fraction() * self.live_fraction
     }
 }
 

@@ -13,7 +13,7 @@ use crate::bench::{Bench, BenchOracle};
 use crate::json::{self, Value};
 use wsdf_exec::BspPool;
 use wsdf_sim::{Metrics, RouteOracle, SimConfig, SimResult};
-use wsdf_workload::{run_collective_on, Workload, WorkloadOutcome};
+use wsdf_workload::{run_collective_faulted_on, Workload, WorkloadOutcome};
 
 /// Unit conversions for bandwidth reporting.
 ///
@@ -321,11 +321,13 @@ pub fn run_workload_on(
     let mut cfg = cfg.clone();
     cfg.num_vcs = cfg.num_vcs.max(bench.oracle.num_vcs());
     let net = bench.fabric.net();
+    let faults = bench.fault_map();
     let out = match &bench.oracle {
-        BenchOracle::Sl(o) => run_collective_on(net, &cfg, o, wl, pool),
-        BenchOracle::Sw(o) => run_collective_on(net, &cfg, o, wl, pool),
-        BenchOracle::Mesh(o) => run_collective_on(net, &cfg, o, wl, pool),
-        BenchOracle::Switch(o) => run_collective_on(net, &cfg, o, wl, pool),
+        BenchOracle::Sl(o) => run_collective_faulted_on(net, &cfg, o, wl, pool, faults),
+        BenchOracle::Sw(o) => run_collective_faulted_on(net, &cfg, o, wl, pool, faults),
+        BenchOracle::Mesh(o) => run_collective_faulted_on(net, &cfg, o, wl, pool, faults),
+        BenchOracle::Switch(o) => run_collective_faulted_on(net, &cfg, o, wl, pool, faults),
+        BenchOracle::Detour(o) => run_collective_faulted_on(net, &cfg, o, wl, pool, faults),
     }?;
     Ok(WorkloadReport::build(&bench.label, wl, &out, units))
 }

@@ -21,6 +21,12 @@
 //!   [`Workload`] DAG (allreduce, all-to-all, pipelines, ...) to
 //!   quiescence and reports completion cycles and achieved bandwidth per
 //!   phase as a [`WorkloadReport`].
+//! * [`resilience_sweep()`] — the fault-injection runner: samples
+//!   deterministic link/router failures at each fraction
+//!   ([`topo::FaultSet`]), re-routes around them with a precomputed
+//!   detour oracle ([`routing::DetourOracle`]), and reports degraded
+//!   throughput/latency plus collective completion over the survivors as
+//!   a [`ResilienceReport`].
 //!
 //! ```no_run
 //! use wsdf::{AdaptiveConfig, Bench, PatternSpec};
@@ -49,16 +55,20 @@ pub mod bench;
 pub mod collective;
 pub mod json;
 pub mod report;
+pub mod resilience;
 pub mod sweep;
 
-pub use bench::{Bench, BenchOracle, Fabric, PatternSpec};
+pub use bench::{Bench, BenchFaults, BenchOracle, Fabric, LivePattern, PatternSpec};
 pub use collective::{
     run_workload, run_workload_on, LatencySummary, PhaseReport, WorkloadReport, WorkloadUnits,
 };
 pub use report::{Curve, Figure, Point};
+pub use resilience::{
+    resilience_sweep, resilience_sweep_on, ResilienceConfig, ResiliencePoint, ResilienceReport,
+};
 pub use sweep::{
-    adaptive_sweep, saturation_rate, sweep, AdaptiveConfig, SaturationReport, SweepConfig,
-    SweepPoint,
+    adaptive_sweep, saturation_rate, sweep, sweep_on, AdaptiveConfig, SaturationReport,
+    SweepConfig, SweepPoint,
 };
 pub use wsdf_workload::Workload;
 

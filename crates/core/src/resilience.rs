@@ -1,0 +1,430 @@
+//! Resilience sweeps: throughput/latency/completion-time vs. fault
+//! fraction.
+//!
+//! Where [`mod@crate::sweep`] asks *"what does the pristine fabric do?"*,
+//! this module asks the production question: **how gracefully does it
+//! degrade when links and routers die?** [`resilience_sweep`] walks a list
+//! of fault fractions; at each fraction it samples a deterministic
+//! [`FaultSet`], degrades the bench ([`Bench::with_fault_set`]), and
+//! measures:
+//!
+//! * an **open-loop probe** at a fixed offered rate, through the shared
+//!   sweep measurement core — accepted throughput, mean/p50/p99/max
+//!   latency, delivered fraction;
+//! * a **closed-loop probe**: a ring allreduce over the surviving chips of
+//!   the largest live component, reusing the collective machinery —
+//!   completion cycles;
+//! * **reachability accounting** — dead links/routers, live endpoints,
+//!   unreachable ordered pairs.
+//!
+//! The zero-fault point runs the *pristine* bench (same oracle, same hot
+//! path), so it is bit-identical to an ordinary [`crate::sweep()`] point at
+//! the same rate — the resilience axis costs the pristine path nothing.
+//! Every number is a deterministic function of `(bench, config)`:
+//! identical across BSP partition and worker counts, like everything else
+//! in the engine.
+
+use crate::bench::{Bench, PatternSpec};
+use crate::collective::{run_workload_on, WorkloadUnits};
+use crate::json::{self, Value};
+use crate::sweep::{sweep_on, SweepConfig};
+use wsdf_exec::BspPool;
+use wsdf_sim::SimConfig;
+use wsdf_topo::{FaultSet, FaultSpec};
+use wsdf_workload::Workload;
+
+/// Configuration of a [`resilience_sweep`].
+#[derive(Debug, Clone)]
+pub struct ResilienceConfig {
+    /// Simulation template (VCs raised per bench automatically).
+    pub sim: SimConfig,
+    /// Offered load of the open-loop probe, flits/cycle/chip.
+    pub rate_chip: f64,
+    /// Link-fault fractions to sweep (0.0 first gives the pristine
+    /// reference point).
+    pub fractions: Vec<f64>,
+    /// Router faults ride along at `link_fraction × router_ratio`.
+    pub router_ratio: f64,
+    /// Seed of the per-fraction fault samples.
+    pub seed: u64,
+    /// Payload flits per participant of the closed-loop ring-allreduce
+    /// probe; 0 skips the closed-loop probe entirely.
+    pub collective_flits: u64,
+}
+
+impl Default for ResilienceConfig {
+    fn default() -> Self {
+        ResilienceConfig {
+            sim: SimConfig::default(),
+            rate_chip: 0.3,
+            fractions: vec![0.0, 0.05, 0.10, 0.20],
+            router_ratio: 0.5,
+            seed: 0xFA17_5EED,
+            collective_flits: 64,
+        }
+    }
+}
+
+impl ResilienceConfig {
+    /// Scale simulation windows (quick modes for tests/benches/smoke).
+    pub fn scaled(mut self, f: f64) -> Self {
+        self.sim = self.sim.scaled(f);
+        self
+    }
+
+    /// The [`FaultSpec`] sampled at link-fault fraction `f`.
+    pub fn fault_spec(&self, f: f64) -> FaultSpec {
+        FaultSpec {
+            seed: self.seed,
+            link_fraction: f,
+            router_fraction: f * self.router_ratio,
+            ..Default::default()
+        }
+    }
+}
+
+/// One measured fault fraction.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ResiliencePoint {
+    /// Link-fault fraction this point was sampled at.
+    pub fault_fraction: f64,
+    /// Failed undirected fabric links (sampled + router collateral).
+    pub dead_links: u32,
+    /// Failed routers.
+    pub dead_routers: u32,
+    /// Endpoints whose attach router survived.
+    pub live_endpoints: u32,
+    /// Ordered endpoint pairs that are no longer routable.
+    pub unreachable_pairs: u64,
+    /// Offered load of the open-loop probe, flits/cycle/chip.
+    pub offered_chip: f64,
+    /// Accepted throughput, flits/cycle/chip.
+    pub accepted_chip: f64,
+    /// Mean packet latency, cycles.
+    pub latency: f64,
+    /// Median packet latency, cycles.
+    pub p50: f64,
+    /// 99th-percentile packet latency, cycles.
+    pub p99: f64,
+    /// Fraction of measured packets delivered.
+    pub delivered: f64,
+    /// Ring-allreduce completion over the largest live component, cycles
+    /// (0 = probe skipped: disabled, or fewer than 2 surviving chips).
+    pub completion_cycles: u64,
+    /// Participants of the closed-loop probe.
+    pub collective_chips: u32,
+}
+
+/// Result of a [`resilience_sweep`]: one point per fault fraction.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ResilienceReport {
+    /// Bench label.
+    pub label: String,
+    /// Open-loop probe pattern name (`"Uniform"`, ...).
+    pub pattern: String,
+    /// Measured points, in [`ResilienceConfig::fractions`] order.
+    pub points: Vec<ResiliencePoint>,
+}
+
+impl ResilienceReport {
+    /// Render as aligned text rows (harness output).
+    pub fn render(&self) -> String {
+        let mut s = format!(
+            "  {:<18} {:>6} {:>6} {:>7} {:>8} {:>10} {:>10} {:>8} {:>8} {:>9} {:>10}\n",
+            self.label,
+            "fault",
+            "links",
+            "routers",
+            "live-ep",
+            "unreach",
+            "accepted",
+            "lat",
+            "p99",
+            "delivered",
+            "allreduce"
+        );
+        for p in &self.points {
+            s.push_str(&format!(
+                "  {:<18} {:>6.2} {:>6} {:>7} {:>8} {:>10} {:>10.3} {:>8.1} {:>8.1} {:>9.3} {:>10}\n",
+                "",
+                p.fault_fraction,
+                p.dead_links,
+                p.dead_routers,
+                p.live_endpoints,
+                p.unreachable_pairs,
+                p.accepted_chip,
+                p.latency,
+                p.p99,
+                p.delivered,
+                p.completion_cycles,
+            ));
+        }
+        s
+    }
+
+    /// Serialize to pretty JSON.
+    pub fn to_json(&self) -> String {
+        let mut s = String::from("{\n");
+        s.push_str(&format!(
+            "  \"label\": \"{}\",\n",
+            json::escape(&self.label)
+        ));
+        s.push_str(&format!(
+            "  \"pattern\": \"{}\",\n",
+            json::escape(&self.pattern)
+        ));
+        s.push_str("  \"points\": [\n");
+        for (i, p) in self.points.iter().enumerate() {
+            s.push_str(&format!(
+                "    {{\"fault_fraction\": {}, \"dead_links\": {}, \"dead_routers\": {}, \
+                 \"live_endpoints\": {}, \"unreachable_pairs\": {}, \"offered_chip\": {}, \
+                 \"accepted_chip\": {}, \"latency\": {}, \"p50\": {}, \"p99\": {}, \
+                 \"delivered\": {}, \"completion_cycles\": {}, \"collective_chips\": {}}}{}\n",
+                json::num(p.fault_fraction),
+                p.dead_links,
+                p.dead_routers,
+                p.live_endpoints,
+                p.unreachable_pairs,
+                json::num(p.offered_chip),
+                json::num(p.accepted_chip),
+                json::num(p.latency),
+                json::num(p.p50),
+                json::num(p.p99),
+                json::num(p.delivered),
+                p.completion_cycles,
+                p.collective_chips,
+                if i + 1 < self.points.len() { "," } else { "" }
+            ));
+        }
+        s.push_str("  ]\n}\n");
+        s
+    }
+
+    /// Parse a report previously written by [`to_json`](Self::to_json).
+    pub fn from_json(text: &str) -> Result<ResilienceReport, String> {
+        let v = Value::parse(text)?;
+        let field = |v: &Value, k: &str| -> Result<f64, String> {
+            v.get(k)
+                .and_then(|m| m.as_f64())
+                .ok_or_else(|| format!("missing number '{k}'"))
+        };
+        let int = |v: &Value, k: &str| -> Result<u64, String> {
+            let x = field(v, k)?;
+            if x.is_finite() && x >= 0.0 && x.fract() == 0.0 {
+                Ok(x as u64)
+            } else {
+                Err(format!("'{k}' not a non-negative integer"))
+            }
+        };
+        let mut points = Vec::new();
+        for p in v
+            .get("points")
+            .and_then(|p| p.as_arr())
+            .ok_or("'points' not an array")?
+        {
+            points.push(ResiliencePoint {
+                fault_fraction: field(p, "fault_fraction")?,
+                dead_links: int(p, "dead_links")? as u32,
+                dead_routers: int(p, "dead_routers")? as u32,
+                live_endpoints: int(p, "live_endpoints")? as u32,
+                unreachable_pairs: int(p, "unreachable_pairs")?,
+                offered_chip: field(p, "offered_chip")?,
+                accepted_chip: field(p, "accepted_chip")?,
+                latency: field(p, "latency")?,
+                p50: field(p, "p50")?,
+                p99: field(p, "p99")?,
+                delivered: field(p, "delivered")?,
+                completion_cycles: int(p, "completion_cycles")?,
+                collective_chips: int(p, "collective_chips")? as u32,
+            });
+        }
+        Ok(ResilienceReport {
+            label: v
+                .get("label")
+                .and_then(|l| l.as_str())
+                .ok_or("'label' not a string")?
+                .to_string(),
+            pattern: v
+                .get("pattern")
+                .and_then(|l| l.as_str())
+                .ok_or("'pattern' not a string")?
+                .to_string(),
+            points,
+        })
+    }
+}
+
+/// Human name of a [`PatternSpec`] for report labeling.
+fn pattern_name(spec: PatternSpec) -> String {
+    format!("{spec:?}")
+}
+
+/// Surviving chips of the largest live component: chips whose node-0 is
+/// alive there (one participant per chip, matching the collective suite).
+fn live_chips(bench: &Bench) -> Vec<u32> {
+    let Some(f) = &bench.faults else {
+        return (0..bench.scope.num_chips())
+            .map(|c| bench.scope.node_of(c, 0))
+            .collect();
+    };
+    let comp = f.reach.largest_component_endpoints();
+    let in_comp: std::collections::HashSet<u32> = comp.into_iter().collect();
+    (0..bench.scope.num_chips())
+        .map(|c| bench.scope.node_of(c, 0))
+        .filter(|n| in_comp.contains(n))
+        .collect()
+}
+
+/// Run a resilience sweep on an explicit executor. See the module docs.
+pub fn resilience_sweep_on(
+    bench: &Bench,
+    cfg: &ResilienceConfig,
+    spec: PatternSpec,
+    pool: &BspPool,
+) -> ResilienceReport {
+    assert!(
+        bench.faults.is_none(),
+        "resilience_sweep degrades the bench itself; pass the pristine bench"
+    );
+    let net = bench.fabric.net();
+    let units = WorkloadUnits::default();
+    let mut points = Vec::with_capacity(cfg.fractions.len());
+    for &f in &cfg.fractions {
+        let fs = FaultSet::sample(net, &cfg.fault_spec(f));
+        let fb = bench.with_fault_set(&fs);
+
+        // Open-loop probe through the shared sweep measurement core (same
+        // saturation rule, same normalization) — one rate, no early stop.
+        let scfg = SweepConfig {
+            sim: cfg.sim.clone(),
+            ..Default::default()
+        };
+        let probe = sweep_on(&fb, &scfg, spec, &[cfg.rate_chip], pool)
+            .pop()
+            .expect("single-rate sweep yields one point");
+
+        // Reachability accounting.
+        let (live_endpoints, unreachable_pairs) = match &fb.faults {
+            None => (fb.endpoints(), 0),
+            Some(bf) => (bf.reach.live_endpoints(), bf.reach.unreachable_pairs()),
+        };
+
+        // Closed-loop probe: ring allreduce over surviving chips.
+        let chips = live_chips(&fb);
+        let (completion_cycles, collective_chips) = if cfg.collective_flits > 0 && chips.len() >= 2
+        {
+            let wl = Workload::ring_allreduce(&chips, cfg.collective_flits);
+            let r = run_workload_on(&fb, &cfg.sim, &wl, &units, pool)
+                .unwrap_or_else(|e| panic!("[{} @ {f}] allreduce probe: {e}", bench.label));
+            (r.completion_cycles, chips.len() as u32)
+        } else {
+            (0, 0)
+        };
+
+        points.push(ResiliencePoint {
+            fault_fraction: f,
+            dead_links: fs.dead_links(),
+            dead_routers: fs.dead_routers(),
+            live_endpoints,
+            unreachable_pairs,
+            offered_chip: probe.offered_chip,
+            accepted_chip: probe.accepted_chip,
+            latency: probe.latency,
+            p50: probe.p50,
+            p99: probe.p99,
+            delivered: probe.delivered,
+            completion_cycles,
+            collective_chips,
+        });
+    }
+    ResilienceReport {
+        label: bench.label.clone(),
+        pattern: pattern_name(spec),
+        points,
+    }
+}
+
+/// [`resilience_sweep_on`] on the process-wide executor.
+pub fn resilience_sweep(
+    bench: &Bench,
+    cfg: &ResilienceConfig,
+    spec: PatternSpec,
+) -> ResilienceReport {
+    resilience_sweep_on(bench, cfg, spec, wsdf_exec::global_pool())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sweep::sweep;
+
+    fn quick() -> ResilienceConfig {
+        ResilienceConfig {
+            collective_flits: 16,
+            ..Default::default()
+        }
+        .scaled(0.1)
+    }
+
+    #[test]
+    fn zero_fault_point_matches_pristine_sweep_exactly() {
+        let bench = Bench::single_mesh(4, 2, 1);
+        let cfg = quick();
+        let report = resilience_sweep(&bench, &cfg, PatternSpec::Uniform);
+        let p0 = &report.points[0];
+        assert_eq!(p0.fault_fraction, 0.0);
+        assert_eq!(p0.dead_links, 0);
+        assert_eq!(p0.live_endpoints, 16);
+        assert_eq!(p0.unreachable_pairs, 0);
+        // The pristine sweep at the same rate must agree bit for bit: the
+        // zero-fault path is the pristine path, not a detour-oracle run.
+        let scfg = SweepConfig {
+            sim: cfg.sim.clone(),
+            ..Default::default()
+        };
+        let q = sweep(&bench, &scfg, PatternSpec::Uniform, &[cfg.rate_chip])
+            .pop()
+            .unwrap();
+        assert_eq!(p0.accepted_chip, q.accepted_chip);
+        assert_eq!(p0.latency, q.latency);
+        assert_eq!(p0.p50, q.p50);
+        assert_eq!(p0.p99, q.p99);
+        assert_eq!(p0.delivered, q.delivered);
+    }
+
+    #[test]
+    fn degradation_is_graceful_not_fatal() {
+        let bench = Bench::single_mesh(4, 2, 1);
+        let report = resilience_sweep(&bench, &quick(), PatternSpec::Uniform);
+        assert_eq!(report.points.len(), 4);
+        for p in &report.points {
+            if p.fault_fraction > 0.0 {
+                assert!(p.dead_links > 0 || p.dead_routers > 0, "{p:?}");
+            }
+            // Whatever traffic the live pairs offer must still be served.
+            assert!(p.delivered > 0.5, "{p:?}");
+            assert!(p.accepted_chip > 0.0, "{p:?}");
+        }
+        // The collective probe ran wherever ≥ 2 chips survived.
+        assert!(report.points[0].completion_cycles > 0);
+        assert_eq!(report.points[0].collective_chips, 4);
+    }
+
+    #[test]
+    fn report_round_trips_through_json() {
+        let bench = Bench::single_switch(8);
+        let mut cfg = quick();
+        cfg.fractions = vec![0.0, 0.2];
+        let report = resilience_sweep(&bench, &cfg, PatternSpec::Uniform);
+        let back = ResilienceReport::from_json(&report.to_json()).unwrap();
+        assert_eq!(back, report);
+    }
+
+    #[test]
+    fn sweep_is_deterministic() {
+        let bench = Bench::single_mesh(4, 2, 1);
+        let a = resilience_sweep(&bench, &quick(), PatternSpec::Uniform);
+        let b = resilience_sweep(&bench, &quick(), PatternSpec::Uniform);
+        assert_eq!(a, b);
+    }
+}

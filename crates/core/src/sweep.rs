@@ -274,7 +274,20 @@ pub fn sweep(
     spec: PatternSpec,
     rates_chip: &[f64],
 ) -> Vec<SweepPoint> {
-    let mut driver = SweepDriver::new(bench, cfg, spec, wsdf_exec::global_pool());
+    sweep_on(bench, cfg, spec, rates_chip, wsdf_exec::global_pool())
+}
+
+/// [`sweep`] on an explicit [`BspPool`] executor (results are pool-size
+/// independent; used by the resilience sweep to keep one pool across every
+/// fault fraction).
+pub fn sweep_on(
+    bench: &Bench,
+    cfg: &SweepConfig,
+    spec: PatternSpec,
+    rates_chip: &[f64],
+    pool: &BspPool,
+) -> Vec<SweepPoint> {
+    let mut driver = SweepDriver::new(bench, cfg, spec, pool);
     let mut out = Vec::new();
     let mut past_saturation = 0usize;
     for &rate_chip in rates_chip {

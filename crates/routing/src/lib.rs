@@ -20,11 +20,13 @@
 
 #![deny(missing_docs)]
 
+pub mod fault;
 pub mod mesh;
 pub mod switchbased;
 pub mod switchless;
 pub mod walk;
 
+pub use fault::{DetourOracle, PathVerdict, ReachMap};
 pub use mesh::{MeshOracle, SwitchNodeOracle};
 pub use switchbased::SwOracle;
 pub use switchless::{SlOracle, VcScheme};

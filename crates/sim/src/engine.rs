@@ -52,6 +52,7 @@
 
 use crate::channel::{Terminus, TimedRing};
 use crate::config::SimConfig;
+use crate::fault::FaultMap;
 use crate::flit::Flit;
 use crate::flit::{PacketHeader, NO_INTERMEDIATE};
 use crate::metrics::Metrics;
@@ -293,8 +294,25 @@ impl<O: RouteOracle> Simulation<O> {
     /// Compile `net` under `cfg` with `oracle`. Fails on structural errors
     /// or when the oracle needs more VCs than the config provides.
     pub fn new(net: &NetworkDesc, cfg: &SimConfig, oracle: O) -> SimResult<Self> {
+        Self::with_faults(net, cfg, oracle, None)
+    }
+
+    /// [`Simulation::new`] with an optional [`FaultMap`]: dead channels are
+    /// compiled into per-port flags that make any traversal attempt a hard
+    /// assert (a fault-aware oracle must route around them), and automatic
+    /// partition sizing counts *live* routers only — a heavily degraded
+    /// fabric does not get over-partitioned for compute it no longer has.
+    pub fn with_faults(
+        net: &NetworkDesc,
+        cfg: &SimConfig,
+        oracle: O,
+        faults: Option<&FaultMap>,
+    ) -> SimResult<Self> {
         cfg.validate().map_err(SimError::Invalid)?;
         net.validate().map_err(SimError::Invalid)?;
+        if let Some(f) = faults {
+            f.validate(net).map_err(SimError::Invalid)?;
+        }
         if oracle.num_vcs() > cfg.num_vcs {
             return Err(SimError::Invalid(format!(
                 "oracle needs {} VCs but config provides {}",
@@ -302,11 +320,13 @@ impl<O: RouteOracle> Simulation<O> {
                 cfg.num_vcs
             )));
         }
+        let live_routers = faults.map_or(net.num_routers(), |f| f.live_routers());
         let nparts = effective_partitions(
             cfg.partitions,
-            net.num_routers(),
+            live_routers,
             wsdf_exec::configured_threads(),
         );
+        let channel_dead = |c: usize| faults.is_some_and(|f| f.channel_dead(c as u32));
 
         // Contiguous router blocks, balanced by count.
         let nr = net.num_routers();
@@ -424,6 +444,7 @@ impl<O: RouteOracle> Simulation<O> {
                         width: ch.width,
                         class: ch.class,
                         is_ejection: matches!(ch.dst, Terminus::Endpoint { .. }),
+                        dead: channel_dead(c),
                     },
                 );
             }
@@ -504,6 +525,7 @@ impl<O: RouteOracle> Simulation<O> {
                 ej_credit_to,
                 ej_ch.latency,
                 cfg.seed,
+                channel_dead(inj),
             ));
         }
 
@@ -525,6 +547,12 @@ impl<O: RouteOracle> Simulation<O> {
     /// Current cycle.
     pub fn now(&self) -> u64 {
         self.now
+    }
+
+    /// Number of BSP partitions this simulation compiled to (auto mode
+    /// resolves against *live* routers when a fault map is present).
+    pub fn partitions(&self) -> usize {
+        self.partitions.len()
     }
 
     /// The oracle driving this simulation.
@@ -861,6 +889,9 @@ impl TrafficPattern for IdlePattern {
 /// auto (`0`) scales to the executor's worker count, capped so no
 /// partition drops below ~256 routers (below that, barrier overhead beats
 /// the per-partition compute it buys).
+///
+/// `routers` is the *live* router count: under a [`FaultMap`] dead routers
+/// contribute no compute, so they must not count toward the ≥256 guard.
 fn effective_partitions(requested: usize, routers: usize, workers: usize) -> usize {
     let n = if requested == 0 {
         // Don't over-partition small networks: ≥ 256 routers per partition.
@@ -894,6 +925,21 @@ pub fn simulate_on<O: RouteOracle, P: TrafficPattern + ?Sized>(
     pool: &BspPool,
 ) -> SimResult<Metrics> {
     Simulation::new(net, cfg, oracle)?.run_on(pool, pattern)
+}
+
+/// [`simulate_on`] with an optional [`FaultMap`]: `None` is byte-for-byte
+/// the pristine path (same compilation, same hot path); `Some` arms the
+/// dead-channel asserts and sizes auto partitions by live routers. See
+/// [`Simulation::with_faults`].
+pub fn simulate_faulted_on<O: RouteOracle, P: TrafficPattern + ?Sized>(
+    net: &NetworkDesc,
+    cfg: &SimConfig,
+    oracle: O,
+    pattern: &P,
+    pool: &BspPool,
+    faults: Option<&FaultMap>,
+) -> SimResult<Metrics> {
+    Simulation::with_faults(net, cfg, oracle, faults)?.run_on(pool, pattern)
 }
 
 /// Type-erased entry point for heterogeneous sweeps: same engine, same
@@ -1114,6 +1160,88 @@ mod tests {
         // Degenerate inputs stay sane.
         assert_eq!(effective_partitions(0, 0, 8), 1);
         assert_eq!(effective_partitions(3, 0, 8), 1);
+    }
+
+    #[test]
+    fn explicit_partitions_clamp_to_live_routers() {
+        // 16-ring with 12 dead routers: an explicit request for 16
+        // partitions must clamp to the 4 *live* routers, not the total.
+        let net = ring(16);
+        let mut faults = crate::fault::FaultMap::pristine(&net);
+        for r in 4..16 {
+            faults.kill_router(r);
+        }
+        faults.seal(&net);
+        let mut cfg = small_cfg();
+        cfg.partitions = 16;
+        let sim =
+            Simulation::with_faults(&net, &cfg, &RingOracle { n: 16 }, Some(&faults)).unwrap();
+        assert_eq!(sim.partitions(), 4);
+        let pristine = Simulation::new(&net, &cfg, &RingOracle { n: 16 }).unwrap();
+        assert_eq!(pristine.partitions(), 16);
+    }
+
+    #[test]
+    fn effective_partitions_guard_counts_live_routers() {
+        // The ≥256-routers-per-partition guard operates on *live* routers:
+        // a 10k-router fabric with only 255 survivors stays sequential,
+        // and one with 256 survivors gets exactly two partitions — the
+        // same thresholds as a pristine fabric of that size.
+        assert_eq!(effective_partitions(0, 255, 8), 1);
+        assert_eq!(effective_partitions(0, 256, 8), 2);
+        assert_eq!(effective_partitions(0, 1024, 8), 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "dead channel")]
+    fn traversing_a_faulted_channel_asserts() {
+        // Kill one ring link but route with the fault-oblivious oracle:
+        // the first flit sent over the dead channel must hard-assert.
+        let net = ring(4);
+        let mut faults = crate::fault::FaultMap::pristine(&net);
+        let cut = net
+            .channels
+            .iter()
+            .position(|ch| ch.src.router() == Some(1) && ch.dst.router() == Some(2))
+            .unwrap();
+        faults.kill_channel(cut as u32);
+        faults.seal(&net);
+        let mut sim =
+            Simulation::with_faults(&net, &small_cfg(), &RingOracle { n: 4 }, Some(&faults))
+                .unwrap();
+        let _ = sim.run(&UniformPattern::new(4, 0.5));
+    }
+
+    #[test]
+    #[should_panic(expected = "dead channel")]
+    fn injecting_from_a_dead_endpoint_asserts() {
+        // Router 2 dies; its endpoint's injection channel dies with it
+        // (seal), so open-loop generation from endpoint 2 must assert.
+        let net = ring(4);
+        let mut faults = crate::fault::FaultMap::pristine(&net);
+        faults.kill_router(2);
+        faults.seal(&net);
+        let mut sim =
+            Simulation::with_faults(&net, &small_cfg(), &RingOracle { n: 4 }, Some(&faults))
+                .unwrap();
+        let _ = sim.run(&UniformPattern::new(4, 0.5));
+    }
+
+    #[test]
+    fn pristine_fault_map_changes_nothing() {
+        // An all-alive map must be byte-identical to no map at all.
+        let net = ring(8);
+        let cfg = small_cfg();
+        let pattern = UniformPattern::new(8, 0.3);
+        let a = simulate(&net, &cfg, &RingOracle { n: 8 }, &pattern).unwrap();
+        let faults = crate::fault::FaultMap::pristine(&net);
+        let b = Simulation::with_faults(&net, &cfg, &RingOracle { n: 8 }, Some(&faults))
+            .unwrap()
+            .run(&pattern)
+            .unwrap();
+        assert_eq!(a.packets_ejected, b.packets_ejected);
+        assert_eq!(a.latency_sum, b.latency_sum);
+        assert_eq!(a.latency_hist, b.latency_hist);
     }
 
     #[test]

@@ -25,6 +25,10 @@
 //!   [`WorkloadDriver`] injects packets between cycles, observes
 //!   [`Arrival`] events at the BSP barrier, and the run ends at quiescence
 //!   — the substrate of the `wsdf-workload` collective subsystem.
+//! * A [`FaultMap`] ([`Simulation::with_faults`]) marks routers/channels
+//!   dead: traversing a dead channel is a hard assert (a fault-aware
+//!   oracle must detour — `wsdf-routing`'s `DetourOracle`), and automatic
+//!   partition sizing counts live routers only.
 //!
 //! The engine runs either sequentially or as a BSP-parallel simulation on
 //! the persistent [`wsdf_exec::BspPool`] executor, which keeps the hot
@@ -41,6 +45,7 @@ pub mod arbiter;
 pub mod channel;
 pub mod config;
 pub mod engine;
+pub mod fault;
 pub mod flit;
 pub mod metrics;
 pub mod network;
@@ -52,8 +57,10 @@ pub mod router;
 pub use channel::{ChannelClass, ChannelDesc, ChannelId, RingFull, Terminus, TimedRing};
 pub use config::SimConfig;
 pub use engine::{
-    simulate, simulate_dyn, simulate_on, Injector, SimError, SimResult, Simulation, WorkloadDriver,
+    simulate, simulate_dyn, simulate_faulted_on, simulate_on, Injector, SimError, SimResult,
+    Simulation, WorkloadDriver,
 };
+pub use fault::FaultMap;
 pub use flit::{Flit, FlitKind, PacketHeader};
 pub use metrics::{ClassCounters, LatencyHistogram, Metrics};
 pub use network::{EndpointDesc, NetworkDesc, RouterDesc};

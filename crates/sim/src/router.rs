@@ -130,6 +130,9 @@ pub struct PortOut {
     pub class: ChannelClass,
     /// True if the channel ends at an endpoint (ejection).
     pub is_ejection: bool,
+    /// True if the channel is faulted: any traversal attempt is a hard
+    /// assert (see [`crate::FaultMap`]).
+    pub dead: bool,
 }
 
 /// Per-input-VC state.
@@ -523,6 +526,17 @@ impl RouterRt {
         pout: PortOut,
         ctx: &mut CycleCtx<'_>,
     ) {
+        assert!(
+            !pout.dead,
+            "routing oracle sent a flit over dead channel {} (router {}, out port {}, dst {})",
+            pout.ch,
+            self.id,
+            rc.out_port,
+            self.inputs[f as usize]
+                .buf
+                .front()
+                .map_or(0, |fl| fl.pkt.dst)
+        );
         let flit = self.inputs[f as usize]
             .buf
             .pop_front()
@@ -696,6 +710,9 @@ pub struct EndpointRt {
     next_pkt: u64,
     /// Accumulated fractional packets (deterministic rate conversion).
     acc: f64,
+    /// True if the injection channel is faulted (attach router dead): any
+    /// injection attempt is a hard assert.
+    inj_dead: bool,
 }
 
 impl EndpointRt {
@@ -714,6 +731,7 @@ impl EndpointRt {
         ej_credit_to: CreditTarget,
         ej_credit_latency: u32,
         seed: u64,
+        inj_dead: bool,
     ) -> Self {
         EndpointRt {
             id,
@@ -732,6 +750,7 @@ impl EndpointRt {
             rng: SplitMix64::for_agent(seed, 0xE9D0 ^ ((id as u64) << 1 | 1)),
             next_pkt: (id as u64) << 20,
             acc: 0.0,
+            inj_dead,
         }
     }
 
@@ -832,6 +851,12 @@ impl EndpointRt {
             let Some(&pkt) = self.queue.front() else {
                 break;
             };
+            assert!(
+                !self.inj_dead,
+                "endpoint {} injecting over a dead channel (attach router faulted); \
+                 the workload must exclude dead endpoints",
+                self.id
+            );
             if self.send_seq == 0 {
                 // Head flit: the routing policy fixes the VC for the packet.
                 self.send_vc = oracle.initial_vc(&pkt);

@@ -25,11 +25,13 @@
 #![deny(missing_docs)]
 
 pub mod address;
+pub mod fault;
 pub mod mesh;
 pub mod switchbased;
 pub mod switchless;
 
 pub use address::{RingPos, SlParams, SwParams};
+pub use fault::{FaultSchedule, FaultSet, FaultSpec};
 pub use mesh::{single_mesh, single_switch, MeshFabric, SwitchNode};
 pub use switchbased::SwitchFabric;
 pub use switchless::SwitchlessFabric;

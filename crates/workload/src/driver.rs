@@ -13,8 +13,8 @@ use crate::message::{msg_of, packet_id, segments, Reassembly};
 use std::collections::BTreeSet;
 use wsdf_exec::BspPool;
 use wsdf_sim::{
-    Arrival, Injector, Metrics, NetworkDesc, RouteOracle, SimConfig, SimResult, Simulation,
-    WorkloadDriver,
+    Arrival, FaultMap, Injector, Metrics, NetworkDesc, RouteOracle, SimConfig, SimResult,
+    Simulation, WorkloadDriver,
 };
 
 /// Timing of one workload phase.
@@ -204,9 +204,24 @@ pub fn run_collective_on<O: RouteOracle>(
     wl: &Workload,
     pool: &BspPool,
 ) -> SimResult<WorkloadOutcome> {
+    run_collective_faulted_on(net, cfg, oracle, wl, pool, None)
+}
+
+/// [`run_collective_on`] with an optional [`FaultMap`]: `None` is the
+/// pristine path; `Some` arms the engine's dead-channel asserts. The
+/// workload must only use endpoints that are alive and mutually routable
+/// under the faults (a fault-aware oracle panics otherwise).
+pub fn run_collective_faulted_on<O: RouteOracle>(
+    net: &NetworkDesc,
+    cfg: &SimConfig,
+    oracle: O,
+    wl: &Workload,
+    pool: &BspPool,
+    faults: Option<&FaultMap>,
+) -> SimResult<WorkloadOutcome> {
     wl.validate(net.num_endpoints() as u32)
         .map_err(wsdf_sim::SimError::Invalid)?;
-    let mut sim = Simulation::new(net, cfg, oracle)?;
+    let mut sim = Simulation::with_faults(net, cfg, oracle, faults)?;
     let mut driver = ClosedLoop::new(wl, cfg.packet_len);
     let metrics = sim.run_closed_loop_on(pool, &mut driver)?;
     Ok(driver.into_outcome(metrics))

@@ -39,5 +39,8 @@ pub mod driver;
 pub mod message;
 
 pub use collective::{Message, Workload};
-pub use driver::{run_collective, run_collective_on, ClosedLoop, PhaseStat, WorkloadOutcome};
+pub use driver::{
+    run_collective, run_collective_faulted_on, run_collective_on, ClosedLoop, PhaseStat,
+    WorkloadOutcome,
+};
 pub use message::{packet_count, packet_id, segments, Reassembly};
