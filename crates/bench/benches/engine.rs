@@ -131,12 +131,89 @@ fn bench_resilience(c: &mut Criterion) {
     g.finish();
 }
 
+fn bench_idle(c: &mut Criterion) {
+    let mut g = c.benchmark_group("idle");
+    g.sample_size(10);
+    let p = SlParams::radix16().with_wgroups(1);
+    let bench = Bench::switchless(&p, RouteMode::Minimal, VcScheme::Baseline);
+
+    // Near-zero offered load over a long window: almost every cycle is
+    // globally idle, so the event-driven engine fast-forwards across the
+    // gaps between injections (the dense loop pays for every cycle). The
+    // recorded busy/skipped split shows how much of the window was jumped.
+    {
+        let cfg = SimConfig {
+            warmup_cycles: 200,
+            measure_cycles: 5000,
+            drain_cycles: 300,
+            ..SimConfig::default()
+        };
+        let pat = bench.pattern(PatternSpec::Uniform, 0.001);
+        let m = bench.run(&cfg, pat.as_ref()).unwrap();
+        g.meta("busy_cycles", m.busy_cycles);
+        g.meta("skipped_cycles", m.skipped_cycles);
+        g.bench_function("zero_load_probe", |b| {
+            b.iter(|| bench.run(&cfg, pat.as_ref()).unwrap());
+        });
+    }
+
+    // Latency-bound closed-loop ring allreduce: with small per-step
+    // payloads every participant injects for a few cycles and then waits
+    // out the channel latency of its in-flight tail. Latency-1 credit and
+    // injection channels keep *some* event alive every cycle, so nothing
+    // fast-forwards — the win is the active sets: each waiting cycle runs
+    // the handful of agents with pending work instead of the whole fabric.
+    {
+        let participants: Vec<u32> = (0..bench.scope.num_chips())
+            .map(|c| bench.scope.node_of(c, 0))
+            .collect();
+        let wl = Workload::ring_allreduce(&participants, 8);
+        let cfg = SimConfig::default();
+        let r = wsdf::run_workload(&bench, &cfg, &wl, &WorkloadUnits::default()).unwrap();
+        g.meta("busy_cycles", r.busy_cycles);
+        g.meta("skipped_cycles", r.skipped_cycles);
+        g.bench_function("drain_tail", |b| {
+            b.iter(|| wsdf::run_workload(&bench, &cfg, &wl, &WorkloadUnits::default()).unwrap());
+        });
+    }
+
+    // Heavy faults thin the live pairs out: what survives is sparse
+    // traffic over a mostly idle fabric, the resilience sweep's common
+    // case at the high-fraction end.
+    {
+        let fs = FaultSet::sample(
+            bench.fabric.net(),
+            &FaultSpec {
+                link_fraction: 0.2,
+                router_fraction: 0.1,
+                ..Default::default()
+            },
+        );
+        let fb = bench.with_fault_set(&fs);
+        let cfg = SimConfig {
+            warmup_cycles: 200,
+            measure_cycles: 2000,
+            drain_cycles: 300,
+            ..SimConfig::default()
+        };
+        let pat = fb.pattern(PatternSpec::Uniform, 0.02);
+        let m = fb.run(&cfg, pat.as_ref()).unwrap();
+        g.meta("busy_cycles", m.busy_cycles);
+        g.meta("skipped_cycles", m.skipped_cycles);
+        g.bench_function("sparse_fault", |b| {
+            b.iter(|| fb.run(&cfg, pat.as_ref()).unwrap());
+        });
+    }
+    g.finish();
+}
+
 criterion_group!(
     benches,
     bench_topology_build,
     bench_simulation_cycles,
     bench_parallel_scaling,
     bench_collectives,
-    bench_resilience
+    bench_resilience,
+    bench_idle
 );
 criterion_main!(benches);

@@ -122,6 +122,13 @@ pub struct WorkloadReport {
     pub phases: Vec<PhaseReport>,
     /// Packet-latency distribution over the run.
     pub latency: LatencySummary,
+    /// Cycles the engine actually stepped (see
+    /// [`wsdf_sim::Metrics::busy_cycles`]).
+    pub busy_cycles: u64,
+    /// Cycles fast-forwarded over by event-driven stepping (0 under the
+    /// dense loop); `busy + skipped` equals the completion cycles, so the
+    /// ratio is the drain-tail efficiency of the run.
+    pub skipped_cycles: u64,
 }
 
 impl WorkloadReport {
@@ -155,6 +162,8 @@ impl WorkloadReport {
             achieved_gbps: units.gbps(flits, out.completion_cycles),
             phases,
             latency: LatencySummary::from_metrics(&out.metrics),
+            busy_cycles: out.metrics.busy_cycles,
+            skipped_cycles: out.metrics.skipped_cycles,
         }
     }
 
@@ -199,6 +208,8 @@ impl WorkloadReport {
         ));
         s.push_str(&format!("  \"messages\": {},\n", self.messages));
         s.push_str(&format!("  \"flits\": {},\n", self.flits));
+        s.push_str(&format!("  \"busy_cycles\": {},\n", self.busy_cycles));
+        s.push_str(&format!("  \"skipped_cycles\": {},\n", self.skipped_cycles));
         s.push_str(&format!(
             "  \"achieved_flits_per_cycle\": {},\n",
             json::num(self.achieved_flits_per_cycle)
@@ -282,6 +293,8 @@ impl WorkloadReport {
                 p99: num(lat, "p99")?,
                 max: num(lat, "max")?,
             },
+            busy_cycles: opt_int(&v, "busy_cycles")?,
+            skipped_cycles: opt_int(&v, "skipped_cycles")?,
         })
     }
 }
@@ -302,6 +315,15 @@ fn int(v: &Value, k: &str) -> Result<u64, String> {
         Ok(x as u64)
     } else {
         Err(format!("'{k}' not a non-negative integer"))
+    }
+}
+
+/// Optional integer field: 0 when absent, so reports recorded before the
+/// stepping counters existed still load.
+fn opt_int(v: &Value, k: &str) -> Result<u64, String> {
+    match v.get(k) {
+        None => Ok(0),
+        Some(_) => int(v, k),
     }
 }
 

@@ -258,7 +258,7 @@ fn point_json(p: &SweepPoint) -> String {
         "{{\"offered_chip\": {}, \"offered_node\": {}, \"latency\": {}, \
          \"p50\": {}, \"p95\": {}, \"p99\": {}, \"latency_max\": {}, \
          \"accepted_chip\": {}, \"accepted_node\": {}, \"delivered\": {}, \
-         \"saturated\": {}}}",
+         \"saturated\": {}, \"busy_cycles\": {}, \"skipped_cycles\": {}}}",
         json::num(p.offered_chip),
         json::num(p.offered_node),
         json::num(p.latency),
@@ -269,7 +269,9 @@ fn point_json(p: &SweepPoint) -> String {
         json::num(p.accepted_chip),
         json::num(p.accepted_node),
         json::num(p.delivered),
-        p.saturated
+        p.saturated,
+        p.busy_cycles,
+        p.skipped_cycles
     )
 }
 
@@ -290,7 +292,25 @@ fn point_from_json(p: &Value) -> Result<SweepPoint, String> {
         saturated: field(p, "saturated")?
             .as_bool()
             .ok_or("'saturated' not a bool")?,
+        busy_cycles: int_or_zero(p, "busy_cycles")?,
+        skipped_cycles: int_or_zero(p, "skipped_cycles")?,
     })
+}
+
+/// Optional non-negative integer field: 0 when absent, so baselines
+/// recorded before the stepping counters existed still load.
+fn int_or_zero(v: &Value, k: &str) -> Result<u64, String> {
+    match v.get(k) {
+        None => Ok(0),
+        Some(m) => {
+            let x = m.as_f64().ok_or_else(|| format!("'{k}' not a number"))?;
+            if x.is_finite() && x >= 0.0 && x.fract() == 0.0 {
+                Ok(x as u64)
+            } else {
+                Err(format!("'{k}' not a non-negative integer"))
+            }
+        }
+    }
 }
 
 #[cfg(test)]
@@ -310,6 +330,8 @@ mod tests {
             accepted_node: acc / 4.0,
             delivered: 1.0,
             saturated: false,
+            busy_cycles: 1000,
+            skipped_cycles: 200,
         }
     }
 

@@ -113,6 +113,12 @@ pub struct ResiliencePoint {
     pub completion_cycles: u64,
     /// Participants of the closed-loop probe.
     pub collective_chips: u32,
+    /// Cycles the open-loop probe actually stepped (event-driven stepping;
+    /// equals `cycles_run` under the dense engine).
+    pub busy_cycles: u64,
+    /// Cycles the open-loop probe fast-forwarded over (0 under the dense
+    /// engine).
+    pub skipped_cycles: u64,
 }
 
 /// Result of a [`resilience_sweep`]: one point per fault fraction.
@@ -179,7 +185,8 @@ impl ResilienceReport {
                 "    {{\"fault_fraction\": {}, \"dead_links\": {}, \"dead_routers\": {}, \
                  \"live_endpoints\": {}, \"unreachable_pairs\": {}, \"offered_chip\": {}, \
                  \"accepted_chip\": {}, \"latency\": {}, \"p50\": {}, \"p99\": {}, \
-                 \"delivered\": {}, \"completion_cycles\": {}, \"collective_chips\": {}}}{}\n",
+                 \"delivered\": {}, \"completion_cycles\": {}, \"collective_chips\": {}, \
+                 \"busy_cycles\": {}, \"skipped_cycles\": {}}}{}\n",
                 json::num(p.fault_fraction),
                 p.dead_links,
                 p.dead_routers,
@@ -193,6 +200,8 @@ impl ResilienceReport {
                 json::num(p.delivered),
                 p.completion_cycles,
                 p.collective_chips,
+                p.busy_cycles,
+                p.skipped_cycles,
                 if i + 1 < self.points.len() { "," } else { "" }
             ));
         }
@@ -216,6 +225,13 @@ impl ResilienceReport {
                 Err(format!("'{k}' not a non-negative integer"))
             }
         };
+        // Absent in reports written before the stepping counters existed.
+        let int_or_zero = |v: &Value, k: &str| -> Result<u64, String> {
+            match v.get(k) {
+                None => Ok(0),
+                Some(_) => int(v, k),
+            }
+        };
         let mut points = Vec::new();
         for p in v
             .get("points")
@@ -236,6 +252,8 @@ impl ResilienceReport {
                 delivered: field(p, "delivered")?,
                 completion_cycles: int(p, "completion_cycles")?,
                 collective_chips: int(p, "collective_chips")? as u32,
+                busy_cycles: int_or_zero(p, "busy_cycles")?,
+                skipped_cycles: int_or_zero(p, "skipped_cycles")?,
             });
         }
         Ok(ResilienceReport {
@@ -335,6 +353,8 @@ pub fn resilience_sweep_on(
             delivered: probe.delivered,
             completion_cycles,
             collective_chips,
+            busy_cycles: probe.busy_cycles,
+            skipped_cycles: probe.skipped_cycles,
         });
     }
     ResilienceReport {

@@ -45,6 +45,13 @@ pub struct SweepPoint {
     pub delivered: f64,
     /// True once the run is considered past saturation.
     pub saturated: bool,
+    /// Cycles the engine actually stepped for this point (see
+    /// [`wsdf_sim::Metrics::busy_cycles`]).
+    pub busy_cycles: u64,
+    /// Cycles the event-driven engine fast-forwarded over (0 under the
+    /// dense loop) — together with `busy_cycles` this sums to the cycles
+    /// simulated, making the stepping efficiency visible per point.
+    pub skipped_cycles: u64,
 }
 
 /// Sweep configuration.
@@ -246,6 +253,8 @@ impl<'a> SweepDriver<'a> {
             accepted_node,
             delivered: metrics.ejection_fraction(),
             saturated,
+            busy_cycles: metrics.busy_cycles,
+            skipped_cycles: metrics.skipped_cycles,
         }
     }
 }

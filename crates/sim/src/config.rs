@@ -31,6 +31,12 @@ pub struct SimConfig {
     pub per_endpoint_stats: bool,
     /// Collect per-channel flit counts (link utilization heatmaps).
     pub per_channel_stats: bool,
+    /// Event-driven stepping: only routers/endpoints with pending work run
+    /// each cycle, and fully idle stretches are fast-forwarded. Results
+    /// are bit-identical to the dense loop (covered by
+    /// `tests/event_equivalence.rs`); `false` forces the dense loop. The
+    /// default honors the `WSDF_EVENT_DRIVEN` env var (`0` disables).
+    pub event_driven: bool,
 }
 
 impl Default for SimConfig {
@@ -47,8 +53,19 @@ impl Default for SimConfig {
             partitions: 1,
             per_endpoint_stats: false,
             per_channel_stats: false,
+            event_driven: event_driven_default(),
         }
     }
+}
+
+/// Process-wide default for [`SimConfig::event_driven`]: the
+/// `WSDF_EVENT_DRIVEN` env var, where only the literal `0` opts out.
+/// Cached so repeated `SimConfig::default()` calls cannot race a test
+/// harness mutating the environment mid-run.
+fn event_driven_default() -> bool {
+    use std::sync::OnceLock;
+    static DEFAULT: OnceLock<bool> = OnceLock::new();
+    *DEFAULT.get_or_init(|| std::env::var("WSDF_EVENT_DRIVEN").map_or(true, |v| v != "0"))
 }
 
 impl SimConfig {

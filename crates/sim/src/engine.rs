@@ -62,6 +62,7 @@ use crate::pattern::TrafficPattern;
 use crate::router::{
     Arrival, CreditTarget, CycleCtx, EndpointRt, FlitTarget, Msg, PortIn, PortOut, RouterRt,
 };
+use crate::wake::{ep_code, router_code, WakeWheel, EP_BIT};
 use wsdf_exec::BspPool;
 
 /// Engine errors.
@@ -110,12 +111,47 @@ struct Partition {
     /// Packet-arrival events of this cycle (closed-loop runs only; stays
     /// empty — and unallocated — in open-loop runs).
     arrivals: Vec<Arrival>,
+    /// This partition's wake wheel ([`WakeWheel::disabled`] when dense).
+    wheel: WakeWheel,
+    /// Local flit queue index → wake code of the consuming agent.
+    flit_cons: Vec<u32>,
+    /// Local credit queue index → wake code of the consuming agent.
+    credit_cons: Vec<u32>,
+    /// Local credit queue index → consuming router's output port.
+    credit_cons_port: Vec<u8>,
+    /// Pending-credit bitmap per local router (bit = output port); lets
+    /// credit absorption touch only ports with credits actually in flight.
+    /// Maintained in dense mode too.
+    credit_pend: Vec<u64>,
+    /// Worklist dedup stamps: last cycle each local router / endpoint was
+    /// enqueued (the wheel allows duplicate pushes).
+    r_seen: Vec<u64>,
+    e_seen: Vec<u64>,
+    /// Next open-loop emission cycle per local endpoint (`u64::MAX` if its
+    /// schedule never fires), and the minimum over them.
+    next_gen: Vec<u64>,
+    gen_min: u64,
+    /// Per-cycle worklist scratch (kept to avoid re-allocating).
+    work_r: Vec<u32>,
+    work_e: Vec<u32>,
+    /// Earliest arrival cycle among the cross-partition messages this
+    /// partition emitted on its latest advance (`u64::MAX` if none). After
+    /// the barrier those messages sit undelivered in the read mailboxes
+    /// with no wheel wake yet, so this bounds the idle fast-forward.
+    out_min: u64,
 }
 
 impl Partition {
     /// Deliver one source partition's mailbox into the channel queues this
-    /// partition owns.
-    fn deliver(&mut self, msgs: &mut Vec<Msg>, flit_loc: &[(u32, u32)], credit_loc: &[(u32, u32)]) {
+    /// partition owns, registering consumer wakes (the producer partition
+    /// cannot reach this wheel, so remote messages wake at delivery).
+    fn deliver(
+        &mut self,
+        msgs: &mut Vec<Msg>,
+        flit_loc: &[(u32, u32)],
+        credit_loc: &[(u32, u32)],
+        event: bool,
+    ) {
         for msg in msgs.drain(..) {
             match msg {
                 Msg::Flit { ch, arrive, flit } => {
@@ -123,12 +159,22 @@ impl Partition {
                     self.flit_qs[idx as usize]
                         .try_push(arrive, flit)
                         .expect("remote flit ring overflow: capacity bound violated");
+                    if event {
+                        self.wheel.push(arrive, self.flit_cons[idx as usize]);
+                    }
                 }
                 Msg::Credit { ch, arrive, vc } => {
                     let (_, idx) = credit_loc[ch as usize];
                     self.credit_qs[idx as usize]
                         .try_push(arrive, vc)
                         .expect("remote credit ring overflow: capacity bound violated");
+                    let code = self.credit_cons[idx as usize];
+                    if code & EP_BIT == 0 {
+                        self.credit_pend[code as usize] |= 1 << self.credit_cons_port[idx as usize];
+                    }
+                    if event {
+                        self.wheel.push(arrive, code);
+                    }
                 }
             }
         }
@@ -137,6 +183,15 @@ impl Partition {
     /// Advance all endpoints and routers one cycle, appending outbound
     /// cross-partition messages to `outboxes` (this partition's row of the
     /// write-side mailbox buffer). Monomorphizes per oracle/pattern.
+    ///
+    /// With `event` set, only the agents on this cycle's worklist run: the
+    /// wake-wheel bucket for `now` (queue pushes, deliveries, self-wakes,
+    /// closed-loop submissions) plus every endpoint whose open-loop
+    /// emission schedule fires now. An agent off the worklist would have
+    /// been a strict no-op in the dense loop — no flit or credit due,
+    /// nothing buffered, nothing to generate — so both modes execute the
+    /// identical sequence of state changes, in the identical order
+    /// (worklists are sorted; endpoints run before routers, as densely).
     #[allow(clippy::too_many_arguments)]
     fn advance<O: RouteOracle + ?Sized, P: TrafficPattern + ?Sized>(
         &mut self,
@@ -148,8 +203,10 @@ impl Partition {
         packet_len: u8,
         collect_arrivals: bool,
         outboxes: &mut [Vec<Msg>],
+        event: bool,
     ) {
         self.moved = 0;
+        self.out_min = u64::MAX;
         let Partition {
             routers,
             endpoints,
@@ -159,6 +216,18 @@ impl Partition {
             moved,
             in_flight,
             arrivals,
+            wheel,
+            flit_cons,
+            credit_cons,
+            credit_cons_port,
+            credit_pend,
+            r_seen,
+            e_seen,
+            next_gen,
+            gen_min,
+            work_r,
+            work_e,
+            out_min,
         } = self;
         let mut ctx = CycleCtx {
             now,
@@ -174,13 +243,103 @@ impl Partition {
             injecting: now < measure_end,
             measure_start,
             measure_end,
+            event,
+            wheel,
+            flit_cons,
+            credit_cons,
+            credit_cons_port,
+            credit_pend,
+            out_min,
         };
-        for ep in endpoints.iter_mut() {
+        if !event {
+            for ep in endpoints.iter_mut() {
+                ep.absorb_credits(&mut ctx);
+                ep.cycle(&mut ctx, oracle, pattern, packet_len);
+            }
+            for (lr, r) in routers.iter_mut().enumerate() {
+                r.cycle(&mut ctx, oracle, lr as u32);
+            }
+            return;
+        }
+
+        // Build the worklist: generation wakes first (deduped against the
+        // wheel with the same cycle stamps), then this cycle's bucket.
+        work_r.clear();
+        work_e.clear();
+        let gen_due = ctx.injecting && *gen_min <= now;
+        if gen_due {
+            for (e, ng) in next_gen.iter().enumerate() {
+                if *ng <= now && e_seen[e] != now {
+                    e_seen[e] = now;
+                    work_e.push(e as u32);
+                }
+            }
+        }
+        let mut bucket = std::mem::take(ctx.wheel.bucket_mut(now));
+        for &code in &bucket {
+            if code & EP_BIT != 0 {
+                let e = (code & !EP_BIT) as usize;
+                if e_seen[e] != now {
+                    e_seen[e] = now;
+                    work_e.push(e as u32);
+                }
+            } else if r_seen[code as usize] != now {
+                r_seen[code as usize] = now;
+                work_r.push(code);
+            }
+        }
+        bucket.clear();
+        *ctx.wheel.bucket_mut(now) = bucket;
+
+        // Replay the dense iteration order: ascending ids, endpoints before
+        // routers. Near saturation the worklist covers most of the
+        // partition, and a stamp scan produces it already ordered for O(n) —
+        // cheaper than sorting the bucket-ordered list.
+        if work_e.len() >= endpoints.len() / 4 {
+            work_e.clear();
+            for (e, seen) in e_seen.iter().enumerate() {
+                if *seen == now {
+                    work_e.push(e as u32);
+                }
+            }
+        } else {
+            work_e.sort_unstable();
+        }
+        if work_r.len() >= routers.len() / 4 {
+            work_r.clear();
+            for (r, seen) in r_seen.iter().enumerate() {
+                if *seen == now {
+                    work_r.push(r as u32);
+                }
+            }
+        } else {
+            work_r.sort_unstable();
+        }
+        for &e in work_e.iter() {
+            let ep = &mut endpoints[e as usize];
             ep.absorb_credits(&mut ctx);
             ep.cycle(&mut ctx, oracle, pattern, packet_len);
+            if ep.backlog() > 0 {
+                ctx.wheel.push(now + 1, ep_code(e as usize));
+            }
         }
-        for r in routers.iter_mut() {
-            r.cycle(&mut ctx, oracle);
+        for &rc in work_r.iter() {
+            let r = &mut routers[rc as usize];
+            r.cycle(&mut ctx, oracle, rc);
+            if r.buffered() > 0 {
+                ctx.wheel.push(now + 1, router_code(rc as usize));
+            }
+        }
+
+        // Re-arm the emission schedule for every endpoint that fired.
+        if gen_due {
+            for &e in work_e.iter() {
+                let ei = e as usize;
+                if next_gen[ei] <= now {
+                    next_gen[ei] = endpoints[ei].next_gen_cycle(pattern, packet_len, now + 1);
+                }
+            }
+            *gen_min = next_gen.iter().copied().min().unwrap_or(u64::MAX);
         }
     }
 }
@@ -244,13 +403,14 @@ impl CycleShared {
         credit_loc: &[(u32, u32)],
         packet_len: u8,
         collect_arrivals: bool,
+        event: bool,
     ) {
         let part = &mut *self.parts.add(p);
         // Drain column p of the read buffer in source order (the same
         // deterministic order the serial transpose used to impose).
         for src in 0..self.n {
             let cell = &mut *self.read.add(src * self.n + p);
-            part.deliver(cell, flit_loc, credit_loc);
+            part.deliver(cell, flit_loc, credit_loc, event);
         }
         // Row p of the write buffer is this partition's outbox set.
         let outboxes = std::slice::from_raw_parts_mut(self.write.add(p * self.n), self.n);
@@ -263,6 +423,7 @@ impl CycleShared {
             packet_len,
             collect_arrivals,
             outboxes,
+            event,
         );
     }
 }
@@ -288,7 +449,25 @@ pub struct Simulation<O: RouteOracle> {
     stall: u64,
     endpoints_total: u64,
     packet_len: u8,
+    /// Event-driven stepping enabled (compiled in from the config).
+    event: bool,
+    /// Cycles actually simulated / fast-forwarded over (metrics).
+    busy_cycles: u64,
+    skipped_cycles: u64,
+    /// Saturation storm: event stepping has fallen back to dense cycles
+    /// because nearly every agent is active anyway
+    /// (see [`update_regime`](Self::update_regime)).
+    storm: bool,
+    /// Consecutive saturated cycles observed while not yet in a storm.
+    storm_hot: u32,
+    /// Total agents (routers + endpoints): the storm-entry threshold base.
+    agents: u64,
 }
+
+/// Consecutive cycles with ≥ a quarter of all agents moving flits before
+/// the event engine declares a saturation storm and drops to dense
+/// stepping (hysteresis against entering on a single bursty cycle).
+const STORM_ENTER: u32 = 4;
 
 impl<O: RouteOracle> Simulation<O> {
     /// Compile `net` under `cfg` with `oracle`. Fails on structural errors
@@ -391,6 +570,18 @@ impl<O: RouteOracle> Simulation<O> {
                 moved: 0,
                 in_flight: 0,
                 arrivals: Vec::new(),
+                wheel: WakeWheel::disabled(),
+                flit_cons: Vec::new(),
+                credit_cons: Vec::new(),
+                credit_cons_port: Vec::new(),
+                credit_pend: Vec::new(),
+                r_seen: Vec::new(),
+                e_seen: Vec::new(),
+                next_gen: Vec::new(),
+                gen_min: u64::MAX,
+                work_r: Vec::new(),
+                work_e: Vec::new(),
+                out_min: u64::MAX,
             })
             .collect();
 
@@ -529,6 +720,57 @@ impl<O: RouteOracle> Simulation<O> {
             ));
         }
 
+        // Consumer maps (queue index → wake code) for the wake wheel and
+        // the pending-credit bitmaps: a channel's flits wake its dst, its
+        // credits wake its src (the flit producer absorbs credit returns).
+        let mut flit_cons: Vec<Vec<u32>> =
+            flit_caps.iter().map(|v| vec![u32::MAX; v.len()]).collect();
+        let mut credit_cons: Vec<Vec<u32>> = credit_caps
+            .iter()
+            .map(|v| vec![u32::MAX; v.len()])
+            .collect();
+        let mut credit_cons_port: Vec<Vec<u8>> =
+            credit_caps.iter().map(|v| vec![0u8; v.len()]).collect();
+        for (c, ch) in net.channels.iter().enumerate() {
+            let (fp, fq) = flit_loc[c];
+            flit_cons[fp as usize][fq as usize] = match ch.dst {
+                Terminus::Router { router, .. } => router_code(local_router(router).1),
+                Terminus::Endpoint { endpoint } => ep_code(ep_loc[endpoint as usize].1 as usize),
+            };
+            let (cp, cq) = credit_loc[c];
+            match ch.src {
+                Terminus::Router { router, port } => {
+                    credit_cons[cp as usize][cq as usize] = router_code(local_router(router).1);
+                    credit_cons_port[cp as usize][cq as usize] = port;
+                }
+                Terminus::Endpoint { endpoint } => {
+                    credit_cons[cp as usize][cq as usize] =
+                        ep_code(ep_loc[endpoint as usize].1 as usize);
+                }
+            }
+        }
+        // Wake dues never exceed now + max channel latency (self-wakes are
+        // now + 1), which bounds the wheel size — see `crate::wake`.
+        let maxlat = net
+            .channels
+            .iter()
+            .map(|c| c.latency as u64)
+            .max()
+            .unwrap_or(1)
+            .max(1);
+        for (p, part) in partitions.iter_mut().enumerate() {
+            part.flit_cons = std::mem::take(&mut flit_cons[p]);
+            part.credit_cons = std::mem::take(&mut credit_cons[p]);
+            part.credit_cons_port = std::mem::take(&mut credit_cons_port[p]);
+            part.credit_pend = vec![0; part.routers.len()];
+            part.r_seen = vec![u64::MAX; part.routers.len()];
+            part.e_seen = vec![u64::MAX; part.endpoints.len()];
+            part.next_gen = vec![u64::MAX; part.endpoints.len()];
+            if cfg.event_driven {
+                part.wheel = WakeWheel::new(maxlat, part.routers.len(), part.endpoints.len());
+            }
+        }
+
         Ok(Simulation {
             cfg: cfg.clone(),
             oracle,
@@ -541,6 +783,12 @@ impl<O: RouteOracle> Simulation<O> {
             stall: 0,
             endpoints_total: net.num_endpoints() as u64,
             packet_len: cfg.packet_len,
+            event: cfg.event_driven,
+            busy_cycles: 0,
+            skipped_cycles: 0,
+            storm: false,
+            storm_hot: 0,
+            agents: (net.num_routers() + net.num_endpoints()) as u64,
         })
     }
 
@@ -583,8 +831,17 @@ impl<O: RouteOracle> Simulation<O> {
         let warm = self.cfg.warmup_cycles;
         let meas_end = warm + self.cfg.measure_cycles;
         let total = meas_end + self.cfg.drain_cycles;
+        if self.event {
+            self.init_gen(pattern);
+        }
         while self.now < total {
             let (moved, in_flight) = self.step(pool, pattern, warm, meas_end, false);
+            if self.update_regime(moved) {
+                // Storm over: the wheels and the emission schedule went
+                // stale while stepping densely — rebuild both.
+                self.reseed();
+                self.init_gen(pattern);
+            }
             if self.cfg.watchdog_cycles > 0 {
                 if moved == 0 && in_flight > 0 {
                     self.stall += 1;
@@ -602,8 +859,166 @@ impl<O: RouteOracle> Simulation<O> {
             if self.now >= meas_end && in_flight == 0 && self.backlog() == 0 {
                 break;
             }
+            // Idle fast-forward: jump to the earliest cycle at which
+            // anything can happen. Cycles in between would have been
+            // strict no-op steps, so metrics stay bit-identical; the
+            // watchdog advances as if they had been stepped (they all
+            // have moved == 0).
+            if self.event && !self.storm {
+                let bound = if self.now < meas_end { meas_end } else { total };
+                let gen_live = self.now < meas_end;
+                let target = self.next_event_cycle(gen_live).min(bound);
+                if target > self.now {
+                    let delta = target - self.now;
+                    if self.cfg.watchdog_cycles > 0 && in_flight > 0 {
+                        let left = self.cfg.watchdog_cycles - self.stall;
+                        if delta >= left {
+                            self.now += left;
+                            return Err(SimError::Deadlock {
+                                cycle: self.now,
+                                in_flight: in_flight as u64,
+                            });
+                        }
+                        self.stall += delta;
+                    }
+                    self.now = target;
+                    self.skipped_cycles += delta;
+                    // The dense loop re-checks the drain exit after every
+                    // cycle; the jump may have crossed measure_end.
+                    if self.now >= meas_end && in_flight == 0 && self.backlog() == 0 {
+                        break;
+                    }
+                }
+            }
         }
         Ok(self.collect())
+    }
+
+    /// Earliest cycle ≥ `now` at which any partition has pending work:
+    /// the minimum wheel due time, plus (while injecting) the earliest
+    /// open-loop emission. Undelivered cross-partition messages pin the
+    /// next event to `now` — their consumer wakes are only registered at
+    /// delivery, so jumping over them would lose work.
+    fn next_event_cycle(&self, gen_live: bool) -> u64 {
+        let mut t = u64::MAX;
+        for p in &self.partitions {
+            if let Some(d) = p.wheel.next_due(self.now) {
+                t = t.min(d);
+            }
+            // Cross-partition messages sitting undelivered in the read
+            // mailboxes have no wheel wake yet (it registers at delivery),
+            // so their earliest arrival caps the jump: the set of pending
+            // event cycles — and therefore the busy/skipped split — is the
+            // same for every partition count.
+            t = t.min(p.out_min);
+            if gen_live {
+                t = t.min(p.gen_min);
+            }
+        }
+        t.max(self.now)
+    }
+
+    /// Saturation-storm hysteresis on the merged per-cycle `moved` count.
+    ///
+    /// Near saturation almost every agent runs every cycle, so wake-wheel
+    /// maintenance and jump checks are pure overhead: once at least a
+    /// quarter of all agents move flits for [`STORM_ENTER`] consecutive
+    /// cycles, the engine enters a *storm* and steps densely (the `event`
+    /// flag handed to the cycle workers goes false — no wheel pushes, no
+    /// worklists, no fast-forwards). The first globally idle cycle
+    /// (`moved == 0`) ends the storm; the caller must then
+    /// [`reseed`](Self::reseed) the wheels from live queue/agent state
+    /// before event stepping resumes — this returns `true` exactly then.
+    ///
+    /// Dense and event cycles execute identical state transitions, so the
+    /// regime switch cannot change results; and every input here (the
+    /// merged `moved` sum, the agent count) is partition- and
+    /// worker-invariant, so the regime schedule — and with it the
+    /// busy/skipped split — stays bit-identical across the determinism
+    /// matrix.
+    fn update_regime(&mut self, moved: u64) -> bool {
+        if !self.event {
+            return false;
+        }
+        if self.storm {
+            if moved == 0 {
+                self.storm = false;
+                self.storm_hot = 0;
+                return true;
+            }
+        } else if moved * 4 >= self.agents {
+            self.storm_hot += 1;
+            if self.storm_hot >= STORM_ENTER {
+                self.storm = true;
+            }
+        } else {
+            self.storm_hot = 0;
+        }
+        false
+    }
+
+    /// Rebuild every wake wheel from live state after a dense storm
+    /// interval, during which the wheels went stale: pending flit/credit
+    /// ring entries wake their consumer at their due cycle; routers with
+    /// buffered flits and endpoints with queued (or partially serialized —
+    /// a packet stays queued until its tail goes) packets wake immediately.
+    /// Messages still undelivered in the mailboxes are covered by
+    /// `out_min`, which every advance tracks. All pending dues lie in
+    /// `[now, now + max_latency)` — older entries were absorbed by the
+    /// dense cycles themselves — so the wheel's no-alias bound holds.
+    fn reseed(&mut self) {
+        let now = self.now;
+        for part in &mut self.partitions {
+            let Partition {
+                routers,
+                endpoints,
+                flit_qs,
+                credit_qs,
+                wheel,
+                flit_cons,
+                credit_cons,
+                ..
+            } = part;
+            wheel.reset();
+            for (q, ring) in flit_qs.iter().enumerate() {
+                for due in ring.dues() {
+                    wheel.push(due.max(now), flit_cons[q]);
+                }
+            }
+            for (q, ring) in credit_qs.iter().enumerate() {
+                for due in ring.dues() {
+                    wheel.push(due.max(now), credit_cons[q]);
+                }
+            }
+            for (lr, r) in routers.iter().enumerate() {
+                if r.buffered() > 0 {
+                    wheel.push(now, router_code(lr));
+                }
+            }
+            for (le, e) in endpoints.iter().enumerate() {
+                if e.backlog() > 0 {
+                    wheel.push(now, ep_code(le));
+                }
+            }
+        }
+    }
+
+    /// Prime the per-endpoint open-loop emission schedule (event mode).
+    fn init_gen<P: TrafficPattern + ?Sized>(&mut self, pattern: &P) {
+        let plen = self.packet_len;
+        let from = self.now;
+        for part in &mut self.partitions {
+            let Partition {
+                endpoints,
+                next_gen,
+                gen_min,
+                ..
+            } = part;
+            for (e, ep) in endpoints.iter().enumerate() {
+                next_gen[e] = ep.next_gen_cycle(pattern, plen, from);
+            }
+            *gen_min = next_gen.iter().copied().min().unwrap_or(u64::MAX);
+        }
     }
 
     /// Advance one cycle: one pool broadcast over the partitions, then an
@@ -622,6 +1037,7 @@ impl<O: RouteOracle> Simulation<O> {
         let packet_len = self.packet_len;
         let oracle = &self.oracle;
 
+        let event = self.event && !self.storm;
         let nparts = self.partitions.len();
         let slots = pool.workers().min(nparts);
         let shared = CycleShared {
@@ -651,6 +1067,7 @@ impl<O: RouteOracle> Simulation<O> {
                         credit_loc,
                         packet_len,
                         collect_arrivals,
+                        event,
                     );
                 }
             }
@@ -659,6 +1076,7 @@ impl<O: RouteOracle> Simulation<O> {
         // read side (the read side was fully drained above).
         self.mail.swap();
 
+        self.busy_cycles += 1;
         self.now += 1;
         let moved: u64 = self.partitions.iter().map(|p| p.moved).sum();
         let in_flight: i64 = self.partitions.iter().map(|p| p.in_flight).sum();
@@ -687,6 +1105,8 @@ impl<O: RouteOracle> Simulation<O> {
             measure_cycles,
             endpoints: self.endpoints_total,
             cycles_run: self.now,
+            busy_cycles: self.busy_cycles,
+            skipped_cycles: self.skipped_cycles,
             ..Default::default()
         };
         for p in &self.partitions {
@@ -740,6 +1160,8 @@ impl<O: RouteOracle> Simulation<O> {
                     oracle,
                     ep_loc,
                     now,
+                    event,
+                    storm,
                     ..
                 } = self;
                 let mut inj = Injector {
@@ -747,11 +1169,20 @@ impl<O: RouteOracle> Simulation<O> {
                     ep_loc,
                     oracle,
                     now: *now,
+                    // During a storm the wheels are unmaintained; skipping
+                    // submission wakes keeps stale buckets from piling up
+                    // (the post-storm reseed re-wakes queued endpoints).
+                    event: *event && !*storm,
                 };
                 driver.pre_cycle(*now, &mut inj);
             }
             let cycle = self.now;
             let (moved, in_flight) = self.step(pool, &idle, 0, u64::MAX, true);
+            if self.update_regime(moved) {
+                // No open-loop schedule to re-arm here: the driver owns
+                // injection, and reseed re-wakes its queued submissions.
+                self.reseed();
+            }
             // Drain this cycle's arrival events in partition order — the
             // concatenation reproduces ascending-router order for any
             // partition count (partitions are contiguous router blocks).
@@ -774,6 +1205,33 @@ impl<O: RouteOracle> Simulation<O> {
                     }
                 } else {
                     self.stall = 0;
+                }
+            }
+            // Idle fast-forward to the earlier of the network's next event
+            // and the driver's next release — but only when the driver
+            // promises one ([`WorkloadDriver::next_release`]; `None` keeps
+            // the dense schedule). Skipped cycles all have moved == 0, so
+            // the closed-loop watchdog (which counts every unmoved cycle)
+            // advances across the jump exactly as if they were stepped.
+            if self.event && !self.storm {
+                if let Some(rel) = driver.next_release() {
+                    let target = self.next_event_cycle(false).min(rel);
+                    if target > self.now && (self.cfg.watchdog_cycles > 0 || target < u64::MAX) {
+                        let delta = target - self.now;
+                        if self.cfg.watchdog_cycles > 0 {
+                            let left = self.cfg.watchdog_cycles - self.stall;
+                            if delta >= left {
+                                self.now += left;
+                                return Err(SimError::Deadlock {
+                                    cycle: self.now,
+                                    in_flight: in_flight.max(0) as u64,
+                                });
+                            }
+                            self.stall += delta;
+                        }
+                        self.now = target;
+                        self.skipped_cycles += delta;
+                    }
                 }
             }
         }
@@ -803,6 +1261,21 @@ pub trait WorkloadDriver {
     /// the end of the run — additionally requires the network and all
     /// source queues to be empty.
     fn done(&self) -> bool;
+
+    /// Earliest future cycle at which [`pre_cycle`](Self::pre_cycle) might
+    /// submit something, given everything observed so far — the driver's
+    /// contribution to the event-driven engine's next-event computation.
+    ///
+    /// `None` (the default) means "unknown": the engine steps every cycle
+    /// densely, which is always correct. `Some(c)` promises that
+    /// `pre_cycle` is a no-op strictly before cycle `c` (use `u64::MAX`
+    /// when nothing is scheduled at all), letting the engine fast-forward
+    /// idle stretches; the promise must be consistent with the determinism
+    /// contract above, i.e. derived from cycle numbers and observed
+    /// arrivals only.
+    fn next_release(&self) -> Option<u64> {
+        None
+    }
 }
 
 /// Closed-loop injection handle passed to [`WorkloadDriver::pre_cycle`].
@@ -814,6 +1287,7 @@ pub struct Injector<'a> {
     ep_loc: &'a [(u32, u32)],
     oracle: &'a dyn RouteOracle,
     now: u64,
+    event: bool,
 }
 
 impl Injector<'_> {
@@ -867,6 +1341,10 @@ impl Injector<'_> {
         self.oracle.tag_packet(&mut pkt, ep.rng_mut());
         ep.push_packet(pkt);
         part.metrics.packets_created += 1;
+        if self.event {
+            // The submission's bucket is drained inside the upcoming step.
+            part.wheel.push(self.now, ep_code(e as usize));
+        }
     }
 }
 

@@ -53,6 +53,7 @@ pub mod oracle;
 pub mod pattern;
 pub mod rng;
 pub mod router;
+pub mod wake;
 
 pub use channel::{ChannelClass, ChannelDesc, ChannelId, RingFull, Terminus, TimedRing};
 pub use config::SimConfig;

@@ -208,6 +208,12 @@ pub struct Metrics {
     pub endpoints: u64,
     /// Cycles actually simulated (incl. warm-up and drain).
     pub cycles_run: u64,
+    /// Cycles the engine actually stepped (agents executed). With the
+    /// dense loop this equals [`cycles_run`](Self::cycles_run).
+    pub busy_cycles: u64,
+    /// Cycles the event-driven engine fast-forwarded over (no agent ran).
+    /// Always `busy_cycles + skipped_cycles == cycles_run`.
+    pub skipped_cycles: u64,
     /// True if the deadlock watchdog fired (results then meaningless).
     pub deadlocked: bool,
     /// Measured-window flits ejected per endpoint (empty unless
@@ -276,6 +282,8 @@ impl Metrics {
         self.latency_hist.merge(&other.latency_hist);
         self.flits_ejected_measured += other.flits_ejected_measured;
         self.flits_injected_measured += other.flits_injected_measured;
+        self.busy_cycles += other.busy_cycles;
+        self.skipped_cycles += other.skipped_cycles;
         self.class_hops.merge(&other.class_hops);
         self.deadlocked |= other.deadlocked;
         if !other.ejected_per_endpoint.is_empty() {

@@ -1,8 +1,14 @@
 //! Traffic interface between the engine and workload generators.
 //!
-//! Open-loop injection: each endpoint draws a Bernoulli trial per cycle with
-//! probability `rate_flits / packet_len`; on success it asks the pattern for
-//! a destination. Patterns are immutable and `Sync` (BSP-parallel engine).
+//! Open-loop injection: each endpoint follows a closed-form emission
+//! schedule — packet `n` is generated on the first cycle `t` where
+//! `⌊(t+1)·q⌋ > n`, with `q = rate_flits / packet_len` — and asks the
+//! pattern for a destination with an RNG re-keyed from
+//! `(seed, endpoint, cycle)` ([`SplitMix64::for_event`]). Both pieces are
+//! pure functions of the absolute cycle, so the event-driven engine can
+//! fast-forward over idle stretches without desynchronizing the stream,
+//! and any partitioning replays it bit-identically. Patterns are
+//! immutable and `Sync` (BSP-parallel engine).
 
 use crate::rng::SplitMix64;
 

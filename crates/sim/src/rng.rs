@@ -32,6 +32,23 @@ impl SplitMix64 {
         s
     }
 
+    /// Derive a stream keyed on `(seed, id, cycle)`: the same key always
+    /// yields the same stream, regardless of any draws made at other
+    /// cycles. This is what makes idle fast-forward sound for open-loop
+    /// traffic — an endpoint's draws at cycle `c` are a pure function of
+    /// the key, not of how many earlier cycles were simulated densely.
+    #[inline]
+    pub fn for_event(seed: u64, id: u64, cycle: u64) -> Self {
+        let mut s = Self::new(
+            seed ^ id.wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                ^ cycle.wrapping_mul(0x2545_F491_4F6C_DD1D),
+        );
+        // Burn a few outputs so nearby keys decorrelate immediately.
+        s.next_u64();
+        s.next_u64();
+        s
+    }
+
     /// Next raw 64-bit output.
     #[inline]
     pub fn next_u64(&mut self) -> u64 {
@@ -95,6 +112,37 @@ mod tests {
     fn distinct_agents_diverge() {
         let mut a = SplitMix64::for_agent(42, 7);
         let mut b = SplitMix64::for_agent(42, 8);
+        let same = (0..32).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert_eq!(same, 0);
+    }
+
+    #[test]
+    fn event_key_is_history_independent() {
+        // The stream at (seed, id, cycle) must not depend on draws made at
+        // any other cycle — the property fast-forward relies on.
+        let mut a = SplitMix64::for_event(42, 7, 1000);
+        let mut warm = SplitMix64::for_event(42, 7, 999);
+        for _ in 0..17 {
+            warm.next_u64(); // unrelated draws at another cycle
+        }
+        let mut b = SplitMix64::for_event(42, 7, 1000);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn event_keys_diverge_across_cycles() {
+        let mut a = SplitMix64::for_event(42, 7, 1000);
+        let mut b = SplitMix64::for_event(42, 7, 1001);
+        let same = (0..32).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert_eq!(same, 0);
+    }
+
+    #[test]
+    fn event_keys_diverge_across_agents() {
+        let mut a = SplitMix64::for_event(42, 7, 1000);
+        let mut b = SplitMix64::for_event(42, 8, 1000);
         let same = (0..32).filter(|_| a.next_u64() == b.next_u64()).count();
         assert_eq!(same, 0);
     }

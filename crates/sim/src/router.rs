@@ -25,6 +25,7 @@ use crate::metrics::Metrics;
 use crate::oracle::{RouteChoice, RouteOracle};
 use crate::pattern::TrafficPattern;
 use crate::rng::SplitMix64;
+use crate::wake::{WakeWheel, EP_BIT};
 use std::collections::VecDeque;
 
 /// Cross-partition message: a flit or credit addressed to a channel queue
@@ -194,12 +195,69 @@ pub struct CycleCtx<'a> {
     pub measure_start: u64,
     /// First cycle after the measurement window.
     pub measure_end: u64,
+    /// True when the engine runs event-driven and wheel wakes must be
+    /// recorded on every local queue push.
+    pub event: bool,
+    /// This partition's wake wheel (a [`WakeWheel::disabled`] stub in
+    /// dense mode).
+    pub wheel: &'a mut WakeWheel,
+    /// Local flit queue index → wake code of the consuming agent.
+    pub flit_cons: &'a [u32],
+    /// Local credit queue index → wake code of the consuming agent.
+    pub credit_cons: &'a [u32],
+    /// Local credit queue index → consuming router's output port (unused
+    /// for endpoint-consumed queues).
+    pub credit_cons_port: &'a [u8],
+    /// Pending-credit bitmap per partition-local router (bit = out port):
+    /// set on push, cleared by `RouterRt::absorb_credits` once the
+    /// queue drains. Maintained in dense mode too — it is what lets
+    /// credit absorption touch only ports with credits in flight.
+    pub credit_pend: &'a mut [u64],
+    /// Earliest arrival among this cycle's outbound cross-partition
+    /// messages (reset to `u64::MAX` each advance). Their wheel wakes only
+    /// register at delivery, so the engine caps idle fast-forwards here —
+    /// keeping the jump schedule identical for every partition count.
+    pub out_min: &'a mut u64,
 }
 
 impl CycleCtx<'_> {
     #[inline]
     fn emit(&mut self, part: u32, msg: Msg) {
+        // Tracked even on dense cycles: a storm interval's final cycle
+        // leaves its emissions undelivered in the mailboxes, and the first
+        // post-storm jump must not overshoot them.
+        let arrive = match &msg {
+            Msg::Flit { arrive, .. } | Msg::Credit { arrive, .. } => *arrive,
+        };
+        *self.out_min = (*self.out_min).min(arrive);
         self.outboxes[part as usize].push(msg);
+    }
+
+    /// Push a flit into a locally owned ring and wake its consumer.
+    #[inline]
+    fn push_flit(&mut self, q: u32, arrive: u64, flit: Flit) {
+        self.flit_qs[q as usize]
+            .try_push(arrive, flit)
+            .expect("flit ring overflow: capacity bound violated");
+        if self.event {
+            self.wheel.push(arrive, self.flit_cons[q as usize]);
+        }
+    }
+
+    /// Push a credit into a locally owned ring, mark the consuming
+    /// router's pending bit, and wake the consumer.
+    #[inline]
+    fn push_credit(&mut self, q: u32, arrive: u64, vc: u8) {
+        self.credit_qs[q as usize]
+            .try_push(arrive, vc)
+            .expect("credit ring overflow: capacity bound violated");
+        let code = self.credit_cons[q as usize];
+        if code & EP_BIT == 0 {
+            self.credit_pend[code as usize] |= 1 << self.credit_cons_port[q as usize];
+        }
+        if self.event {
+            self.wheel.push(arrive, code);
+        }
     }
 }
 
@@ -218,7 +276,9 @@ pub struct RouterRt {
     va_ptr: Vec<u16>,
     /// Rotating priority pointer per output port (SA).
     sa_ptr: Vec<u16>,
-    /// Buffered flits across all input VCs (idle-skip fast path).
+    /// Buffered flits across all input VCs. Non-zero keeps the router on
+    /// the event engine's worklist (it re-wakes itself every cycle until
+    /// it drains), and gates the RC/VA/SA stages in both modes.
     buffered: u32,
     /// Crossbar input speedup (flits one input port may forward per cycle).
     speedup: u8,
@@ -294,12 +354,24 @@ impl RouterRt {
 
     /// One simulation cycle: arrivals, credit returns, RC, VA, SA, traversal.
     ///
+    /// `lidx` is this router's partition-local index (its slot in the
+    /// partition's pending-credit bitmap). Under event-driven stepping the
+    /// engine only calls this for routers on the cycle's worklist; a
+    /// router not called would have done nothing — no flit or credit due,
+    /// nothing buffered — so both modes execute the identical sequence of
+    /// state changes.
+    ///
     /// Generic over the oracle so the per-flit route computation
     /// monomorphizes — no virtual dispatch on the hot path. The type-erased
     /// entry point ([`crate::engine::simulate_dyn`]) instantiates this with
     /// `O = &dyn RouteOracle` at the API boundary instead.
-    pub fn cycle<O: RouteOracle + ?Sized>(&mut self, ctx: &mut CycleCtx<'_>, oracle: &O) {
-        self.absorb_credits(ctx);
+    pub fn cycle<O: RouteOracle + ?Sized>(
+        &mut self,
+        ctx: &mut CycleCtx<'_>,
+        oracle: &O,
+        lidx: u32,
+    ) {
+        self.absorb_credits(ctx, lidx);
         self.absorb_arrivals(ctx);
         if self.buffered == 0 {
             return;
@@ -310,17 +382,32 @@ impl RouterRt {
     }
 
     /// Pull returned credits into output VC counters.
-    fn absorb_credits(&mut self, ctx: &mut CycleCtx<'_>) {
-        for port in 0..self.ports as usize {
-            let Some(pout) = self.out_ports[port] else {
-                continue;
-            };
+    ///
+    /// Driven by the partition's pending-credit bitmap: only ports with
+    /// credits actually in flight are touched (the bit is set by
+    /// [`CycleCtx::push_credit`]/mailbox delivery and cleared here once
+    /// the ring drains), instead of scanning every output port every
+    /// cycle.
+    fn absorb_credits(&mut self, ctx: &mut CycleCtx<'_>, lidx: u32) {
+        let mut pend = ctx.credit_pend[lidx as usize];
+        if pend == 0 {
+            return;
+        }
+        let mut left = pend;
+        while left != 0 {
+            let port = left.trailing_zeros() as usize;
+            left &= left - 1;
+            let pout = self.out_ports[port].expect("pending credit on unwired port");
             let q = &mut ctx.credit_qs[pout.credit_q as usize];
             while let Some((_, vc)) = q.pop_due(ctx.now) {
                 let f = self.flat(port as u8, vc);
                 self.outputs[f].credits += 1;
             }
+            if q.is_empty() {
+                pend &= !(1 << port);
+            }
         }
+        ctx.credit_pend[lidx as usize] = pend;
     }
 
     /// Pull arrived flits into input buffers.
@@ -565,11 +652,7 @@ impl RouterRt {
         let pin = self.in_ports[in_port].expect("flit came from a wired input");
         let credit_arrive = ctx.now + pin.credit_latency as u64;
         match pin.credit_to {
-            CreditTarget::Local(q) => {
-                ctx.credit_qs[q as usize]
-                    .try_push(credit_arrive, in_vc)
-                    .expect("credit ring overflow: capacity bound violated");
-            }
+            CreditTarget::Local(q) => ctx.push_credit(q, credit_arrive, in_vc),
             CreditTarget::Remote { part, ch } => ctx.emit(
                 part,
                 Msg::Credit {
@@ -591,11 +674,7 @@ impl RouterRt {
         } else {
             let stamped = stamp_vc(flit, rc.out_vc);
             match pout.flit_to {
-                FlitTarget::Local(q) => {
-                    ctx.flit_qs[q as usize]
-                        .try_push(arrive, stamped)
-                        .expect("flit ring overflow: capacity bound violated");
-                }
+                FlitTarget::Local(q) => ctx.push_flit(q, arrive, stamped),
                 FlitTarget::Remote { part, ch } => ctx.emit(
                     part,
                     Msg::Flit {
@@ -676,6 +755,15 @@ fn strip_vc(mut flit: Flit) -> Flit {
 
 // --- Endpoint --------------------------------------------------------------
 
+/// Packets an open-loop endpoint must have emitted by the end of cycle `t`
+/// at `q` packets/cycle: `floor((t + 1) · q)`. Shared by dense generation
+/// and the event engine's next-emission scheduling so the two can never
+/// disagree.
+#[inline]
+fn emission_target(t: u64, q: f64) -> u64 {
+    ((t + 1) as f64 * q) as u64
+}
+
 /// Runtime state of one endpoint: open-loop source + sink.
 #[derive(Debug, Clone)]
 pub struct EndpointRt {
@@ -704,12 +792,20 @@ pub struct EndpointRt {
     /// Ejection channel global id + latency for the credit return.
     ej_credit_to: CreditTarget,
     ej_credit_latency: u32,
-    /// Traffic RNG.
+    /// Persistent stream for closed-loop submission tagging (submissions
+    /// happen in identical order under dense and event-driven stepping,
+    /// so the stream positions stay identical too).
     rng: SplitMix64,
+    /// Global seed, kept for the per-cycle keyed open-loop streams
+    /// ([`SplitMix64::for_event`]).
+    seed: u64,
     /// Monotone packet id (endpoint id in low bits — see VC stamping note).
     next_pkt: u64,
-    /// Accumulated fractional packets (deterministic rate conversion).
-    acc: f64,
+    /// Open-loop packets emitted so far. The closed-form schedule pins
+    /// this to `floor((now + 1) · rate / packet_len)` at the end of every
+    /// cycle — a pure function of the cycle, independent of whether idle
+    /// cycles were stepped or fast-forwarded.
+    emitted: u64,
     /// True if the injection channel is faulted (attach router dead): any
     /// injection attempt is a hard assert.
     inj_dead: bool,
@@ -748,8 +844,9 @@ impl EndpointRt {
             ej_credit_to,
             ej_credit_latency,
             rng: SplitMix64::for_agent(seed, 0xE9D0 ^ ((id as u64) << 1 | 1)),
+            seed,
             next_pkt: (id as u64) << 20,
-            acc: 0.0,
+            emitted: 0,
             inj_dead,
         }
     }
@@ -798,10 +895,15 @@ impl EndpointRt {
         let _ = self.ej_credit_latency;
     }
 
-    /// Open-loop generation: accumulate `rate/len` packets per cycle and
-    /// emit whole packets (deterministic smoothing + Bernoulli remainder
-    /// would add variance; the accumulator alone reproduces mean rates
-    /// exactly and keeps runs deterministic).
+    /// Open-loop generation, closed form: by the end of cycle `t` exactly
+    /// `floor((t + 1) · rate / len)` whole packets have been emitted, so
+    /// the emission count — and timing — is a pure function of the cycle
+    /// number, reproducing the mean rate exactly while staying identical
+    /// whether the engine stepped every cycle or fast-forwarded over idle
+    /// stretches. All stochastic draws of a cycle (destination, oracle
+    /// tag) come from a stream keyed on `(seed, endpoint, cycle)`
+    /// ([`SplitMix64::for_event`]), never from draw history — the
+    /// determinism contract event-driven stepping relies on.
     fn generate<O: RouteOracle + ?Sized, P: TrafficPattern + ?Sized>(
         &mut self,
         ctx: &mut CycleCtx<'_>,
@@ -813,11 +915,15 @@ impl EndpointRt {
         if rate <= 0.0 {
             return;
         }
-        self.acc += rate / packet_len as f64;
-        while self.acc >= 1.0 {
-            self.acc -= 1.0;
+        let target = emission_target(ctx.now, rate / packet_len as f64);
+        if target <= self.emitted {
+            return;
+        }
+        let mut rng = SplitMix64::for_event(self.seed, self.gen_stream_id(), ctx.now);
+        while self.emitted < target {
+            self.emitted += 1;
             let seq = self.next_pkt & 0xF_FFFF;
-            let Some(dst) = pattern.dest(self.id, seq, &mut self.rng) else {
+            let Some(dst) = pattern.dest(self.id, seq, &mut rng) else {
                 continue;
             };
             debug_assert_ne!(dst, self.id, "pattern produced self-traffic");
@@ -835,12 +941,50 @@ impl EndpointRt {
                 0,
                 "packet id overflowed into VC bits"
             );
-            oracle.tag_packet(&mut pkt, &mut self.rng);
+            oracle.tag_packet(&mut pkt, &mut rng);
             if ctx.measuring {
                 ctx.metrics.packets_created += 1;
             }
             self.queue.push_back(pkt);
         }
+    }
+
+    /// Stream id of the per-cycle keyed generation RNG (distinct from the
+    /// persistent closed-loop stream's agent id).
+    #[inline]
+    fn gen_stream_id(&self) -> u64 {
+        0xE9D0 ^ ((self.id as u64) << 1 | 1)
+    }
+
+    /// First cycle ≥ `from` at which this endpoint's open-loop schedule
+    /// emits a packet, or `u64::MAX` if it never does — the event
+    /// engine's per-endpoint generation wake-up.
+    pub(crate) fn next_gen_cycle<P: TrafficPattern + ?Sized>(
+        &self,
+        pattern: &P,
+        packet_len: u8,
+        from: u64,
+    ) -> u64 {
+        let rate = pattern.rate(self.id);
+        if rate <= 0.0 {
+            return u64::MAX;
+        }
+        let q = rate / packet_len as f64;
+        // target(t) first exceeds `emitted` near t ≈ (emitted + 1)/q − 1;
+        // the float guess can be off by a few ulps in either direction, so
+        // start slightly below it and settle with two exact walks.
+        let guess = (self.emitted + 1) as f64 / q - 1.0;
+        if guess >= u64::MAX as f64 {
+            return u64::MAX;
+        }
+        let mut t = from.max((guess as u64).saturating_sub(3));
+        while t > from && emission_target(t - 1, q) > self.emitted {
+            t -= 1;
+        }
+        while emission_target(t, q) <= self.emitted {
+            t += 1;
+        }
+        t
     }
 
     /// Serialize queued packets into the injection channel, up to
@@ -870,9 +1014,7 @@ impl EndpointRt {
             let arrive = ctx.now + self.inj_latency as u64;
             let stamped = stamp_vc(flit, vc);
             match self.inj_to {
-                FlitTarget::Local(q) => ctx.flit_qs[q as usize]
-                    .try_push(arrive, stamped)
-                    .expect("injection ring overflow: capacity bound violated"),
+                FlitTarget::Local(q) => ctx.push_flit(q, arrive, stamped),
                 FlitTarget::Remote { part, ch } => ctx.emit(
                     part,
                     Msg::Flit {

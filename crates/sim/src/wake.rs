@@ -1,0 +1,172 @@
+//! Event-driven wake machinery: the per-partition timer wheel that tracks
+//! which routers/endpoints have pending work at which cycle.
+//!
+//! Every queue push (flit, credit), mailbox delivery, closed-loop
+//! submission, and agent self-wake registers a `(due cycle, agent)` entry;
+//! the engine drains the bucket of the current cycle into a deduplicated,
+//! sorted worklist and runs only those agents. Because every channel has
+//! latency ≥ 1 and self-wakes target `now + 1`, all pending due cycles lie
+//! in `[now, now + max_latency]`, so a wheel of
+//! `(max_latency + 2).next_power_of_two()` buckets never aliases two
+//! distinct due cycles into one bucket — even across idle fast-forward
+//! jumps, which never overshoot the earliest pending wake.
+
+/// Wake-target encoding: bit 31 distinguishes endpoints from routers; the
+/// low bits are the agent's partition-local index.
+pub const EP_BIT: u32 = 1 << 31;
+
+/// Wake code for the router at partition-local index `lidx`.
+#[inline]
+pub fn router_code(lidx: usize) -> u32 {
+    debug_assert!(lidx < EP_BIT as usize);
+    lidx as u32
+}
+
+/// Wake code for the endpoint at partition-local index `lidx`.
+#[inline]
+pub fn ep_code(lidx: usize) -> u32 {
+    debug_assert!(lidx < EP_BIT as usize);
+    lidx as u32 | EP_BIT
+}
+
+/// A power-of-two timer wheel of wake codes, bucketed by `due & mask`.
+///
+/// Pushes deduplicate per `(agent, due)` with per-agent stamp arrays: a
+/// busy consumer is woken by many producers at the same cycle (several
+/// flits on one channel, credits, its own self-wake), and suppressing the
+/// repeats at the source keeps buckets — and the drain work — proportional
+/// to *distinct* wakes. Due cycles never repeat for an agent after its
+/// bucket drains (every in-cycle push targets `now + 1` or later), so a
+/// single stamp per agent suffices. The engine still carries its own
+/// drain-time stamps to merge wheel wakes with generation-schedule wakes.
+#[derive(Debug)]
+pub struct WakeWheel {
+    buckets: Vec<Vec<u32>>,
+    mask: u64,
+    /// Last due cycle pushed per partition-local router / endpoint.
+    stamp_r: Vec<u64>,
+    stamp_e: Vec<u64>,
+}
+
+impl WakeWheel {
+    /// A wheel covering wakes up to `horizon` cycles ahead (the maximum
+    /// channel latency of the network), for a partition of `routers` ×
+    /// `endpoints` local agents.
+    pub fn new(horizon: u64, routers: usize, endpoints: usize) -> Self {
+        let w = (horizon + 2).next_power_of_two() as usize;
+        WakeWheel {
+            buckets: (0..w).map(|_| Vec::new()).collect(),
+            mask: w as u64 - 1,
+            stamp_r: vec![u64::MAX; routers],
+            stamp_e: vec![u64::MAX; endpoints],
+        }
+    }
+
+    /// A zero-bucket wheel for dense runs: never pushed to, and
+    /// [`next_due`](Self::next_due) always reports nothing pending.
+    pub fn disabled() -> Self {
+        WakeWheel {
+            buckets: Vec::new(),
+            mask: 0,
+            stamp_r: Vec::new(),
+            stamp_e: Vec::new(),
+        }
+    }
+
+    /// Register agent `code` as having work at cycle `due` (no-op if that
+    /// exact wake is already recorded).
+    #[inline]
+    pub fn push(&mut self, due: u64, code: u32) {
+        let stamp = if code & EP_BIT != 0 {
+            &mut self.stamp_e[(code & !EP_BIT) as usize]
+        } else {
+            &mut self.stamp_r[code as usize]
+        };
+        if *stamp == due {
+            return;
+        }
+        *stamp = due;
+        self.buckets[(due & self.mask) as usize].push(code);
+    }
+
+    /// Forget every pending wake (buckets and stamps). Used when the
+    /// engine re-enters event stepping after a dense storm interval: the
+    /// wheel went stale while unmaintained and is reseeded from live
+    /// queue/agent state instead.
+    pub fn reset(&mut self) {
+        for b in &mut self.buckets {
+            b.clear();
+        }
+        self.stamp_r.fill(u64::MAX);
+        self.stamp_e.fill(u64::MAX);
+    }
+
+    /// The bucket holding cycle `cycle`'s wakes (all entries in it are due
+    /// exactly then — see the aliasing argument in the module docs).
+    #[inline]
+    pub fn bucket_mut(&mut self, cycle: u64) -> &mut Vec<u32> {
+        &mut self.buckets[(cycle & self.mask) as usize]
+    }
+
+    /// Earliest cycle ≥ `now` with a pending wake, or `None` if the wheel
+    /// is empty. O(buckets), and buckets is a small constant.
+    pub fn next_due(&self, now: u64) -> Option<u64> {
+        for k in 0..self.buckets.len() as u64 {
+            let c = now.wrapping_add(k);
+            if !self.buckets[(c & self.mask) as usize].is_empty() {
+                return Some(c);
+            }
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn codes_roundtrip() {
+        assert_eq!(router_code(5), 5);
+        assert_eq!(ep_code(5), 5 | EP_BIT);
+        assert_eq!(ep_code(5) & !EP_BIT, 5);
+        assert_ne!(router_code(5), ep_code(5));
+    }
+
+    #[test]
+    fn push_and_drain() {
+        let mut w = WakeWheel::new(8, 8, 8);
+        w.push(100, router_code(3));
+        w.push(100, router_code(3)); // duplicate: suppressed at push
+        w.push(101, ep_code(1));
+        assert_eq!(w.next_due(100), Some(100));
+        assert_eq!(w.bucket_mut(100).len(), 1);
+        w.bucket_mut(100).clear();
+        assert_eq!(w.next_due(100), Some(101));
+        w.bucket_mut(101).clear();
+        assert_eq!(w.next_due(100), None);
+        // A later due for the same agent still registers.
+        w.push(102, router_code(3));
+        assert_eq!(w.next_due(100), Some(102));
+    }
+
+    #[test]
+    fn horizon_buckets_do_not_alias() {
+        // Dues spanning the full [now, now + horizon] window map to
+        // distinct buckets.
+        let horizon = 8u64;
+        let w = WakeWheel::new(horizon, 4, 4);
+        let now = 12345u64;
+        let mut seen = std::collections::HashSet::new();
+        for due in now..=now + horizon {
+            assert!(seen.insert(due & w.mask), "bucket alias at due {due}");
+        }
+    }
+
+    #[test]
+    fn disabled_wheel_is_inert() {
+        let w = WakeWheel::disabled();
+        assert_eq!(w.next_due(0), None);
+        assert_eq!(w.next_due(u64::MAX), None);
+    }
+}

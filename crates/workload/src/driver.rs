@@ -187,6 +187,14 @@ impl WorkloadDriver for ClosedLoop<'_> {
     fn done(&self) -> bool {
         self.completed == self.wl.len()
     }
+
+    fn next_release(&self) -> Option<u64> {
+        // The ready set is keyed by eligible cycle, so its first entry is
+        // exactly the next cycle `pre_cycle` submits at; an empty set means
+        // everything outstanding is in flight and the engine may
+        // fast-forward to its own next event.
+        Some(self.ready.iter().next().map_or(u64::MAX, |&(at, _)| at))
+    }
 }
 
 /// Run `wl` closed-loop on `net` with `oracle`, on an explicit executor.
