@@ -157,14 +157,17 @@ fn bench_idle(c: &mut Criterion) {
         });
     }
 
-    // Latency-bound closed-loop ring allreduce: with small per-step
-    // payloads every participant injects for a few cycles and then waits
-    // out the channel latency of its in-flight tail. Latency-1 credit and
-    // injection channels keep *some* event alive every cycle, so nothing
-    // fast-forwards — the win is the active sets: each waiting cycle runs
-    // the handful of agents with pending work instead of the whole fabric.
+    // Latency-bound closed-loop ring allreduce, one participant per
+    // C-group: every ring hop crosses a latency-8 long-reach link, so
+    // between a step's tail flit entering the link and its head arriving
+    // the whole fabric goes quiet and the engine fast-forwards the gap.
+    // (A ring over *adjacent chips* never records a skipped cycle: the
+    // mesh-local pairs complete early and release their next step
+    // immediately, keeping some wake due every single cycle — that
+    // variant measures only the active-set win, not fast-forward.)
     {
         let participants: Vec<u32> = (0..bench.scope.num_chips())
+            .step_by(bench.scope.chips_per_cgroup as usize)
             .map(|c| bench.scope.node_of(c, 0))
             .collect();
         let wl = Workload::ring_allreduce(&participants, 8);
@@ -207,6 +210,62 @@ fn bench_idle(c: &mut Criterion) {
     g.finish();
 }
 
+fn bench_exchange(c: &mut Criterion) {
+    let mut g = c.benchmark_group("exchange");
+    g.sample_size(10);
+    // The largest fabric the locality partitioner strictly wins on in the
+    // quality suite: radix-16 at 5 W-groups, 8 partitions. Same traffic,
+    // same partition count — only the router→partition assignment (and
+    // with it the sparse-exchange adjacency and boundary volume) differs,
+    // so the timing delta is the barrier cost of the extra cut channels.
+    let p = SlParams::radix16().with_wgroups(5);
+    let bench = Bench::switchless(&p, RouteMode::Minimal, VcScheme::Baseline);
+    let net = bench.fabric.net();
+    let parts = 8usize;
+    let schemes: Vec<(&str, Vec<u32>)> = vec![
+        ("blocks", wsdf_topo::contiguous_blocks(net, parts)),
+        ("locality", wsdf_topo::locality_partition(net, parts, None)),
+    ];
+    for (name, assign) in schemes {
+        let stats = wsdf_topo::partition_stats(net, &assign, None);
+        g.meta(format!("cut_channels_{name}"), stats.cut_channels);
+        let mut cfg = quick_cfg();
+        cfg.partition_map = Some(std::sync::Arc::new(assign));
+        g.bench_with_input(BenchmarkId::new("uniform_0.15_p8", name), &cfg, |b, cfg| {
+            let pat = bench.pattern(PatternSpec::Uniform, 0.15);
+            b.iter(|| bench.run(cfg, pat.as_ref()).unwrap());
+        });
+    }
+    g.finish();
+}
+
+fn bench_partition_quality(c: &mut Criterion) {
+    let mut g = c.benchmark_group("partition_quality");
+    g.sample_size(10);
+    // Partitioner compile cost on the quality suite's large fabric, with
+    // the achieved cut recorded next to the blocks baseline. This is
+    // network-compile-time work (runs once per simulation), so the bar is
+    // "cheap relative to a run", not "cheap per cycle".
+    let p = SlParams::radix16().with_wgroups(5);
+    let net = SwitchlessFabric::build(&p).net;
+    for parts in [2usize, 8] {
+        let blocks = wsdf_topo::contiguous_blocks(&net, parts);
+        let locality = wsdf_topo::locality_partition(&net, parts, None);
+        g.meta(
+            format!("cut_blocks_p{parts}"),
+            wsdf_topo::partition_stats(&net, &blocks, None).cut_channels,
+        );
+        g.meta(
+            format!("cut_locality_p{parts}"),
+            wsdf_topo::partition_stats(&net, &locality, None).cut_channels,
+        );
+        g.bench_with_input(BenchmarkId::new("locality", parts), &parts, |b, &parts| {
+            b.iter(|| wsdf_topo::locality_partition(&net, parts, None));
+        });
+    }
+    g.finish();
+}
+
 criterion_group!(
     benches,
     bench_topology_build,
@@ -214,6 +273,8 @@ criterion_group!(
     bench_parallel_scaling,
     bench_collectives,
     bench_resilience,
-    bench_idle
+    bench_idle,
+    bench_exchange,
+    bench_partition_quality
 );
 criterion_main!(benches);

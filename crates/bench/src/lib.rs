@@ -7,6 +7,7 @@
 
 pub mod collectives;
 pub mod figures;
+pub mod partition_stats;
 pub mod resilience;
 pub mod tables;
 pub mod targets;

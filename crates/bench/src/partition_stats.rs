@@ -1,0 +1,229 @@
+//! The `repro partition-stats` target: partition quality of the locality
+//! partitioner vs the legacy contiguous blocks, per topology family.
+//!
+//! For each family the suite reports, at partition counts [`PARTITIONS`]:
+//! cut channels (the engine's sparse-exchange edge surface), the balance
+//! envelope (min/max live routers per partition), and **boundary flit
+//! traffic** — measured flits that traversed a cut channel during a short
+//! uniform-random run. The run itself is executed *once* per family:
+//! flit-per-channel counts are bit-identical for any partition assignment
+//! (the determinism contract), so both schemes are scored against the same
+//! measured traffic.
+//!
+//! Families are chosen where the partitioners genuinely differ: a 7×7
+//! standalone mesh (block boundaries land mid-row) and the radix-16
+//! switch-less fabric at 5 W-groups (block boundaries are C-group aligned,
+//! so wins must come from moving whole C-groups to exploit palmtree
+//! global-link placement).
+
+use crate::Effort;
+use wsdf::routing::{RouteMode, VcScheme};
+use wsdf::{Bench, PatternSpec};
+use wsdf_sim::{Metrics, NetworkDesc, SimConfig};
+use wsdf_topo::{contiguous_blocks, locality_partition, partition_stats, SlParams};
+
+/// Partition counts every family is scored at.
+pub const PARTITIONS: &[usize] = &[2, 4, 8];
+
+/// Quality of one assignment scheme at one partition count.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SchemeStats {
+    /// Directed live router-router channels crossing partitions — the
+    /// number of (src, dst) exchange-edge message streams the BSP barrier
+    /// pays for.
+    pub cut_channels: usize,
+    /// Live routers in the least populated partition.
+    pub min_routers: usize,
+    /// Live routers in the most populated partition.
+    pub max_routers: usize,
+    /// Measured flits that traversed a cut channel (same traffic for both
+    /// schemes; lower = less barrier boundary traffic).
+    pub boundary_flits: u64,
+}
+
+/// Both schemes at one partition count.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PartitionPoint {
+    /// Partition count.
+    pub parts: usize,
+    /// Legacy contiguous blocks.
+    pub blocks: SchemeStats,
+    /// `wsdf_topo::locality_partition`.
+    pub locality: SchemeStats,
+}
+
+/// One family's full report.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PartitionReport {
+    /// Family label.
+    pub label: String,
+    /// Router count of the fabric.
+    pub routers: usize,
+    /// One entry per [`PARTITIONS`] value.
+    pub points: Vec<PartitionPoint>,
+}
+
+/// The two scored families (see module docs).
+fn families(effort: Effort) -> Vec<(Bench, f64)> {
+    vec![
+        (Bench::single_mesh(7, 7, 1), effort.small()),
+        (
+            Bench::switchless(
+                &SlParams::radix16().with_wgroups(5),
+                RouteMode::Minimal,
+                VcScheme::Baseline,
+            ),
+            effort.medium(),
+        ),
+    ]
+}
+
+/// Measured flits over live router-router channels whose endpoints sit in
+/// different partitions under `assign`.
+fn boundary_flits(net: &NetworkDesc, assign: &[u32], m: &Metrics) -> u64 {
+    let mut sum = 0u64;
+    for (c, ch) in net.channels.iter().enumerate() {
+        if let (Some(a), Some(b)) = (ch.src.router(), ch.dst.router()) {
+            if assign[a as usize] != assign[b as usize] {
+                sum += u64::from(*m.flits_per_channel.get(c).unwrap_or(&0));
+            }
+        }
+    }
+    sum
+}
+
+fn scheme(net: &NetworkDesc, assign: &[u32], m: &Metrics) -> SchemeStats {
+    let s = partition_stats(net, assign, None);
+    SchemeStats {
+        cut_channels: s.cut_channels,
+        min_routers: s.min_routers,
+        max_routers: s.max_routers,
+        boundary_flits: boundary_flits(net, assign, m),
+    }
+}
+
+/// Run the suite: each family simulated once (sequential, per-channel
+/// stats on), then scored under both schemes at every partition count.
+pub fn partition_stats_suite(effort: Effort) -> Vec<PartitionReport> {
+    let mut out = Vec::new();
+    for (bench, scale) in families(effort) {
+        let cfg = SimConfig {
+            partitions: 1,
+            per_channel_stats: true,
+            ..Default::default()
+        }
+        .scaled(scale);
+        let pattern = bench.pattern(PatternSpec::Uniform, 0.1);
+        let m = bench
+            .run(&cfg, pattern.as_ref())
+            .expect("partition-stats traffic run failed");
+        let net = bench.fabric.net();
+        let points = PARTITIONS
+            .iter()
+            .map(|&parts| PartitionPoint {
+                parts,
+                blocks: scheme(net, &contiguous_blocks(net, parts), &m),
+                locality: scheme(net, &locality_partition(net, parts, None), &m),
+            })
+            .collect();
+        out.push(PartitionReport {
+            label: bench.label.clone(),
+            routers: net.num_routers(),
+            points,
+        });
+    }
+    out
+}
+
+/// Render [`partition_stats_suite`] results as text.
+pub fn render_partition_stats(reports: &[PartitionReport]) -> String {
+    let mut s = String::from("== partition-stats — locality partitioner vs contiguous blocks ==\n");
+    for r in reports {
+        s.push_str(&format!("  {} ({} routers)\n", r.label, r.routers));
+        for p in &r.points {
+            s.push_str(&format!(
+                "    P={}: cut {:>4} -> {:>4} channels  boundary {:>8} -> {:>8} flits  \
+                 balance [{}..{}] -> [{}..{}]\n",
+                p.parts,
+                p.blocks.cut_channels,
+                p.locality.cut_channels,
+                p.blocks.boundary_flits,
+                p.locality.boundary_flits,
+                p.blocks.min_routers,
+                p.blocks.max_routers,
+                p.locality.min_routers,
+                p.locality.max_routers,
+            ));
+        }
+    }
+    s
+}
+
+/// Serialize [`partition_stats_suite`] results as JSON.
+pub fn partition_stats_json(reports: &[PartitionReport]) -> String {
+    let scheme = |s: &SchemeStats| {
+        format!(
+            "{{\"cut_channels\": {}, \"min_routers\": {}, \"max_routers\": {}, \
+             \"boundary_flits\": {}}}",
+            s.cut_channels, s.min_routers, s.max_routers, s.boundary_flits
+        )
+    };
+    let mut out = String::from("[\n");
+    for (i, r) in reports.iter().enumerate() {
+        out.push_str(&format!(
+            "  {{\"label\": \"{}\", \"routers\": {}, \"points\": [\n",
+            wsdf::json::escape(&r.label),
+            r.routers
+        ));
+        for (j, p) in r.points.iter().enumerate() {
+            out.push_str(&format!(
+                "    {{\"parts\": {}, \"blocks\": {}, \"locality\": {}}}{}\n",
+                p.parts,
+                scheme(&p.blocks),
+                scheme(&p.locality),
+                if j + 1 < r.points.len() { "," } else { "" }
+            ));
+        }
+        out.push_str(&format!(
+            "  ]}}{}\n",
+            if i + 1 < reports.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("]\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn locality_strictly_beats_blocks_on_both_families() {
+        let reports = partition_stats_suite(Effort::Smoke);
+        assert_eq!(reports.len(), 2);
+        for r in &reports {
+            assert_eq!(r.points.len(), PARTITIONS.len());
+            for p in &r.points {
+                assert!(
+                    p.locality.cut_channels < p.blocks.cut_channels,
+                    "[{} P={}] locality {} !< blocks {}",
+                    r.label,
+                    p.parts,
+                    p.locality.cut_channels,
+                    p.blocks.cut_channels
+                );
+                assert!(
+                    p.locality.boundary_flits <= p.blocks.boundary_flits,
+                    "[{} P={}] boundary flits regressed",
+                    r.label,
+                    p.parts
+                );
+                assert!(p.locality.min_routers >= 1);
+            }
+        }
+        // JSON parses back as an array of both families.
+        let json = partition_stats_json(&reports);
+        let arr = wsdf::json::Value::parse(&json).unwrap();
+        assert_eq!(arr.as_arr().unwrap().len(), reports.len());
+    }
+}

@@ -9,7 +9,7 @@
 //! Aggregate targets (`tables`, `figures`, `all`) are member lists over
 //! the same table ([`aggregate_members`]), not separate code paths.
 
-use crate::{collectives, figures, resilience, tables, Effort};
+use crate::{collectives, figures, partition_stats, resilience, tables, Effort};
 
 /// Output of one target run: human-readable text plus `(id, json)` pairs
 /// for `--json DIR` serialization.
@@ -183,6 +183,22 @@ pub const TARGETS: &[Target] = &[
         },
     },
     Target {
+        name: "partition-stats",
+        desc: "Partition quality: locality partitioner vs contiguous blocks \
+               (cut channels, balance, boundary flit traffic)",
+        full_scale: false,
+        run: |e| {
+            let reports = partition_stats::partition_stats_suite(e);
+            TargetOutput {
+                text: partition_stats::render_partition_stats(&reports),
+                json: vec![(
+                    "partition-stats".into(),
+                    partition_stats::partition_stats_json(&reports),
+                )],
+            }
+        },
+    },
+    Target {
         name: "resilience",
         desc: "Fault-injection degradation: throughput/latency/allreduce vs \
                fault fraction, verified over partitions {1,2,4}",
@@ -223,6 +239,7 @@ pub fn aggregate_members(name: &str) -> Option<&'static [&'static str]> {
             "fig15",
             "saturation",
             "collectives",
+            "partition-stats",
             "resilience",
         ]),
         _ => None,

@@ -358,6 +358,37 @@ impl Bench {
         }
     }
 
+    /// Fill in [`SimConfig::partition_map`] with a locality-aware
+    /// assignment (`wsdf_topo::locality_partition`) when the run will
+    /// actually be parallel and no explicit map was given.
+    ///
+    /// The partition count mirrors exactly what the engine would resolve
+    /// on its own ([`wsdf_sim::effective_partitions`] over live routers
+    /// and `wsdf_exec::configured_threads`), so switching schemes never
+    /// changes *how many* partitions run — only *which* routers share
+    /// one. Results are bit-identical either way; only barrier traffic
+    /// changes. Honors the `WSDF_PARTITIONER` env var: `blocks` keeps
+    /// the engine's legacy contiguous blocks, anything else (or unset)
+    /// selects the locality partitioner.
+    pub fn apply_partitioner(&self, cfg: &mut SimConfig) {
+        if cfg.partition_map.is_some() || !locality_partitioner_default() {
+            return;
+        }
+        let net = self.fabric.net();
+        let live = self
+            .fault_map()
+            .map_or(net.num_routers(), |f| f.live_routers());
+        let p =
+            wsdf_sim::effective_partitions(cfg.partitions, live, wsdf_exec::configured_threads());
+        if p > 1 {
+            cfg.partition_map = Some(std::sync::Arc::new(wsdf_topo::locality_partition(
+                net,
+                p,
+                self.fault_map(),
+            )));
+        }
+    }
+
     /// Run one simulation with an explicit config and pattern. The config's
     /// VC count is raised to the oracle's requirement automatically.
     ///
@@ -381,6 +412,7 @@ impl Bench {
     ) -> SimResult<Metrics> {
         let mut cfg = cfg.clone();
         cfg.num_vcs = cfg.num_vcs.max(self.oracle.num_vcs());
+        self.apply_partitioner(&mut cfg);
         let net = self.fabric.net();
         let faults = self.fault_map();
         match &self.oracle {
@@ -409,6 +441,7 @@ impl Bench {
     pub fn run_dyn(&self, cfg: &SimConfig, pattern: &dyn TrafficPattern) -> SimResult<Metrics> {
         let mut cfg = cfg.clone();
         cfg.num_vcs = cfg.num_vcs.max(self.oracle.num_vcs());
+        self.apply_partitioner(&mut cfg);
         wsdf_sim::simulate_faulted_on(
             self.fabric.net(),
             &cfg,
@@ -418,6 +451,18 @@ impl Bench {
             self.fault_map(),
         )
     }
+}
+
+/// Process-wide default partitioning scheme for [`Bench`] runs: the
+/// `WSDF_PARTITIONER` env var, where the literal `blocks` opts back into
+/// the engine's contiguous block scheme and anything else (or unset)
+/// selects `wsdf_topo::locality_partition`. Cached like
+/// `WSDF_EVENT_DRIVEN` so repeated runs cannot race a test harness
+/// mutating the environment mid-process.
+fn locality_partitioner_default() -> bool {
+    use std::sync::OnceLock;
+    static DEFAULT: OnceLock<bool> = OnceLock::new();
+    *DEFAULT.get_or_init(|| std::env::var("WSDF_PARTITIONER").map_or(true, |v| v != "blocks"))
 }
 
 /// Fault filter around a [`TrafficPattern`]: endpoints on dead routers

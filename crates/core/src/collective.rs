@@ -342,6 +342,7 @@ pub fn run_workload_on(
 ) -> SimResult<WorkloadReport> {
     let mut cfg = cfg.clone();
     cfg.num_vcs = cfg.num_vcs.max(bench.oracle.num_vcs());
+    bench.apply_partitioner(&mut cfg);
     let net = bench.fabric.net();
     let faults = bench.fault_map();
     let out = match &bench.oracle {

@@ -286,6 +286,49 @@ impl Drop for CompletionGuard<'_> {
     }
 }
 
+/// Split `weights.len()` items into at most `slots` contiguous, non-empty
+/// ranges of approximately equal total weight (deterministic greedy cut at
+/// proportional prefix targets). Used by the simulation engine to pin
+/// partitions to pool slots: locality-aware partition maps can have uneven
+/// per-partition agent counts, so ranges balance *weight*, not item count.
+///
+/// The returned ranges tile `0..weights.len()` exactly, in order. `slots`
+/// is clamped to `1..=weights.len()`; an empty `weights` yields one empty
+/// range. Zero weights are allowed (treated as weight 0 but still
+/// occupying an item slot).
+pub fn balanced_ranges(weights: &[u64], slots: usize) -> Vec<std::ops::Range<usize>> {
+    let n = weights.len();
+    if n == 0 {
+        return std::iter::once(0..0).collect();
+    }
+    let slots = slots.clamp(1, n);
+    let total: u64 = weights.iter().sum();
+    let mut out = Vec::with_capacity(slots);
+    let mut start = 0usize;
+    let mut acc = 0u64;
+    for s in 0..slots {
+        // Cut once the cumulative weight reaches the proportional target,
+        // always taking at least one item and leaving one per later slot;
+        // the last slot takes everything left.
+        let end = if s == slots - 1 {
+            n
+        } else {
+            let target = ((total as u128 * (s as u128 + 1)) / slots as u128) as u64;
+            let max_end = n - (slots - 1 - s);
+            let mut e = start + 1;
+            acc += weights[start];
+            while e < max_end && acc < target {
+                acc += weights[e];
+                e += 1;
+            }
+            e
+        };
+        out.push(start..end);
+        start = end;
+    }
+    out
+}
+
 fn worker_loop(shared: &Shared, index: usize) {
     let mut seen = 0u64;
     loop {
@@ -330,6 +373,45 @@ mod tests {
     use std::collections::HashSet;
     use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
     use std::sync::Mutex;
+
+    #[test]
+    fn balanced_ranges_tile_exactly() {
+        for (n, slots) in [(1usize, 1usize), (5, 2), (8, 3), (7, 7), (4, 9)] {
+            let w: Vec<u64> = (0..n as u64).map(|i| i + 1).collect();
+            let r = balanced_ranges(&w, slots);
+            assert_eq!(r.len(), slots.min(n));
+            assert_eq!(r[0].start, 0);
+            assert_eq!(r.last().unwrap().end, n);
+            for pair in r.windows(2) {
+                assert_eq!(pair[0].end, pair[1].start);
+                assert!(!pair[1].is_empty());
+            }
+            assert!(!r[0].is_empty());
+        }
+    }
+
+    #[test]
+    fn balanced_ranges_balance_weight_not_count() {
+        // One heavy item and many light ones: the heavy item gets its own
+        // range instead of dragging half the light ones with it.
+        let w = [100u64, 1, 1, 1, 1, 1, 1, 1];
+        let r = balanced_ranges(&w, 2);
+        assert_eq!(r[0], 0..1);
+        assert_eq!(r[1], 1..8);
+        // Uniform weights reduce to near-equal item counts.
+        let r = balanced_ranges(&[1u64; 8], 4);
+        assert_eq!(r, vec![0..2, 2..4, 4..6, 6..8]);
+    }
+
+    #[test]
+    fn balanced_ranges_degenerate_inputs() {
+        assert_eq!(balanced_ranges(&[], 3), vec![0..0]);
+        assert_eq!(balanced_ranges(&[5], 1), vec![0..1]);
+        // All-zero weights still tile.
+        let r = balanced_ranges(&[0u64; 4], 2);
+        assert_eq!(r.last().unwrap().end, 4);
+        assert_eq!(r.len(), 2);
+    }
 
     #[test]
     fn broadcast_runs_every_slot_exactly_once() {

@@ -26,6 +26,14 @@ pub struct SimConfig {
     pub seed: u64,
     /// Number of BSP partitions; 1 = sequential. `0` = auto (rayon threads).
     pub partitions: usize,
+    /// Explicit router→partition assignment (length = `num_routers`,
+    /// partition ids dense in `0..P`, every partition non-empty). When set
+    /// it overrides [`SimConfig::partitions`] and the engine's contiguous
+    /// block scheme — `wsdf_topo::locality_partition` produces cut-minimizing
+    /// maps. `None` keeps the legacy contiguous blocks. Results are
+    /// bit-identical for *any* valid assignment; only barrier traffic and
+    /// parallel balance change.
+    pub partition_map: Option<std::sync::Arc<Vec<u32>>>,
     /// Collect per-endpoint ejected-flit counts (bottleneck analysis for
     /// collectives; small memory/time overhead).
     pub per_endpoint_stats: bool,
@@ -51,6 +59,7 @@ impl Default for SimConfig {
             watchdog_cycles: 2_000,
             seed: 0xD5A6_0F17,
             partitions: 1,
+            partition_map: None,
             per_endpoint_stats: false,
             per_channel_stats: false,
             event_driven: event_driven_default(),

@@ -1,30 +1,38 @@
 //! Simulation engine: network compilation, the cycle loop, and the BSP
 //! parallel scheme.
 //!
-//! Routers are split into `partitions` contiguous blocks, executed on the
-//! persistent [`BspPool`] executor (`wsdf-exec`). Every cycle is one
-//! [`BspPool::broadcast`] — a release/collect round trip on the pool's
-//! reusable two-phase barrier, *not* a thread spawn/join. Each pool slot
-//! owns a fixed contiguous block of partitions for the whole run (slot
-//! `s` of `k` always handles partitions `[s·P/k, (s+1)·P/k)`), so the same
-//! OS thread touches the same router and ring state every cycle: cache and
-//! NUMA affinity come from the mapping, no `sched_setaffinity` needed.
+//! Routers are split into `partitions` — by default contiguous id blocks,
+//! or any explicit router→partition assignment via
+//! [`SimConfig::partition_map`] (e.g. `wsdf_topo::locality_partition`,
+//! which minimizes cut channels) — executed on the persistent [`BspPool`]
+//! executor (`wsdf-exec`). Every cycle is one [`BspPool::broadcast`] — a
+//! release/collect round trip on the pool's reusable two-phase barrier,
+//! *not* a thread spawn/join. Each pool slot owns a fixed contiguous range
+//! of partitions for the whole run (weight-balanced over routers +
+//! endpoints at compile time), so the same OS thread touches the same
+//! router and ring state every cycle: cache and NUMA affinity come from
+//! the mapping, no `sched_setaffinity` needed.
 //!
 //! Inside a broadcast, each partition:
 //!
-//! 1. **Delivers** last cycle's cross-partition messages: it drains its
-//!    column of the *read* mailbox buffer into the channel queues it owns.
+//! 1. **Delivers** last cycle's cross-partition messages: it drains the
+//!    *read* mailbox of every in-edge of the partition adjacency graph
+//!    into the channel queues it owns.
 //! 2. **Advances** its endpoints and routers one cycle. Flits/credits
-//!    crossing into another partition are appended to its row of the
-//!    *write* mailbox buffer.
+//!    crossing into another partition are appended to the *write* mailbox
+//!    of the corresponding out-edge.
 //!
-//! Cross-partition exchange uses double-buffered per-(src, dst) mailboxes
-//! (the private `Mailboxes` grid): rows are written by their source
-//! partition, columns
-//! drained by their destination partition, and the two buffers swap in
-//! O(1) between cycles. The serial O(P²) outbox→inbox transpose that used
-//! to run between cycles is gone — the exchange itself now happens inside
-//! the parallel section.
+//! Cross-partition exchange is **sparse**: the partition adjacency graph
+//! is computed at network-compile time (one directed edge per adjacent
+//! (src, dst) partition pair that shares a live channel), and the
+//! double-buffered mailboxes (the private `Exchange`) hold exactly one
+//! cell per edge — not a dense P×P grid. A partition physically borders
+//! only a handful of others on a mesh or wafer, so barriers touch O(E)
+//! cells, not O(P²). Out-edges are written by their source partition,
+//! in-edges drained by their destination partition (disjoint, so the
+//! whole exchange runs inside the parallel section without locks), and
+//! the two buffers swap in O(1) between cycles. Per-edge written/drained
+//! counters make the exchange auditable ([`Simulation::exchange_edges`]).
 //!
 //! Because every channel has latency ≥ 1, nothing produced in cycle *t* can
 //! be consumed before *t+1*, so partitions never observe each other's
@@ -344,26 +352,92 @@ impl Partition {
     }
 }
 
-/// Double-buffered per-(src, dst) cross-partition mailboxes.
+/// Sparse double-buffered cross-partition mailboxes over the partition
+/// adjacency graph.
 ///
-/// Both buffers are flat `P × P` grids of message vectors indexed
-/// `src * P + dst`. During cycle *t* every partition *p* drains column *p*
-/// of the read buffer (messages written at *t − 1*) and fills row *p* of
-/// the write buffer; rows and columns are disjoint across partitions, so
-/// the whole exchange runs inside the parallel section without locks. The
-/// buffers swap in O(1) at the barrier — by then the read buffer is fully
-/// drained and becomes next cycle's write side.
-struct Mailboxes {
+/// `edges` holds one directed `(src, dst)` pair per adjacent partition
+/// pair, sorted by `(src, dst)` and computed once at network-compile time
+/// from the live cross-partition channels: each such channel induces a
+/// flit edge (producer partition → consumer partition) and a credit edge
+/// in the opposite direction, so the edge set is the symmetric closure of
+/// "shares a live boundary channel". Both message buffers hold exactly one
+/// cell per edge — there is no dense P×P grid anywhere.
+///
+/// During cycle *t* every partition *p* drains the read cells of its
+/// in-edges (`in_flat[in_start[p]..in_start[p+1]]`, ascending source
+/// order) and fills the write cells of its out-edges
+/// (`edges[out_start[p]..out_start[p+1]]`, which are contiguous because
+/// the edge list is sorted). In- and out-edge sets are disjoint across
+/// partitions, so the whole exchange runs inside the parallel section
+/// without locks; the buffers swap in O(1) at the barrier — by then the
+/// read buffer is fully drained and becomes next cycle's write side.
+///
+/// `written`/`drained` count lifetime messages per edge; each counter is
+/// updated by exactly one partition (the writer for `written`, the
+/// drainer for `drained`), making the sparse exchange auditable.
+struct Exchange {
+    /// Directed adjacency edges, sorted by `(src, dst)`.
+    edges: Vec<(u32, u32)>,
+    /// Edge-id range of partition `p`'s out-edges: `out_start[p]..out_start[p+1]`.
+    out_start: Vec<u32>,
+    /// Flattened in-edge ids per destination partition (ascending source).
+    in_flat: Vec<u32>,
+    /// In-edge range of partition `p`: `in_flat[in_start[p]..in_start[p+1]]`.
+    in_start: Vec<u32>,
     read: Vec<Vec<Msg>>,
     write: Vec<Vec<Msg>>,
+    written: Vec<u64>,
+    drained: Vec<u64>,
 }
 
-impl Mailboxes {
-    fn new(n: usize) -> Self {
-        Mailboxes {
-            read: (0..n * n).map(|_| Vec::new()).collect(),
-            write: (0..n * n).map(|_| Vec::new()).collect(),
+impl Exchange {
+    /// Build the sparse exchange for `nparts` partitions from the directed
+    /// adjacency `edges` (deduplicated, any order).
+    fn new(nparts: usize, mut edges: Vec<(u32, u32)>) -> Self {
+        edges.sort_unstable();
+        edges.dedup();
+        let ne = edges.len();
+        let mut out_start = vec![0u32; nparts + 1];
+        for &(src, _) in &edges {
+            out_start[src as usize + 1] += 1;
         }
+        for p in 0..nparts {
+            out_start[p + 1] += out_start[p];
+        }
+        let mut in_lists: Vec<Vec<u32>> = vec![Vec::new(); nparts];
+        for (e, &(_, dst)) in edges.iter().enumerate() {
+            // Edge ids ascend in (src, dst) order, so each dst's list comes
+            // out in ascending-source order — the deterministic drain order
+            // the dense column walk used to impose.
+            in_lists[dst as usize].push(e as u32);
+        }
+        let mut in_start = vec![0u32; nparts + 1];
+        let mut in_flat = Vec::with_capacity(ne);
+        for (p, list) in in_lists.into_iter().enumerate() {
+            in_flat.extend_from_slice(&list);
+            in_start[p + 1] = in_flat.len() as u32;
+        }
+        Exchange {
+            edges,
+            out_start,
+            in_flat,
+            in_start,
+            read: (0..ne).map(|_| Vec::new()).collect(),
+            write: (0..ne).map(|_| Vec::new()).collect(),
+            written: vec![0; ne],
+            drained: vec![0; ne],
+        }
+    }
+
+    /// Out-edge slot of `(src, dst)` within `src`'s outbox range, if the
+    /// partitions are adjacent.
+    fn slot(&self, src: u32, dst: u32) -> Option<u32> {
+        let lo = self.out_start[src as usize] as usize;
+        let hi = self.out_start[src as usize + 1] as usize;
+        self.edges[lo..hi]
+            .binary_search(&(src, dst))
+            .ok()
+            .map(|i| i as u32)
     }
 
     fn swap(&mut self) {
@@ -374,22 +448,29 @@ impl Mailboxes {
 /// Raw shared view of one cycle's mutable state, handed to the pool
 /// workers. Soundness rests on the slot→partition mapping: each partition
 /// index is processed by exactly one slot per broadcast, and partition `p`
-/// touches only `parts[p]`, read-column `p`, and write-row `p`.
-struct CycleShared {
+/// touches only `parts[p]`, the read cells + `drained` counters of its
+/// in-edges, and the write cells + `written` counters of its out-edges —
+/// disjoint edge sets across partitions by construction.
+struct CycleShared<'a> {
     parts: *mut Partition,
     read: *mut Vec<Msg>,
     write: *mut Vec<Msg>,
-    n: usize,
+    written: *mut u64,
+    drained: *mut u64,
+    out_start: &'a [u32],
+    in_flat: &'a [u32],
+    in_start: &'a [u32],
 }
 
-// SAFETY: slots dereference disjoint partitions/rows/columns (see above).
-unsafe impl Sync for CycleShared {}
+// SAFETY: slots dereference disjoint partitions/edge cells (see above).
+unsafe impl Sync for CycleShared<'_> {}
 
-impl CycleShared {
+impl CycleShared<'_> {
     /// Deliver + advance partition `p`.
     ///
     /// # Safety
-    /// `p < self.n`, and no other thread may process `p` concurrently.
+    /// `p` must be a valid partition index, and no other thread may
+    /// process `p` concurrently.
     #[allow(clippy::too_many_arguments)]
     unsafe fn run_partition<O: RouteOracle + ?Sized, P: TrafficPattern + ?Sized>(
         &self,
@@ -406,14 +487,19 @@ impl CycleShared {
         event: bool,
     ) {
         let part = &mut *self.parts.add(p);
-        // Drain column p of the read buffer in source order (the same
-        // deterministic order the serial transpose used to impose).
-        for src in 0..self.n {
-            let cell = &mut *self.read.add(src * self.n + p);
+        // Drain this partition's in-edges in ascending source order (the
+        // same deterministic order the dense column walk used to impose —
+        // non-adjacent sources never had anything to contribute).
+        for &e in &self.in_flat[self.in_start[p] as usize..self.in_start[p + 1] as usize] {
+            let cell = &mut *self.read.add(e as usize);
+            *self.drained.add(e as usize) += cell.len() as u64;
             part.deliver(cell, flit_loc, credit_loc, event);
         }
-        // Row p of the write buffer is this partition's outbox set.
-        let outboxes = std::slice::from_raw_parts_mut(self.write.add(p * self.n), self.n);
+        // This partition's out-edge cells are its outbox set; emit targets
+        // were compiled to slot indices within this range.
+        let o0 = self.out_start[p] as usize;
+        let o1 = self.out_start[p + 1] as usize;
+        let outboxes = std::slice::from_raw_parts_mut(self.write.add(o0), o1 - o0);
         part.advance(
             oracle,
             pattern,
@@ -425,7 +511,29 @@ impl CycleShared {
             outboxes,
             event,
         );
+        for (i, ob) in outboxes.iter().enumerate() {
+            if !ob.is_empty() {
+                *self.written.add(o0 + i) += ob.len() as u64;
+            }
+        }
     }
+}
+
+/// One directed edge of the partition adjacency graph with its lifetime
+/// message counters (see [`Simulation::exchange_edges`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ExchangeEdge {
+    /// Source partition.
+    pub src: u32,
+    /// Destination partition.
+    pub dst: u32,
+    /// Messages (flits + credits) written into this edge's mailbox.
+    pub written: u64,
+    /// Messages drained out of this edge's mailbox.
+    pub drained: u64,
+    /// Messages currently sitting undelivered in the read buffer
+    /// (`written == drained + pending` always holds between cycles).
+    pub pending: u64,
 }
 
 /// A compiled, runnable simulation bound to its routing oracle.
@@ -438,13 +546,15 @@ pub struct Simulation<O: RouteOracle> {
     cfg: SimConfig,
     oracle: O,
     partitions: Vec<Partition>,
-    mail: Mailboxes,
+    exch: Exchange,
     /// channel id → (owning partition, local flit-queue index)
     flit_loc: Vec<(u32, u32)>,
     /// channel id → (owning partition, local credit-queue index)
     credit_loc: Vec<(u32, u32)>,
     /// endpoint id → (owning partition, local endpoint index)
     ep_loc: Vec<(u32, u32)>,
+    /// endpoint id → attach router id (canonical arrival ordering).
+    ep_router: Vec<u32>,
     now: u64,
     stall: u64,
     endpoints_total: u64,
@@ -500,16 +610,46 @@ impl<O: RouteOracle> Simulation<O> {
             )));
         }
         let live_routers = faults.map_or(net.num_routers(), |f| f.live_routers());
-        let nparts = effective_partitions(
-            cfg.partitions,
-            live_routers,
-            wsdf_exec::configured_threads(),
-        );
         let channel_dead = |c: usize| faults.is_some_and(|f| f.channel_dead(c as u32));
-
-        // Contiguous router blocks, balanced by count.
         let nr = net.num_routers();
-        let part_of = |r: usize| -> u32 { (r * nparts / nr.max(1)) as u32 };
+
+        // Router→partition assignment: an explicit map when provided
+        // (locality-aware maps come from `wsdf_topo::locality_partition`),
+        // otherwise contiguous id blocks balanced by count. Results are
+        // bit-identical for any valid assignment — only barrier traffic
+        // and parallel balance change.
+        let (nparts, assign): (usize, Vec<u32>) = if let Some(map) = &cfg.partition_map {
+            if map.len() != nr {
+                return Err(SimError::Invalid(format!(
+                    "partition_map covers {} routers but the network has {nr}",
+                    map.len()
+                )));
+            }
+            let p = map.iter().copied().max().map_or(0, |m| m as usize + 1);
+            if p == 0 || p > nr {
+                return Err(SimError::Invalid(format!(
+                    "partition_map has {p} partitions for {nr} routers"
+                )));
+            }
+            let mut counts = vec![0usize; p];
+            for &q in map.iter() {
+                counts[q as usize] += 1;
+            }
+            if let Some(empty) = counts.iter().position(|&c| c == 0) {
+                return Err(SimError::Invalid(format!(
+                    "partition_map leaves partition {empty} empty (ids must be dense in 0..P)"
+                )));
+            }
+            (p, map.as_ref().clone())
+        } else {
+            let p = effective_partitions(
+                cfg.partitions,
+                live_routers,
+                wsdf_exec::configured_threads(),
+            );
+            (p, (0..nr).map(|r| (r * p / nr.max(1)) as u32).collect())
+        };
+        let part_of = |r: usize| -> u32 { assign[r] };
 
         // Queue ownership: flit queue with the channel's consumer, credit
         // queue with the channel's producer (endpoints live with their
@@ -597,18 +737,55 @@ impl<O: RouteOracle> Simulation<O> {
                 cfg.seed,
             ));
         }
-        // Port wiring. Routers were added in global order, so within a
-        // partition the local index is r minus the partition's first id.
-        let mut part_first = vec![u32::MAX; nparts];
-        for r in 0..nr {
-            let p = part_of(r) as usize;
-            if part_first[p] == u32::MAX {
-                part_first[p] = r as u32;
+        // Port wiring. Routers were pushed in ascending global id order,
+        // so a router's partition-local index is its insertion rank within
+        // its partition (works for any assignment, contiguous or not).
+        let local_idx: Vec<u32> = {
+            let mut counts = vec![0u32; nparts];
+            (0..nr)
+                .map(|r| {
+                    let p = part_of(r) as usize;
+                    let idx = counts[p];
+                    counts[p] += 1;
+                    idx
+                })
+                .collect()
+        };
+        let local_router = |r: u32| -> (usize, usize) {
+            (part_of(r as usize) as usize, local_idx[r as usize] as usize)
+        };
+
+        // Partition adjacency: every live cross-partition channel induces a
+        // flit edge (producer partition → consumer partition, i.e. the
+        // credit-queue home → flit-queue home) and a credit edge in the
+        // opposite direction. Dead channels are skipped, so a `seal`-ed
+        // fault map shrinks the graph consistently with the dead-channel
+        // traversal asserts.
+        let mut adj_edges: Vec<(u32, u32)> = Vec::new();
+        for c in 0..net.channels.len() {
+            if channel_dead(c) {
+                continue;
+            }
+            let (fp, _) = flit_loc[c];
+            let (cp, _) = credit_loc[c];
+            if fp != cp {
+                adj_edges.push((cp, fp));
+                adj_edges.push((fp, cp));
             }
         }
-        let local_router = |r: u32| -> (usize, usize) {
-            let p = part_of(r as usize) as usize;
-            (p, (r - part_first[p]) as usize)
+        let exch = Exchange::new(nparts, adj_edges);
+        // Cross-partition message targets compile to the *slot index* of
+        // the (emitter, owner) edge within the emitter's outbox range.
+        // Dead cross-partition channels have no edge; any traversal
+        // attempt hard-asserts on the dead flag before the slot is read.
+        let remote_slot = |from: u32, to: u32, dead: bool| -> u32 {
+            match exch.slot(from, to) {
+                Some(s) => s,
+                None => {
+                    debug_assert!(dead, "missing adjacency edge {from}->{to} for live channel");
+                    u32::MAX
+                }
+            }
         };
 
         for (c, ch) in net.channels.iter().enumerate() {
@@ -621,7 +798,7 @@ impl<O: RouteOracle> Simulation<O> {
                     FlitTarget::Local(fq)
                 } else {
                     FlitTarget::Remote {
-                        part: fp,
+                        slot: remote_slot(p as u32, fp, channel_dead(c)),
                         ch: c as u32,
                     }
                 };
@@ -646,7 +823,7 @@ impl<O: RouteOracle> Simulation<O> {
                     CreditTarget::Local(cq)
                 } else {
                     CreditTarget::Remote {
-                        part: cp,
+                        slot: remote_slot(p as u32, cp, channel_dead(c)),
                         ch: c as u32,
                     }
                 };
@@ -686,7 +863,7 @@ impl<O: RouteOracle> Simulation<O> {
                 FlitTarget::Local(ifq)
             } else {
                 FlitTarget::Remote {
-                    part: ifp,
+                    slot: remote_slot(p as u32, ifp, channel_dead(inj)),
                     ch: inj as u32,
                 }
             };
@@ -699,7 +876,7 @@ impl<O: RouteOracle> Simulation<O> {
                 CreditTarget::Local(ecq)
             } else {
                 CreditTarget::Remote {
-                    part: ecp,
+                    slot: remote_slot(p as u32, ecp, channel_dead(ej)),
                     ch: ej as u32,
                 }
             };
@@ -774,11 +951,12 @@ impl<O: RouteOracle> Simulation<O> {
         Ok(Simulation {
             cfg: cfg.clone(),
             oracle,
-            mail: Mailboxes::new(partitions.len()),
+            exch,
             partitions,
             flit_loc,
             credit_loc,
             ep_loc,
+            ep_router: net.endpoints.iter().map(|ed| ed.router).collect(),
             now: 0,
             stall: 0,
             endpoints_total: net.num_endpoints() as u64,
@@ -808,6 +986,41 @@ impl<O: RouteOracle> Simulation<O> {
         &self.oracle
     }
 
+    /// The partition adjacency graph with per-edge lifetime message
+    /// counters: one entry per directed (src, dst) partition pair that
+    /// shares a live boundary channel, sorted by (src, dst). Between
+    /// cycles `written == drained + pending` holds for every edge, and
+    /// messages only ever flow on these edges — the sparse exchange never
+    /// touches a non-adjacent pair (there is no cell to touch).
+    pub fn exchange_edges(&self) -> Vec<ExchangeEdge> {
+        self.exch
+            .edges
+            .iter()
+            .enumerate()
+            .map(|(e, &(src, dst))| ExchangeEdge {
+                src,
+                dst,
+                written: self.exch.written[e],
+                drained: self.exch.drained[e],
+                pending: self.exch.read[e].len() as u64,
+            })
+            .collect()
+    }
+
+    /// Fixed slot→partition ranges for a run on `pool`: contiguous,
+    /// weight-balanced by per-partition agent count (routers + endpoints),
+    /// so a locality map with uneven partition sizes still spreads compute
+    /// evenly. Deterministic — worker count never affects results, only
+    /// which thread advances which partition.
+    fn slot_ranges(&self, pool: &BspPool) -> Vec<std::ops::Range<usize>> {
+        let weights: Vec<u64> = self
+            .partitions
+            .iter()
+            .map(|p| (p.routers.len() + p.endpoints.len() + 1) as u64)
+            .collect();
+        wsdf_exec::balanced_ranges(&weights, pool.workers())
+    }
+
     /// Run the full schedule (warm-up + measurement + drain) on the
     /// process-wide executor ([`wsdf_exec::global_pool`]) and return the
     /// merged metrics. Errors out if a deadlock is detected.
@@ -831,11 +1044,12 @@ impl<O: RouteOracle> Simulation<O> {
         let warm = self.cfg.warmup_cycles;
         let meas_end = warm + self.cfg.measure_cycles;
         let total = meas_end + self.cfg.drain_cycles;
+        let ranges = self.slot_ranges(pool);
         if self.event {
             self.init_gen(pattern);
         }
         while self.now < total {
-            let (moved, in_flight) = self.step(pool, pattern, warm, meas_end, false);
+            let (moved, in_flight) = self.step(pool, pattern, &ranges, warm, meas_end, false);
             if self.update_regime(moved) {
                 // Storm over: the wheels and the emission schedule went
                 // stale while stepping densely — rebuild both.
@@ -1027,6 +1241,7 @@ impl<O: RouteOracle> Simulation<O> {
         &mut self,
         pool: &BspPool,
         pattern: &P,
+        ranges: &[std::ops::Range<usize>],
         measure_start: u64,
         measure_end: u64,
         collect_arrivals: bool,
@@ -1038,23 +1253,25 @@ impl<O: RouteOracle> Simulation<O> {
         let oracle = &self.oracle;
 
         let event = self.event && !self.storm;
-        let nparts = self.partitions.len();
-        let slots = pool.workers().min(nparts);
+        let slots = ranges.len();
         let shared = CycleShared {
             parts: self.partitions.as_mut_ptr(),
-            read: self.mail.read.as_mut_ptr(),
-            write: self.mail.write.as_mut_ptr(),
-            n: nparts,
+            read: self.exch.read.as_mut_ptr(),
+            write: self.exch.write.as_mut_ptr(),
+            written: self.exch.written.as_mut_ptr(),
+            drained: self.exch.drained.as_mut_ptr(),
+            out_start: &self.exch.out_start,
+            in_flat: &self.exch.in_flat,
+            in_start: &self.exch.in_start,
         };
         pool.broadcast(slots, |s| {
-            // Fixed contiguous slot→partition mapping: slot s always owns
-            // the same block, so its thread keeps this state cache-hot for
-            // the whole run (partition pinning).
-            let lo = s * nparts / slots;
-            let hi = (s + 1) * nparts / slots;
-            for p in lo..hi {
-                // SAFETY: the slot blocks partition 0..nparts disjointly
-                // and the broadcast joins before `shared` dies.
+            // Fixed slot→partition mapping for the whole run (weight-
+            // balanced contiguous ranges, computed once): slot s always
+            // owns the same partitions, so its thread keeps this state
+            // cache-hot for the whole run (partition pinning).
+            for p in ranges[s].clone() {
+                // SAFETY: the ranges tile 0..nparts disjointly and the
+                // broadcast joins before `shared` dies.
                 unsafe {
                     shared.run_partition(
                         p,
@@ -1074,7 +1291,7 @@ impl<O: RouteOracle> Simulation<O> {
         });
         // Two-phase swap: this cycle's write side becomes next cycle's
         // read side (the read side was fully drained above).
-        self.mail.swap();
+        self.exch.swap();
 
         self.busy_cycles += 1;
         self.now += 1;
@@ -1149,6 +1366,7 @@ impl<O: RouteOracle> Simulation<O> {
     ) -> SimResult<Metrics> {
         let idle = IdlePattern;
         let mut events: Vec<Arrival> = Vec::new();
+        let ranges = self.slot_ranges(pool);
         self.stall = 0;
         loop {
             {
@@ -1177,19 +1395,25 @@ impl<O: RouteOracle> Simulation<O> {
                 driver.pre_cycle(*now, &mut inj);
             }
             let cycle = self.now;
-            let (moved, in_flight) = self.step(pool, &idle, 0, u64::MAX, true);
+            let (moved, in_flight) = self.step(pool, &idle, &ranges, 0, u64::MAX, true);
             if self.update_regime(moved) {
                 // No open-loop schedule to re-arm here: the driver owns
                 // injection, and reseed re-wakes its queued submissions.
                 self.reseed();
             }
-            // Drain this cycle's arrival events in partition order — the
-            // concatenation reproduces ascending-router order for any
-            // partition count (partitions are contiguous router blocks).
+            // Drain this cycle's arrival events and put them in canonical
+            // order: ascending ejecting-router id, ties preserving each
+            // router's own ejection sequence (the stable sort keeps the
+            // within-partition order, which is ascending-local-router and
+            // therefore ascending-global within any one partition). This
+            // reproduces the single-partition dense order for *any*
+            // router→partition assignment, contiguous or not.
             events.clear();
             for p in &mut self.partitions {
                 events.append(&mut p.arrivals);
             }
+            let ep_router = &self.ep_router;
+            events.sort_by_key(|a| ep_router[a.dst as usize]);
             driver.on_arrivals(cycle, &events);
             if in_flight == 0 && self.backlog() == 0 && driver.done() {
                 break;
@@ -1370,7 +1594,11 @@ impl TrafficPattern for IdlePattern {
 ///
 /// `routers` is the *live* router count: under a [`FaultMap`] dead routers
 /// contribute no compute, so they must not count toward the ≥256 guard.
-fn effective_partitions(requested: usize, routers: usize, workers: usize) -> usize {
+///
+/// Public so callers that build an explicit [`SimConfig::partition_map`]
+/// (e.g. with `wsdf_topo::locality_partition`) can resolve the same count
+/// the engine would have picked on its own.
+pub fn effective_partitions(requested: usize, routers: usize, workers: usize) -> usize {
     let n = if requested == 0 {
         // Don't over-partition small networks: ≥ 256 routers per partition.
         workers.min(routers / 256 + 1)

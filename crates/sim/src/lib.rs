@@ -58,8 +58,8 @@ pub mod wake;
 pub use channel::{ChannelClass, ChannelDesc, ChannelId, RingFull, Terminus, TimedRing};
 pub use config::SimConfig;
 pub use engine::{
-    simulate, simulate_dyn, simulate_faulted_on, simulate_on, Injector, SimError, SimResult,
-    Simulation, WorkloadDriver,
+    effective_partitions, simulate, simulate_dyn, simulate_faulted_on, simulate_on, ExchangeEdge,
+    Injector, SimError, SimResult, Simulation, WorkloadDriver,
 };
 pub use fault::FaultMap;
 pub use flit::{Flit, FlitKind, PacketHeader};

@@ -80,8 +80,11 @@ pub enum FlitTarget {
     Local(u32),
     /// Flit queue owned by another partition; route via mailbox.
     Remote {
-        /// Owning partition.
-        part: u32,
+        /// Out-edge slot within the emitting partition's outbox range of
+        /// the sparse exchange (compiled from the partition adjacency
+        /// graph; `u32::MAX` sentinel for dead channels, which assert
+        /// before emission).
+        slot: u32,
         /// Global channel id (owner resolves its own local index).
         ch: u32,
     },
@@ -94,8 +97,9 @@ pub enum CreditTarget {
     Local(u32),
     /// Credit queue owned by another partition.
     Remote {
-        /// Owning partition.
-        part: u32,
+        /// Out-edge slot within the emitting partition's outbox range
+        /// (see [`FlitTarget::Remote`]).
+        slot: u32,
         /// Global channel id.
         ch: u32,
     },
@@ -174,7 +178,9 @@ pub struct CycleCtx<'a> {
     pub flit_qs: &'a mut [TimedRing<Flit>],
     /// Credit queues owned by this partition.
     pub credit_qs: &'a mut [TimedRing<u8>],
-    /// Outgoing mailboxes, one per destination partition.
+    /// Outgoing mailboxes, one per out-edge of this partition in the
+    /// sparse partition adjacency graph (indexed by the compiled
+    /// [`FlitTarget::Remote`]/[`CreditTarget::Remote`] slot).
     pub outboxes: &'a mut [Vec<Msg>],
     /// Partition-local metrics.
     pub metrics: &'a mut Metrics,
@@ -222,7 +228,7 @@ pub struct CycleCtx<'a> {
 
 impl CycleCtx<'_> {
     #[inline]
-    fn emit(&mut self, part: u32, msg: Msg) {
+    fn emit(&mut self, slot: u32, msg: Msg) {
         // Tracked even on dense cycles: a storm interval's final cycle
         // leaves its emissions undelivered in the mailboxes, and the first
         // post-storm jump must not overshoot them.
@@ -230,7 +236,7 @@ impl CycleCtx<'_> {
             Msg::Flit { arrive, .. } | Msg::Credit { arrive, .. } => *arrive,
         };
         *self.out_min = (*self.out_min).min(arrive);
-        self.outboxes[part as usize].push(msg);
+        self.outboxes[slot as usize].push(msg);
     }
 
     /// Push a flit into a locally owned ring and wake its consumer.
@@ -653,8 +659,8 @@ impl RouterRt {
         let credit_arrive = ctx.now + pin.credit_latency as u64;
         match pin.credit_to {
             CreditTarget::Local(q) => ctx.push_credit(q, credit_arrive, in_vc),
-            CreditTarget::Remote { part, ch } => ctx.emit(
-                part,
+            CreditTarget::Remote { slot, ch } => ctx.emit(
+                slot,
                 Msg::Credit {
                     ch,
                     arrive: credit_arrive,
@@ -675,8 +681,8 @@ impl RouterRt {
             let stamped = stamp_vc(flit, rc.out_vc);
             match pout.flit_to {
                 FlitTarget::Local(q) => ctx.push_flit(q, arrive, stamped),
-                FlitTarget::Remote { part, ch } => ctx.emit(
-                    part,
+                FlitTarget::Remote { slot, ch } => ctx.emit(
+                    slot,
                     Msg::Flit {
                         ch,
                         arrive,
@@ -1015,8 +1021,8 @@ impl EndpointRt {
             let stamped = stamp_vc(flit, vc);
             match self.inj_to {
                 FlitTarget::Local(q) => ctx.push_flit(q, arrive, stamped),
-                FlitTarget::Remote { part, ch } => ctx.emit(
-                    part,
+                FlitTarget::Remote { slot, ch } => ctx.emit(
+                    slot,
                     Msg::Flit {
                         ch,
                         arrive,

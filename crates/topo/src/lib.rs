@@ -13,6 +13,9 @@
 //!   all-to-all local wiring inside W-groups, palmtree global wiring.
 //! * [`switchbased`] — the traditional switch-based Dragonfly baseline
 //!   (Kim et al. / Slingshot-style) with ideal single-router switches.
+//! * [`partition`] — locality-aware BSP partition assignment (greedy BFS
+//!   growth + KL/FM boundary refinement minimizing cut channels under a
+//!   router-count balance bound).
 //!
 //! ## Router/port conventions
 //!
@@ -27,12 +30,16 @@
 pub mod address;
 pub mod fault;
 pub mod mesh;
+pub mod partition;
 pub mod switchbased;
 pub mod switchless;
 
 pub use address::{RingPos, SlParams, SwParams};
 pub use fault::{FaultSchedule, FaultSet, FaultSpec};
 pub use mesh::{single_mesh, single_switch, MeshFabric, SwitchNode};
+pub use partition::{
+    contiguous_blocks, cut_channels, locality_partition, partition_stats, PartitionStats,
+};
 pub use switchbased::SwitchFabric;
 pub use switchless::SwitchlessFabric;
 

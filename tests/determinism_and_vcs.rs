@@ -174,6 +174,86 @@ fn determinism_matrix_partitions_x_workers() {
     }
 }
 
+/// Explicit router→partition maps are invisible: on both families and
+/// both stepping modes, the bench default (the locality partitioner), an
+/// explicit contiguous-blocks map, and an explicit locality map must all
+/// reproduce the sequential baseline bit-for-bit at partition counts
+/// {2, 4} × worker counts {1, 4}. This is the assignment-freedom half of
+/// the BSP contract: `partitions_bit_identical_on_both_topologies` varies
+/// the partition *count*, this test varies the *assignment* (and routes
+/// it through the sparse exchange in a different adjacency every time).
+#[test]
+fn partition_maps_bit_identical() {
+    use std::sync::Arc;
+    use wsdf::exec::BspPool;
+    use wsdf::topo::{contiguous_blocks, locality_partition};
+    let pools: Vec<BspPool> = [1usize, 4].into_iter().map(BspPool::new).collect();
+    let benches: Vec<(&str, Bench, f64)> = vec![
+        (
+            "switchless",
+            Bench::switchless(
+                &SlParams::radix16().with_wgroups(2),
+                RouteMode::Minimal,
+                VcScheme::Baseline,
+            ),
+            0.12,
+        ),
+        (
+            "switchbased",
+            Bench::switchbased(&SwParams::radix16().with_groups(3), RouteMode::Minimal),
+            0.25,
+        ),
+    ];
+    let quick = |parts: usize, event: bool| SimConfig {
+        warmup_cycles: 100,
+        measure_cycles: 200,
+        drain_cycles: 100,
+        partitions: parts,
+        event_driven: event,
+        ..Default::default()
+    };
+    for (name, bench, rate) in benches {
+        let net = bench.fabric.net();
+        let pattern = bench.pattern(PatternSpec::Uniform, rate);
+        for event in [false, true] {
+            let base = bench
+                .run_on(&quick(1, event), pattern.as_ref(), &pools[0])
+                .unwrap();
+            assert!(base.packets_ejected > 0, "{name}: no traffic delivered");
+            for parts in [2usize, 4] {
+                let maps: Vec<(&str, Option<Vec<u32>>)> = vec![
+                    ("default", None),
+                    ("blocks", Some(contiguous_blocks(net, parts))),
+                    ("locality", Some(locality_partition(net, parts, None))),
+                ];
+                for (scheme, map) in maps {
+                    for pool in &pools {
+                        let w = pool.workers();
+                        let mut c = quick(parts, event);
+                        c.partition_map = map.clone().map(Arc::new);
+                        let m = bench.run_on(&c, pattern.as_ref(), pool).unwrap();
+                        let tag = format!("{name} ev={event} p={parts} map={scheme} w={w}");
+                        assert_eq!(m.packets_created, base.packets_created, "{tag}");
+                        assert_eq!(m.packets_ejected, base.packets_ejected, "{tag}");
+                        assert_eq!(m.latency_sum, base.latency_sum, "{tag}");
+                        assert_eq!(m.latency_max, base.latency_max, "{tag}");
+                        assert_eq!(
+                            m.flits_injected_measured, base.flits_injected_measured,
+                            "{tag}"
+                        );
+                        assert_eq!(
+                            m.flits_ejected_measured, base.flits_ejected_measured,
+                            "{tag}"
+                        );
+                        assert_eq!(m.class_hops.flit_hops, base.class_hops.flit_hops, "{tag}");
+                        assert_eq!(m.latency_hist, base.latency_hist, "{tag}");
+                    }
+                }
+            }
+        }
+    }
+}
+
 /// The adaptive bisection sweep must be bit-identical across partition
 /// counts {1, 2, 4} on both topology families: the driver's rate
 /// decisions depend only on merged metrics, which the BSP contract makes
