@@ -1,9 +1,11 @@
 //! The reproduction harness: regenerates every table and figure of the
 //! paper's evaluation, plus the closed-loop collective and fault-injection
-//! resilience suites.
+//! resilience suites, and runs declarative scenario files.
 //!
 //! ```text
 //! repro <target> [--smoke|--full] [--json DIR]
+//! repro scenario <file> [--check] [--json DIR]
+//! repro corpus [--update] [--json DIR]
 //! repro --list
 //! ```
 //!
@@ -15,7 +17,8 @@
 //! registered target runnable.
 
 use std::io::Write;
-use wsdf_bench::targets::{listing, run_target};
+use wsdf_bench::scenario::{run_corpus, run_scenario_file};
+use wsdf_bench::targets::{listing, run_target, suggest};
 use wsdf_bench::Effort;
 
 fn main() {
@@ -24,9 +27,11 @@ fn main() {
         usage();
         std::process::exit(2);
     }
-    let mut target = None;
+    let mut positionals: Vec<String> = Vec::new();
     let mut effort = Effort::Standard;
     let mut json_dir: Option<String> = None;
+    let mut check = false;
+    let mut update = false;
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -36,6 +41,8 @@ fn main() {
             }
             "--smoke" => effort = Effort::Smoke,
             "--full" => effort = Effort::Full,
+            "--check" => check = true,
+            "--update" => update = true,
             "--json" => match it.next() {
                 Some(d) => json_dir = Some(d.clone()),
                 None => {
@@ -43,22 +50,78 @@ fn main() {
                     std::process::exit(2);
                 }
             },
-            t if target.is_none() => target = Some(t.to_string()),
-            other => {
+            other if other.starts_with("--") => {
                 eprintln!("unexpected argument: {other}");
                 std::process::exit(2);
             }
+            t => positionals.push(t.to_string()),
         }
     }
-    let Some(target) = target else {
+    let Some(target) = positionals.first().cloned() else {
         usage();
         std::process::exit(2);
     };
+    if check && target != "scenario" {
+        eprintln!("--check only applies to 'repro scenario <file>'");
+        std::process::exit(2);
+    }
+    if update && target != "corpus" {
+        eprintln!("--update only applies to 'repro corpus'");
+        std::process::exit(2);
+    }
 
-    // Build the process-wide BSP executor up front: every figure/table
-    // simulation below reuses these workers instead of creating threads.
+    // Build the process-wide BSP executor up front: every simulation
+    // below reuses these workers instead of creating threads.
     let pool = wsdf::exec::global_pool();
     eprintln!("repro: BSP executor with {} worker(s)", pool.workers());
+
+    // Parameterized targets: scenario files pin their own simulation
+    // windows, so the effort flags do not apply.
+    match target.as_str() {
+        "scenario" => {
+            let [_, file] = positionals.as_slice() else {
+                eprintln!("usage: repro scenario <file> [--check] [--json DIR]");
+                std::process::exit(2);
+            };
+            match run_scenario_file(file, check) {
+                Ok(out) => {
+                    print!("{}", out.text);
+                    write_artifacts(&json_dir, &out.json);
+                }
+                Err(e) => {
+                    eprintln!("scenario failed: {e}");
+                    std::process::exit(1);
+                }
+            }
+            return;
+        }
+        "corpus" => {
+            if positionals.len() > 1 {
+                eprintln!("usage: repro corpus [--update] [--json DIR]");
+                std::process::exit(2);
+            }
+            match run_corpus(update) {
+                Ok(run) => {
+                    print!("{}", run.output.text);
+                    write_artifacts(&json_dir, &run.output.json);
+                    if run.failures > 0 {
+                        eprintln!("corpus: {} digest failure(s)", run.failures);
+                        std::process::exit(1);
+                    }
+                }
+                Err(e) => {
+                    eprintln!("corpus failed: {e}");
+                    std::process::exit(1);
+                }
+            }
+            return;
+        }
+        _ => {}
+    }
+    if positionals.len() > 1 {
+        eprintln!("unexpected argument: {}", positionals[1]);
+        std::process::exit(2);
+    }
 
     // Stream aggregates member by member: each target's text and JSON
     // land as soon as it finishes, so a panic in a later member (e.g. a
@@ -69,7 +132,11 @@ fn main() {
     };
     for name in &members {
         let Some(out) = run_target(name, effort) else {
-            eprintln!("unknown target: {name}\n");
+            eprintln!("unknown target: {name}");
+            if let Some(s) = suggest(name) {
+                eprintln!("did you mean '{s}'?");
+            }
+            eprintln!();
             eprint!("{}", listing());
             std::process::exit(2);
         };
@@ -78,6 +145,14 @@ fn main() {
             for (id, json) in &out.json {
                 write_json(dir, id, json);
             }
+        }
+    }
+}
+
+fn write_artifacts(json_dir: &Option<String>, artifacts: &[(String, String)]) {
+    if let Some(dir) = json_dir {
+        for (id, json) in artifacts {
+            write_json(dir, id, json);
         }
     }
 }
@@ -91,6 +166,9 @@ fn write_json(dir: &str, id: &str, json: &str) {
 }
 
 fn usage() {
-    eprintln!("usage: repro <target> [--smoke|--full] [--json DIR]  |  repro --list\n");
+    eprintln!(
+        "usage: repro <target> [--smoke|--full] [--json DIR]  |  \
+         repro scenario <file> [--check]  |  repro corpus [--update]  |  repro --list\n"
+    );
     eprint!("{}", listing());
 }

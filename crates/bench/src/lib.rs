@@ -9,6 +9,7 @@ pub mod collectives;
 pub mod figures;
 pub mod partition_stats;
 pub mod resilience;
+pub mod scenario;
 pub mod tables;
 pub mod targets;
 

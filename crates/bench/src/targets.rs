@@ -253,6 +253,19 @@ pub const AGGREGATES: &[(&str, &str)] = &[
     ("all", "Everything above"),
 ];
 
+/// Targets that take their own arguments, dispatched by the binary
+/// outside the `fn(Effort)` table (see [`crate::scenario`]).
+pub const PARAM_TARGETS: &[(&str, &str)] = &[
+    (
+        "scenario",
+        "Run one scenario file: repro scenario <file> [--check]",
+    ),
+    (
+        "corpus",
+        "Golden scenario corpus digests: repro corpus [--update]",
+    ),
+];
+
 /// Look up a leaf target by name.
 pub fn find(name: &str) -> Option<&'static Target> {
     TARGETS.iter().find(|t| t.name == name)
@@ -276,8 +289,66 @@ pub fn listing() -> String {
     for t in TARGETS {
         s.push_str(&format!("  {:<12} {}\n", t.name, t.desc));
     }
-    for (name, desc) in AGGREGATES {
+    for (name, desc) in AGGREGATES.iter().chain(PARAM_TARGETS) {
         s.push_str(&format!("  {name:<12} {desc}\n"));
     }
     s
+}
+
+/// Levenshtein edit distance; small inputs only (target names).
+fn edit_distance(a: &str, b: &str) -> usize {
+    let a: Vec<char> = a.chars().collect();
+    let b: Vec<char> = b.chars().collect();
+    let mut prev: Vec<usize> = (0..=b.len()).collect();
+    for (i, ca) in a.iter().enumerate() {
+        let mut row = vec![i + 1];
+        for (j, cb) in b.iter().enumerate() {
+            let sub = prev[j] + usize::from(ca != cb);
+            row.push(sub.min(prev[j + 1] + 1).min(row[j] + 1));
+        }
+        prev = row;
+    }
+    prev[b.len()]
+}
+
+/// The nearest registered target name (leaf, aggregate, or
+/// parameterized) within edit distance 2, for "did you mean" hints on
+/// unknown targets. Ties resolve to the first registered name.
+pub fn suggest(name: &str) -> Option<&'static str> {
+    let candidates = TARGETS
+        .iter()
+        .map(|t| t.name)
+        .chain(AGGREGATES.iter().map(|(n, _)| *n))
+        .chain(PARAM_TARGETS.iter().map(|(n, _)| *n));
+    candidates
+        .map(|n| (edit_distance(name, n), n))
+        .min_by_key(|(d, _)| *d)
+        .filter(|(d, _)| *d <= 2 && *d < name.len())
+        .map(|(_, n)| n)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn edit_distance_is_levenshtein() {
+        assert_eq!(edit_distance("", ""), 0);
+        assert_eq!(edit_distance("fig11", "fig11"), 0);
+        assert_eq!(edit_distance("fig11", "fig12"), 1);
+        assert_eq!(edit_distance("kitten", "sitting"), 3);
+        assert_eq!(edit_distance("corpus", ""), 6);
+    }
+
+    #[test]
+    fn unknown_targets_get_a_nearby_suggestion() {
+        assert_eq!(suggest("scenaro"), Some("scenario"));
+        assert_eq!(suggest("corpse"), Some("corpus"));
+        assert_eq!(suggest("talbe1"), Some("table1"));
+        assert_eq!(suggest("resilence"), Some("resilience"));
+        assert_eq!(suggest("figures"), Some("figures"));
+        // Nothing close: stay silent rather than mislead.
+        assert_eq!(suggest("zzzzzzzz"), None);
+        assert_eq!(suggest("x"), None);
+    }
 }

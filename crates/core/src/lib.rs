@@ -53,10 +53,15 @@
 
 pub mod bench;
 pub mod collective;
-pub mod json;
 pub mod report;
 pub mod resilience;
+pub mod scenario;
 pub mod sweep;
+
+// The hand-rolled JSON layer lives in `wsdf-sim` (the lowest crate, so
+// topology/workload specs can offer `from_json` constructors without a
+// dependency cycle); re-exported here under its historical path.
+pub use wsdf_sim::json;
 
 pub use bench::{Bench, BenchFaults, BenchOracle, Fabric, LivePattern, PatternSpec};
 pub use collective::{
@@ -66,9 +71,10 @@ pub use report::{Curve, Figure, Point};
 pub use resilience::{
     resilience_sweep, resilience_sweep_on, ResilienceConfig, ResiliencePoint, ResilienceReport,
 };
+pub use scenario::{Scenario, ScenarioOutcome};
 pub use sweep::{
-    adaptive_sweep, saturation_rate, sweep, sweep_on, AdaptiveConfig, SaturationReport,
-    SweepConfig, SweepPoint,
+    adaptive_sweep, adaptive_sweep_on, saturation_rate, sweep, sweep_on, AdaptiveConfig,
+    SaturationReport, SweepConfig, SweepPoint,
 };
 pub use wsdf_workload::Workload;
 

@@ -340,10 +340,22 @@ const ANCHOR_SLACK: f64 = 1.5;
 /// therefore deterministic too (covered by the determinism matrix in
 /// `tests/determinism_and_vcs.rs`).
 pub fn adaptive_sweep(bench: &Bench, cfg: &AdaptiveConfig, spec: PatternSpec) -> SaturationReport {
+    adaptive_sweep_on(bench, cfg, spec, wsdf_exec::global_pool())
+}
+
+/// [`adaptive_sweep`] on an explicit [`BspPool`] executor (results are
+/// pool-size independent; used by the scenario runner to pin worker
+/// counts for digest reproducibility).
+pub fn adaptive_sweep_on(
+    bench: &Bench,
+    cfg: &AdaptiveConfig,
+    spec: PatternSpec,
+    pool: &BspPool,
+) -> SaturationReport {
     assert!(cfg.growth > 1.0, "growth must be > 1");
     assert!(cfg.start_chip > 0.0, "start_chip must be > 0");
     assert!(cfg.rel_tol > 0.0, "rel_tol must be > 0");
-    let mut driver = SweepDriver::new(bench, &cfg.base, spec, wsdf_exec::global_pool());
+    let mut driver = SweepDriver::new(bench, &cfg.base, spec, pool);
     let budget = cfg.max_points.max(3);
     let mut points: Vec<SweepPoint> = Vec::new();
 

@@ -41,3 +41,39 @@ pub enum RouteMode {
     /// W-group/group for every inter-group packet.
     Valiant,
 }
+
+impl RouteMode {
+    /// Stable lowercase name used by scenario files and reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            RouteMode::Minimal => "minimal",
+            RouteMode::Valiant => "valiant",
+        }
+    }
+
+    /// Inverse of [`RouteMode::name`].
+    pub fn from_name(s: &str) -> Option<Self> {
+        match s {
+            "minimal" => Some(RouteMode::Minimal),
+            "valiant" => Some(RouteMode::Valiant),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::{RouteMode, VcScheme};
+
+    #[test]
+    fn mode_and_scheme_names_round_trip() {
+        for m in [RouteMode::Minimal, RouteMode::Valiant] {
+            assert_eq!(RouteMode::from_name(m.name()), Some(m));
+        }
+        for s in [VcScheme::Baseline, VcScheme::Reduced] {
+            assert_eq!(VcScheme::from_name(s.name()), Some(s));
+        }
+        assert_eq!(RouteMode::from_name("Minimal"), None);
+        assert_eq!(VcScheme::from_name(""), None);
+    }
+}

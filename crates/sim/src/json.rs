@@ -1,11 +1,14 @@
-//! Minimal JSON support for the report types.
+//! Minimal JSON support for reports, baselines, and scenario files.
 //!
 //! The build environment is offline, so instead of `serde`/`serde_json`
-//! the harness hand-rolls the small amount of JSON it needs: a writer
-//! (string escaping + number formatting helpers used by
-//! [`crate::report`]) and a tiny recursive-descent parser returning a
-//! dynamic [`Value`], enough to read figure files back in tests and
-//! downstream tooling.
+//! the workspace hand-rolls the small amount of JSON it needs: a writer
+//! (string escaping + number formatting helpers used by the report
+//! types in `wsdf`), a tiny recursive-descent parser returning a dynamic
+//! [`Value`], and a canonical-digest helper ([`digest_hex`]) for the
+//! golden scenario corpus. The module lives in `wsdf-sim` — the lowest
+//! crate of the workspace — so topology, workload, and routing specs can
+//! offer `from_json` constructors without a dependency cycle; `wsdf`
+//! re-exports it as `wsdf::json`.
 
 /// A parsed JSON value.
 #[derive(Debug, Clone, PartialEq)]
@@ -106,6 +109,147 @@ pub fn num(x: f64) -> String {
         format!("{x}")
     } else {
         "null".into()
+    }
+}
+
+/// 64-bit FNV-1a hash of a byte string.
+///
+/// The corpus digest primitive: dependency-free, stable across platforms
+/// and releases, and cheap enough to hash every report of a regression
+/// fleet. Not cryptographic — it pins *accidental* drift, not adversaries.
+pub fn fnv1a_64(bytes: &[u8]) -> u64 {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut h = OFFSET;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(PRIME);
+    }
+    h
+}
+
+/// Canonical digest of a report document: `fnv64:` + 16 lowercase hex
+/// digits of [`fnv1a_64`] over the exact bytes.
+///
+/// Two reports have equal digests iff their serialized bytes are equal,
+/// so the digest contract is exactly the writers' canonical form: stable
+/// field order and [`num`] float formatting.
+pub fn digest_hex(text: &str) -> String {
+    format!("fnv64:{:016x}", fnv1a_64(text.as_bytes()))
+}
+
+/// Shared readers for schema-checked `from_json` constructors.
+///
+/// Every helper takes the JSON `path` of the value being read (e.g.
+/// `scenario.faults.spec`) and produces errors of the shape
+/// `<path>.<key>: <what was expected>` — the precise-error-path contract
+/// of the scenario frontend. The topology/workload/routing crates and the
+/// `wsdf::scenario` module all build on these, so the phrasing cannot
+/// drift between schemas.
+pub mod read {
+    use super::Value;
+
+    /// The members of an object, or `"<path>: expected object"`.
+    pub fn obj<'a>(v: &'a Value, path: &str) -> Result<&'a [(String, Value)], String> {
+        match v {
+            Value::Obj(members) => Ok(members),
+            _ => Err(format!("{path}: expected object")),
+        }
+    }
+
+    /// Reject members outside `allowed` (`"<path>.<key>: unknown key"`)
+    /// and duplicated keys. Call once per object schema so typos fail
+    /// loudly instead of silently falling back to defaults.
+    pub fn check_keys(v: &Value, path: &str, allowed: &[&str]) -> Result<(), String> {
+        let members = obj(v, path)?;
+        for (i, (k, _)) in members.iter().enumerate() {
+            if !allowed.contains(&k.as_str()) {
+                return Err(format!("{path}.{k}: unknown key"));
+            }
+            if members[..i].iter().any(|(prev, _)| prev == k) {
+                return Err(format!("{path}.{k}: duplicate key"));
+            }
+        }
+        Ok(())
+    }
+
+    /// Required member of an object.
+    pub fn req<'a>(v: &'a Value, path: &str, key: &str) -> Result<&'a Value, String> {
+        obj(v, path)?;
+        v.get(key)
+            .ok_or_else(|| format!("{path}.{key}: missing required key"))
+    }
+
+    /// Required string member.
+    pub fn str_field<'a>(v: &'a Value, path: &str, key: &str) -> Result<&'a str, String> {
+        req(v, path, key)?
+            .as_str()
+            .ok_or_else(|| format!("{path}.{key}: expected string"))
+    }
+
+    /// Required finite-number member.
+    pub fn f64_field(v: &Value, path: &str, key: &str) -> Result<f64, String> {
+        match req(v, path, key)? {
+            Value::Num(x) => Ok(*x),
+            _ => Err(format!("{path}.{key}: expected number")),
+        }
+    }
+
+    /// Optional finite-number member.
+    pub fn opt_f64_field(v: &Value, path: &str, key: &str) -> Result<Option<f64>, String> {
+        match v.get(key) {
+            None => Ok(None),
+            Some(Value::Num(x)) => Ok(Some(*x)),
+            Some(_) => Err(format!("{path}.{key}: expected number")),
+        }
+    }
+
+    /// Required non-negative-integer member (stored as a JSON number).
+    pub fn u64_field(v: &Value, path: &str, key: &str) -> Result<u64, String> {
+        as_u64(req(v, path, key)?)
+            .ok_or_else(|| format!("{path}.{key}: expected non-negative integer"))
+    }
+
+    /// Optional non-negative-integer member; `default` when absent.
+    pub fn u64_or(v: &Value, path: &str, key: &str, default: u64) -> Result<u64, String> {
+        match v.get(key) {
+            None => Ok(default),
+            Some(m) => {
+                as_u64(m).ok_or_else(|| format!("{path}.{key}: expected non-negative integer"))
+            }
+        }
+    }
+
+    /// Required array member.
+    pub fn arr_field<'a>(v: &'a Value, path: &str, key: &str) -> Result<&'a [Value], String> {
+        req(v, path, key)?
+            .as_arr()
+            .ok_or_else(|| format!("{path}.{key}: expected array"))
+    }
+
+    /// A JSON number as a non-negative integer, if it is one.
+    pub fn as_u64(v: &Value) -> Option<u64> {
+        match v {
+            Value::Num(x)
+                if x.is_finite() && *x >= 0.0 && x.fract() == 0.0 && *x <= u64::MAX as f64 =>
+            {
+                Some(*x as u64)
+            }
+            _ => None,
+        }
+    }
+
+    /// An array member holding non-negative integers (`"<path>.<key>[i]:
+    /// expected non-negative integer"` on the first offender).
+    pub fn u32_list(v: &Value, path: &str, key: &str) -> Result<Vec<u32>, String> {
+        let mut out = Vec::new();
+        for (i, item) in arr_field(v, path, key)?.iter().enumerate() {
+            let x = as_u64(item)
+                .filter(|&x| x <= u32::MAX as u64)
+                .ok_or_else(|| format!("{path}.{key}[{i}]: expected non-negative integer"))?;
+            out.push(x as u32);
+        }
+        Ok(out)
     }
 }
 
@@ -344,6 +488,16 @@ mod tests {
         // BMP escapes still work.
         let v = Value::parse(r#""é""#).unwrap();
         assert_eq!(v.as_str(), Some("é"));
+    }
+
+    #[test]
+    fn digest_is_stable_and_content_sensitive() {
+        // Pinned reference value: the digest contract must never drift
+        // silently, or every committed corpus digest goes stale at once.
+        assert_eq!(fnv1a_64(b""), 0xcbf29ce484222325);
+        assert_eq!(digest_hex("{}"), format!("fnv64:{:016x}", fnv1a_64(b"{}")));
+        assert_ne!(digest_hex("{\"a\": 1}"), digest_hex("{\"a\": 2}"));
+        assert_eq!(digest_hex("x"), digest_hex("x"));
     }
 
     #[test]

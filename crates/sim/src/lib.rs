@@ -47,6 +47,7 @@ pub mod config;
 pub mod engine;
 pub mod fault;
 pub mod flit;
+pub mod json;
 pub mod metrics;
 pub mod network;
 pub mod oracle;

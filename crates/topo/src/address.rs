@@ -4,6 +4,12 @@
 //! a ring position, endpoint of a node, peer of a local/global port) is pure
 //! arithmetic — no tables. This is what lets the routing oracles stay
 //! allocation-free on the hot path.
+//!
+//! Both parameter structs round-trip through JSON (`to_json`/`from_json`,
+//! built on `wsdf_sim::json`) so scenario files can bind a topology either
+//! by paper preset (`"preset": "radix16"`) or field by field.
+
+use wsdf_sim::json::{self, read, Value};
 
 /// Perimeter ring position of an m×m mesh, clockwise from the top-left
 /// corner: along the top row (+x), down the right column (−y), along the
@@ -16,7 +22,7 @@ pub struct RingPos(pub u16);
 /// The external port count is fixed at the perimeter size `k = 4m − 4`,
 /// which is exactly the paper's configurations (m=4 → k=12 "radix-16
 /// equivalent", m=7 → k=24 "radix-32 equivalent").
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct SlParams {
     /// C-groups per wafer (`a`).
     pub a: u32,
@@ -174,6 +180,94 @@ impl SlParams {
             return Err("mesh_width must be 1, 2 or 4".into());
         }
         Ok(())
+    }
+
+    /// Canonical one-line JSON form: every field explicit, preset-free, in
+    /// declaration order. `from_json(to_json(p)) == p` for any valid `p`.
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"a\": {}, \"b\": {}, \"m\": {}, \"chiplet\": {}, \"wgroups\": {}, \
+             \"mesh_width\": {}, \"nodes_per_chip\": {}}}",
+            self.a,
+            self.b,
+            self.m,
+            self.chiplet,
+            self.wgroups,
+            self.mesh_width,
+            json::num(self.nodes_per_chip)
+        )
+    }
+
+    /// Parse switch-less parameters from a JSON object at `path` (for
+    /// error messages). Accepts an optional `"preset"` (`"radix16"` /
+    /// `"radix32"`) as the starting point, with any individual field as an
+    /// override; without a preset, `a`, `b`, `m` and `chiplet` are
+    /// required (`wgroups` defaults to the maximum, `mesh_width` to 1,
+    /// `nodes_per_chip` to `chiplet²`). The result is validated.
+    pub fn from_json(v: &Value, path: &str) -> Result<Self, String> {
+        read::check_keys(
+            v,
+            path,
+            &[
+                "preset",
+                "a",
+                "b",
+                "m",
+                "chiplet",
+                "wgroups",
+                "mesh_width",
+                "nodes_per_chip",
+            ],
+        )?;
+        let preset = match v.get("preset") {
+            None => None,
+            Some(p) => match p.as_str() {
+                Some("radix16") => Some(SlParams::radix16()),
+                Some("radix32") => Some(SlParams::radix32()),
+                _ => {
+                    return Err(format!(
+                        "{path}.preset: expected \"radix16\" or \"radix32\""
+                    ))
+                }
+            },
+        };
+        let u32f = |key: &str, dflt: Option<u32>| -> Result<u32, String> {
+            match (v.get(key), dflt) {
+                (None, Some(d)) => Ok(d),
+                (None, None) => Err(format!("{path}.{key}: missing required key")),
+                (Some(_), _) => {
+                    let x = read::u64_field(v, path, key)?;
+                    u32::try_from(x)
+                        .map_err(|_| format!("{path}.{key}: expected non-negative integer"))
+                }
+            }
+        };
+        let mut p = SlParams {
+            a: u32f("a", preset.map(|p| p.a))?,
+            b: u32f("b", preset.map(|p| p.b))?,
+            m: u32f("m", preset.map(|p| p.m))?,
+            chiplet: u32f("chiplet", preset.map(|p| p.chiplet))?,
+            wgroups: u32f("wgroups", preset.map(|p| p.wgroups).or(Some(0)))?,
+            mesh_width: {
+                let w = u32f(
+                    "mesh_width",
+                    preset.map(|p| p.mesh_width as u32).or(Some(1)),
+                )?;
+                u8::try_from(w).map_err(|_| format!("{path}.mesh_width: expected 1, 2 or 4"))?
+            },
+            nodes_per_chip: 0.0,
+        };
+        p.nodes_per_chip = match read::opt_f64_field(v, path, "nodes_per_chip")? {
+            Some(x) => x,
+            None => preset
+                .map(|p| p.nodes_per_chip)
+                .unwrap_or((p.chiplet * p.chiplet) as f64),
+        };
+        if p.wgroups == 0 {
+            p.wgroups = p.max_wgroups();
+        }
+        p.validate().map_err(|e| format!("{path}: {e}"))?;
+        Ok(p)
     }
 
     // ---- address arithmetic -------------------------------------------
@@ -352,7 +446,7 @@ pub enum PortRole {
 }
 
 /// Parameters of the switch-based Dragonfly baseline.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct SwParams {
     /// Terminals per switch (`t`).
     pub terminals: u32,
@@ -439,6 +533,61 @@ impl SwParams {
             return Err("radix exceeds engine port limit (64)".into());
         }
         Ok(())
+    }
+
+    /// Canonical one-line JSON form: every field explicit, preset-free.
+    /// `from_json(to_json(p)) == p` for any valid `p`.
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"terminals\": {}, \"locals\": {}, \"globals\": {}, \"groups\": {}}}",
+            self.terminals, self.locals, self.globals, self.groups
+        )
+    }
+
+    /// Parse switch-based parameters from a JSON object at `path`.
+    /// Mirrors [`SlParams::from_json`]: optional `"preset"` plus field
+    /// overrides, or all of `terminals`/`locals`/`globals` explicit
+    /// (`groups` defaults to the maximum). The result is validated.
+    pub fn from_json(v: &Value, path: &str) -> Result<Self, String> {
+        read::check_keys(
+            v,
+            path,
+            &["preset", "terminals", "locals", "globals", "groups"],
+        )?;
+        let preset = match v.get("preset") {
+            None => None,
+            Some(p) => match p.as_str() {
+                Some("radix16") => Some(SwParams::radix16()),
+                Some("radix32") => Some(SwParams::radix32()),
+                _ => {
+                    return Err(format!(
+                        "{path}.preset: expected \"radix16\" or \"radix32\""
+                    ))
+                }
+            },
+        };
+        let u32f = |key: &str, dflt: Option<u32>| -> Result<u32, String> {
+            match (v.get(key), dflt) {
+                (None, Some(d)) => Ok(d),
+                (None, None) => Err(format!("{path}.{key}: missing required key")),
+                (Some(_), _) => {
+                    let x = read::u64_field(v, path, key)?;
+                    u32::try_from(x)
+                        .map_err(|_| format!("{path}.{key}: expected non-negative integer"))
+                }
+            }
+        };
+        let mut p = SwParams {
+            terminals: u32f("terminals", preset.map(|p| p.terminals))?,
+            locals: u32f("locals", preset.map(|p| p.locals))?,
+            globals: u32f("globals", preset.map(|p| p.globals))?,
+            groups: u32f("groups", preset.map(|p| p.groups).or(Some(0)))?,
+        };
+        if p.groups == 0 {
+            p.groups = p.max_groups();
+        }
+        p.validate().map_err(|e| format!("{path}: {e}"))?;
+        Ok(p)
     }
 
     /// Switch router id of (group, idx).
@@ -716,6 +865,68 @@ mod tests {
         let mut p = SwParams::radix16();
         p.groups = 99;
         assert!(p.validate().is_err());
+    }
+
+    #[test]
+    fn params_json_round_trip() {
+        for p in [
+            SlParams::radix16(),
+            SlParams::radix32(),
+            SlParams::radix16().with_wgroups(3).with_mesh_width(2),
+        ] {
+            let v = Value::parse(&p.to_json()).unwrap();
+            assert_eq!(SlParams::from_json(&v, "t").unwrap(), p);
+        }
+        for p in [SwParams::radix16(), SwParams::radix32().with_groups(5)] {
+            let v = Value::parse(&p.to_json()).unwrap();
+            assert_eq!(SwParams::from_json(&v, "t").unwrap(), p);
+        }
+    }
+
+    #[test]
+    fn params_from_json_presets_and_overrides() {
+        let v = Value::parse(r#"{"preset": "radix16", "wgroups": 2}"#).unwrap();
+        let p = SlParams::from_json(&v, "t").unwrap();
+        assert_eq!(p, SlParams::radix16().with_wgroups(2));
+        let v = Value::parse(r#"{"preset": "radix32"}"#).unwrap();
+        assert_eq!(SwParams::from_json(&v, "t").unwrap(), SwParams::radix32());
+        // Explicit form without preset: wgroups defaults to the maximum.
+        let v = Value::parse(r#"{"a": 4, "b": 2, "m": 4, "chiplet": 2}"#).unwrap();
+        let p = SlParams::from_json(&v, "t").unwrap();
+        assert_eq!(p.wgroups, p.max_wgroups());
+        assert_eq!(p.nodes_per_chip, 4.0);
+    }
+
+    #[test]
+    fn params_from_json_error_paths_are_precise() {
+        let cases: &[(&str, &str)] = &[
+            (
+                r#"{"preset": "radix99"}"#,
+                "t.preset: expected \"radix16\" or \"radix32\"",
+            ),
+            (
+                r#"{"preset": "radix16", "bogus": 1}"#,
+                "t.bogus: unknown key",
+            ),
+            (r#"{"a": 4}"#, "t.b: missing required key"),
+            (
+                r#"{"preset": "radix16", "m": -3}"#,
+                "t.m: expected non-negative integer",
+            ),
+            (
+                r#"{"preset": "radix16", "wgroups": 99}"#,
+                "t: wgroups = 99 out of range 1..=41",
+            ),
+        ];
+        for (doc, want) in cases {
+            let v = Value::parse(doc).unwrap();
+            assert_eq!(&SlParams::from_json(&v, "t").unwrap_err(), want, "{doc}");
+        }
+        let v = Value::parse(r#"{"terminals": 4}"#).unwrap();
+        assert_eq!(
+            SwParams::from_json(&v, "t").unwrap_err(),
+            "t.locals: missing required key"
+        );
     }
 
     #[test]

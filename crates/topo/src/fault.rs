@@ -26,6 +26,7 @@
 //! noise, so a sweep over fractions is monotone in failure *count*.
 
 use crate::RouterKind;
+use wsdf_sim::json::{self, read, Value};
 use wsdf_sim::{FaultMap, NetworkDesc, SplitMix64, Terminus};
 
 /// What to fail, and how. See the module docs for the determinism contract.
@@ -94,6 +95,65 @@ impl FaultSpec {
             }
         }
         Ok(())
+    }
+
+    /// Canonical one-line JSON form: every field explicit, in declaration
+    /// order. `from_json(to_json(s)) == s` for any valid spec.
+    pub fn to_json(&self) -> String {
+        let ints = |v: &[u32]| {
+            v.iter()
+                .map(|x| x.to_string())
+                .collect::<Vec<_>>()
+                .join(", ")
+        };
+        format!(
+            "{{\"seed\": {}, \"link_fraction\": {}, \"router_fraction\": {}, \
+             \"explicit_links\": [{}], \"explicit_routers\": [{}]}}",
+            self.seed,
+            json::num(self.link_fraction),
+            json::num(self.router_fraction),
+            ints(&self.explicit_links),
+            ints(&self.explicit_routers)
+        )
+    }
+
+    /// Parse a spec from a JSON object at `path` (for error messages).
+    /// Every field is optional and defaults as [`FaultSpec::default`];
+    /// fractions outside `[0, 1]` are rejected with a precise path.
+    pub fn from_json(v: &Value, path: &str) -> Result<Self, String> {
+        read::check_keys(
+            v,
+            path,
+            &[
+                "seed",
+                "link_fraction",
+                "router_fraction",
+                "explicit_links",
+                "explicit_routers",
+            ],
+        )?;
+        let dflt = FaultSpec::default();
+        let frac = |key: &str, d: f64| -> Result<f64, String> {
+            let x = read::opt_f64_field(v, path, key)?.unwrap_or(d);
+            if (0.0..=1.0).contains(&x) {
+                Ok(x)
+            } else {
+                Err(format!("{path}.{key}: expected number in [0, 1]"))
+            }
+        };
+        let list = |key: &str| -> Result<Vec<u32>, String> {
+            match v.get(key) {
+                None => Ok(Vec::new()),
+                Some(_) => read::u32_list(v, path, key),
+            }
+        };
+        Ok(FaultSpec {
+            seed: read::u64_or(v, path, "seed", dflt.seed)?,
+            link_fraction: frac("link_fraction", dflt.link_fraction)?,
+            router_fraction: frac("router_fraction", dflt.router_fraction)?,
+            explicit_links: list("explicit_links")?,
+            explicit_routers: list("explicit_routers")?,
+        })
     }
 }
 
@@ -262,6 +322,41 @@ impl FaultSchedule {
             map.union(FaultSet::sample(net, &e.spec).map());
         }
         FaultSet::from_map(net, map)
+    }
+
+    /// Canonical JSON form: the cycle-ordered event array, one event per
+    /// line. `from_json(to_json(s)) == s` for any schedule.
+    pub fn to_json(&self) -> String {
+        let mut s = String::from("[");
+        for (i, e) in self.events.iter().enumerate() {
+            s.push_str(&format!(
+                "{}{{\"cycle\": {}, \"spec\": {}}}",
+                if i == 0 { "" } else { ", " },
+                e.cycle,
+                e.spec.to_json()
+            ));
+        }
+        s.push(']');
+        s
+    }
+
+    /// Parse a schedule from a JSON array of `{"cycle", "spec"}` events at
+    /// `path` (for error messages). Events may appear in any order; they
+    /// are re-sorted by cycle like [`FaultSchedule::push`].
+    pub fn from_json(v: &Value, path: &str) -> Result<Self, String> {
+        let items = v
+            .as_arr()
+            .ok_or_else(|| format!("{path}: expected array"))?;
+        let mut sched = FaultSchedule::new();
+        for (i, item) in items.iter().enumerate() {
+            let ipath = format!("{path}[{i}]");
+            read::check_keys(item, &ipath, &["cycle", "spec"])?;
+            let cycle = read::u64_field(item, &ipath, "cycle")?;
+            let spec =
+                FaultSpec::from_json(read::req(item, &ipath, "spec")?, &format!("{ipath}.spec"))?;
+            sched.push(cycle, spec);
+        }
+        Ok(sched)
     }
 
     /// Epoch decomposition: `(start_cycle, cumulative fault set)` for cycle
@@ -470,6 +565,70 @@ mod tests {
         for r in convs {
             assert!(matches!(f.kind(r), RouterKind::Converter { .. }));
         }
+    }
+
+    #[test]
+    fn fault_spec_json_round_trips() {
+        let spec = FaultSpec {
+            seed: 42,
+            link_fraction: 0.125,
+            router_fraction: 0.0625,
+            explicit_links: vec![3, 9],
+            explicit_routers: vec![7],
+        };
+        let v = Value::parse(&spec.to_json()).unwrap();
+        assert_eq!(FaultSpec::from_json(&v, "t").unwrap(), spec);
+        // Defaults apply field by field.
+        let v = Value::parse(r#"{"link_fraction": 0.5}"#).unwrap();
+        let s = FaultSpec::from_json(&v, "t").unwrap();
+        assert_eq!(s.seed, FaultSpec::default().seed);
+        assert_eq!(s.link_fraction, 0.5);
+    }
+
+    #[test]
+    fn fault_spec_json_errors_are_precise() {
+        let cases: &[(&str, &str)] = &[
+            (
+                r#"{"link_fraction": 1.5}"#,
+                "t.link_fraction: expected number in [0, 1]",
+            ),
+            (
+                r#"{"router_fraction": -0.1}"#,
+                "t.router_fraction: expected number in [0, 1]",
+            ),
+            (
+                r#"{"seed": "abc"}"#,
+                "t.seed: expected non-negative integer",
+            ),
+            (
+                r#"{"explicit_links": [1, "x"]}"#,
+                "t.explicit_links[1]: expected non-negative integer",
+            ),
+            (r#"{"frobnicate": 1}"#, "t.frobnicate: unknown key"),
+        ];
+        for (doc, want) in cases {
+            let v = Value::parse(doc).unwrap();
+            assert_eq!(&FaultSpec::from_json(&v, "t").unwrap_err(), want, "{doc}");
+        }
+    }
+
+    #[test]
+    fn fault_schedule_json_round_trips() {
+        let mut sched = FaultSchedule::new();
+        sched.push(1000, FaultSpec::links(0.05, 1));
+        sched.push(500, FaultSpec::routers(0.1, 2));
+        let v = Value::parse(&sched.to_json()).unwrap();
+        assert_eq!(FaultSchedule::from_json(&v, "t").unwrap(), sched);
+        let v = Value::parse(r#"[{"cycle": 5}]"#).unwrap();
+        assert_eq!(
+            FaultSchedule::from_json(&v, "t").unwrap_err(),
+            "t[0].spec: missing required key"
+        );
+        let v = Value::parse(r#"[{"cycle": 5, "spec": {"link_fraction": 7}}]"#).unwrap();
+        assert_eq!(
+            FaultSchedule::from_json(&v, "t").unwrap_err(),
+            "t[0].spec.link_fraction: expected number in [0, 1]"
+        );
     }
 
     #[test]

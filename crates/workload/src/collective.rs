@@ -16,6 +16,7 @@
 //! and bandwidth per phase.
 
 use crate::message::{packet_count, MAX_MESSAGES, MAX_PACKETS_PER_MESSAGE};
+use wsdf_sim::json::{self, read, Value};
 
 /// One point-to-point message of a collective.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -31,7 +32,7 @@ pub struct Message {
 }
 
 /// A dependency-aware collective workload (a message DAG).
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Workload {
     /// Human-readable workload name ("ring-allreduce", ...).
     pub name: String,
@@ -167,6 +168,76 @@ impl Workload {
             }
         }
         succs
+    }
+
+    /// Canonical one-line JSON form of the full DAG: name, phase labels,
+    /// and every message with its predecessor list. Inverse of
+    /// [`from_json`](Self::from_json), suitable for digesting.
+    pub fn to_json(&self) -> String {
+        let mut s = String::new();
+        s.push_str(&format!("{{\"name\": \"{}\"", json::escape(&self.name)));
+        s.push_str(", \"phases\": [");
+        for (i, p) in self.phases.iter().enumerate() {
+            if i > 0 {
+                s.push_str(", ");
+            }
+            s.push_str(&format!("\"{}\"", json::escape(p)));
+        }
+        s.push_str("], \"messages\": [");
+        for (i, m) in self.msgs.iter().enumerate() {
+            if i > 0 {
+                s.push_str(", ");
+            }
+            s.push_str(&format!(
+                "{{\"src\": {}, \"dst\": {}, \"flits\": {}, \"phase\": {}, \"preds\": [",
+                m.src, m.dst, m.flits, m.phase
+            ));
+            for (j, p) in self.preds[i].iter().enumerate() {
+                if j > 0 {
+                    s.push_str(", ");
+                }
+                s.push_str(&p.to_string());
+            }
+            s.push_str("]}");
+        }
+        s.push_str("]}");
+        s
+    }
+
+    /// Parse an explicit message DAG from JSON at `path`.
+    ///
+    /// Expects `{"name", "phases": [..], "messages": [{"src", "dst",
+    /// "flits", "phase", "preds"?}]}`; `preds` defaults to the empty
+    /// list. Structure only — call [`validate`](Self::validate) with the
+    /// endpoint count to check ranges and acyclicity.
+    pub fn from_json(v: &Value, path: &str) -> Result<Self, String> {
+        read::check_keys(v, path, &["name", "phases", "messages"])?;
+        let mut wl = Workload::new(read::str_field(v, path, "name")?);
+        let phases = read::arr_field(v, path, "phases")?;
+        for (i, p) in phases.iter().enumerate() {
+            let label = p
+                .as_str()
+                .ok_or_else(|| format!("{path}.phases[{i}]: expected string"))?;
+            wl.phases.push(label.to_string());
+        }
+        let msgs = read::arr_field(v, path, "messages")?;
+        for (i, m) in msgs.iter().enumerate() {
+            let mpath = format!("{path}.messages[{i}]");
+            read::check_keys(m, &mpath, &["src", "dst", "flits", "phase", "preds"])?;
+            let msg = Message {
+                src: read::u64_field(m, &mpath, "src")? as u32,
+                dst: read::u64_field(m, &mpath, "dst")? as u32,
+                flits: read::u64_field(m, &mpath, "flits")?,
+                phase: read::u64_field(m, &mpath, "phase")? as u32,
+            };
+            let preds = if m.get("preds").is_some() {
+                read::u32_list(m, &mpath, "preds")?
+            } else {
+                Vec::new()
+            };
+            wl.push(msg, &preds);
+        }
+        Ok(wl)
     }
 
     // --- Collective builders ------------------------------------------------
@@ -467,6 +538,54 @@ mod tests {
         // Second link's microbatch m depends on the first link's m.
         assert_eq!(wl.preds(2), &[0]);
         assert_eq!(wl.preds(3), &[1]);
+    }
+
+    #[test]
+    fn workload_json_round_trips() {
+        for wl in [
+            Workload::ring_allreduce(&ids(4), 16),
+            Workload::rd_allreduce(&ids(8), 8).unwrap(),
+            Workload::pipeline(&[3, 1, 4], 2, 8),
+        ] {
+            let v = Value::parse(&wl.to_json()).unwrap();
+            let back = Workload::from_json(&v, "w").unwrap();
+            assert_eq!(back, wl);
+            assert_eq!(back.to_json(), wl.to_json());
+        }
+    }
+
+    #[test]
+    fn workload_json_errors_are_precise() {
+        let cases: &[(&str, &str)] = &[
+            (
+                r#"{"phases": [], "messages": []}"#,
+                "w.name: missing required key",
+            ),
+            (
+                r#"{"name": "x", "phases": [1], "messages": []}"#,
+                "w.phases[0]: expected string",
+            ),
+            (
+                r#"{"name": "x", "phases": ["p"], "messages": [{"src": 0, "dst": 1, "phase": 0}]}"#,
+                "w.messages[0].flits: missing required key",
+            ),
+            (
+                r#"{"name": "x", "phases": ["p"], "messages": [{"src": 0, "dst": 1, "flits": -3, "phase": 0}]}"#,
+                "w.messages[0].flits: expected non-negative integer",
+            ),
+            (
+                r#"{"name": "x", "phases": ["p"], "messages": [{"src": 0, "dst": 1, "flits": 4, "phase": 0, "preds": [0.5]}]}"#,
+                "w.messages[0].preds[0]: expected non-negative integer",
+            ),
+            (
+                r#"{"name": "x", "phases": [], "messages": [], "extra": 0}"#,
+                "w.extra: unknown key",
+            ),
+        ];
+        for (doc, want) in cases {
+            let v = Value::parse(doc).unwrap();
+            assert_eq!(&Workload::from_json(&v, "w").unwrap_err(), want, "{doc}");
+        }
     }
 
     #[test]

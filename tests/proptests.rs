@@ -441,6 +441,317 @@ fn exchange_conserves_boundary_messages() {
     }
 }
 
+/// Random closed-loop workload spec: a named collective half the time,
+/// an explicit layered DAG otherwise.
+fn any_workload_spec(rng: &mut SplitMix64) -> wsdf::scenario::WorkloadSpec {
+    use wsdf::scenario::{Participants, WorkloadSpec};
+    use wsdf::workload::{Message, Workload};
+    if rng.chance(0.5) {
+        let kinds = [
+            "ring_allreduce",
+            "rd_allreduce",
+            "all_to_all",
+            "broadcast",
+            "reduce",
+            "pipeline",
+        ];
+        let kind = kinds[rng.next_below(kinds.len() as u64) as usize];
+        let participants = if rng.chance(0.5) {
+            Participants::Chips
+        } else {
+            let stride = 1 + rng.next_below(4) as u32;
+            let n = 2 + rng.next_below(6) as u32;
+            Participants::List((0..n).map(|i| i * stride).collect())
+        };
+        WorkloadSpec::Collective {
+            kind: kind.to_string(),
+            participants,
+            flits: 1 + rng.next_below(128),
+            microbatches: if kind == "pipeline" {
+                1 + rng.next_below(4) as u32
+            } else {
+                1
+            },
+        }
+    } else {
+        let mut wl = Workload::new("prop-dag");
+        let phase = wl.phase("p0");
+        let mut prev: Vec<u32> = Vec::new();
+        for _ in 0..1 + rng.next_below(5) {
+            let deps: Vec<u32> = prev.iter().copied().filter(|_| rng.chance(0.3)).collect();
+            let src = rng.next_below(16) as u32;
+            let dst = (src + 1 + rng.next_below(10) as u32) % 16;
+            let id = wl.push(
+                Message {
+                    src,
+                    dst,
+                    flits: 1 + rng.next_below(20),
+                    phase,
+                },
+                &deps,
+            );
+            prev.push(id);
+        }
+        WorkloadSpec::Dag(wl)
+    }
+}
+
+/// Random *valid* scenario across every topology family, run kind and
+/// optional section. Structurally valid (it parses back), but not
+/// necessarily cheap to execute — runnable cases are drawn separately.
+/// All integers stay below 2^53 so they survive the JSON number type.
+fn any_scenario(rng: &mut SplitMix64) -> wsdf::scenario::Scenario {
+    use wsdf::scenario::{
+        pattern_from_name, FaultsSpec, PartitionerKind, Partitioning, RunSpec, Scenario, SimSpec,
+        Stepping, Topology, TrafficSpec,
+    };
+    use wsdf::topo::{FaultSchedule, FaultSpec};
+
+    let topology = match rng.next_below(4) {
+        0 => Topology::Switchless(draw(rng, sl_params)),
+        1 => Topology::Switchbased(draw(rng, sw_params)),
+        2 => {
+            let m = 2 + rng.next_below(4) as u32; // 2..=5
+            let divisors: Vec<u32> = (1..=m).filter(|c| m.is_multiple_of(*c)).collect();
+            let chiplet = divisors[rng.next_below(divisors.len() as u64) as usize];
+            Topology::Mesh {
+                m,
+                chiplet,
+                width: 1 + rng.next_below(2) as u8,
+            }
+        }
+        _ => Topology::Switch {
+            terminals: 2 + rng.next_below(30) as u32,
+        },
+    };
+    let dragonfly = matches!(topology, Topology::Switchless(_) | Topology::Switchbased(_));
+    let route = if dragonfly && rng.chance(0.5) {
+        RouteMode::Valiant
+    } else {
+        RouteMode::Minimal
+    };
+    let vcs = if matches!(topology, Topology::Switchless(_)) && rng.chance(0.5) {
+        VcScheme::Reduced
+    } else {
+        VcScheme::Baseline
+    };
+    let packet_len = 1 + rng.next_below(8);
+    let sim = SimSpec {
+        warmup_cycles: rng.next_below(500),
+        measure_cycles: 1 + rng.next_below(1000),
+        drain_cycles: rng.next_below(500),
+        seed: rng.next_below(1 << 32),
+        packet_len: packet_len as u8,
+        buffer_flits: (packet_len + rng.next_below(60)) as u16,
+    };
+    let run = match rng.next_below(4) {
+        0 => RunSpec::OpenLoop {
+            rates_chip: rng.chance(0.5).then(|| {
+                (0..1 + rng.next_below(4))
+                    .map(|_| (1 + rng.next_below(4000)) as f64 / 1000.0)
+                    .collect()
+            }),
+        },
+        1 => RunSpec::Adaptive {
+            start_chip: (1 + rng.next_below(2000)) as f64 / 500.0,
+            growth: 1.0 + (1 + rng.next_below(100)) as f64 / 50.0,
+            rel_tol: (1 + rng.next_below(100)) as f64 / 200.0,
+            max_points: 3 + rng.next_below(10),
+        },
+        2 => RunSpec::ClosedLoop {
+            workload: any_workload_spec(rng),
+            flit_bytes: (1 + rng.next_below(512)) as f64,
+            clock_ghz: (1 + rng.next_below(40)) as f64 / 10.0,
+        },
+        _ => RunSpec::Resilience {
+            rate_chip: (1 + rng.next_below(1000)) as f64 / 500.0,
+            fractions: (0..1 + rng.next_below(3))
+                .map(|_| rng.next_below(101) as f64 / 100.0)
+                .collect(),
+            router_ratio: rng.next_below(101) as f64 / 100.0,
+            seed: rng.next_below(1 << 32),
+            collective_flits: rng.next_below(64),
+        },
+    };
+    // Traffic is forbidden on closed-loop runs and required elsewhere; a
+    // single-point rate is required exactly when a fixed-grid open-loop
+    // run gives no rates_chip. Hotspot needs 4+ W-groups.
+    let wgroups = match &topology {
+        Topology::Switchless(p) => p.wgroups,
+        Topology::Switchbased(p) => p.groups,
+        _ => 1,
+    };
+    let mut patterns = vec![
+        "uniform",
+        "bit_reverse",
+        "bit_shuffle",
+        "bit_transpose",
+        "worst_case",
+        "ring_cgroup",
+        "ring_cgroup_bidir",
+        "ring_wgroup",
+        "ring_wgroup_bidir",
+    ];
+    if wgroups >= 4 {
+        patterns.push("hotspot");
+    }
+    let needs_rate = matches!(run, RunSpec::OpenLoop { rates_chip: None });
+    let traffic = if matches!(run, RunSpec::ClosedLoop { .. }) {
+        None
+    } else {
+        Some(TrafficSpec {
+            pattern: pattern_from_name(patterns[rng.next_below(patterns.len() as u64) as usize])
+                .unwrap(),
+            rate: needs_rate.then(|| (1 + rng.next_below(1000)) as f64 / 1000.0),
+        })
+    };
+    // Faults are forbidden on resilience runs (they sample their own).
+    let faults = if matches!(run, RunSpec::Resilience { .. }) || rng.chance(0.5) {
+        None
+    } else if rng.chance(0.5) {
+        Some(FaultsSpec::Spec(FaultSpec {
+            seed: rng.next_below(1 << 32),
+            link_fraction: rng.next_below(101) as f64 / 100.0,
+            router_fraction: rng.next_below(101) as f64 / 100.0,
+            explicit_links: (0..rng.next_below(4))
+                .map(|_| rng.next_below(100) as u32)
+                .collect(),
+            explicit_routers: (0..rng.next_below(4))
+                .map(|_| rng.next_below(50) as u32)
+                .collect(),
+        }))
+    } else {
+        let mut schedule = FaultSchedule::new();
+        for _ in 0..1 + rng.next_below(3) {
+            schedule.push(
+                rng.next_below(1000),
+                FaultSpec::links(rng.next_below(101) as f64 / 100.0, rng.next_below(1 << 32)),
+            );
+        }
+        Some(FaultsSpec::Schedule {
+            schedule,
+            at_cycle: rng.next_below(2000),
+        })
+    };
+    Scenario {
+        name: format!("prop-{}", rng.next_below(1_000_000)),
+        topology,
+        route,
+        vcs,
+        sim,
+        stepping: if rng.chance(0.5) {
+            Stepping::Event
+        } else {
+            Stepping::Dense
+        },
+        partitioning: match rng.next_below(3) {
+            0 => Partitioning::Auto {
+                partitions: rng.next_below(9),
+                partitioner: PartitionerKind::Locality,
+            },
+            1 => Partitioning::Auto {
+                partitions: rng.next_below(9),
+                partitioner: PartitionerKind::Blocks,
+            },
+            // An arbitrary map: only parsed (never executed) here, so
+            // density/length against a real fabric is not required.
+            _ => Partitioning::Map(
+                (0..1 + rng.next_below(12))
+                    .map(|_| rng.next_below(4) as u32)
+                    .collect(),
+            ),
+        },
+        faults,
+        traffic,
+        run,
+    }
+}
+
+/// Scenario documents round-trip: any valid scenario serializes to
+/// canonical JSON that parses back to the identical value, and the
+/// serialization is a fixed point.
+#[test]
+fn scenario_json_round_trips() {
+    use wsdf::scenario::Scenario;
+    let mut rng = SplitMix64::new(0x5EED_000C);
+    for case in 0..CASES {
+        let s = any_scenario(&mut rng);
+        let text = s.to_json();
+        let back =
+            Scenario::from_json_str(&text).unwrap_or_else(|e| panic!("case {case}: {e}\n{text}"));
+        assert_eq!(back, s, "case {case}: round-trip drift\n{text}");
+        assert_eq!(back.to_json(), text, "case {case}: not a fixed point");
+    }
+}
+
+/// Round-tripping preserves behaviour, not just structure: the reparsed
+/// scenario produces a bit-identical report digest. Cases are drawn
+/// cheap on purpose (16-router meshes, short windows).
+#[test]
+fn scenario_round_trip_preserves_report_digest() {
+    use wsdf::scenario::{
+        Participants, Partitioning, RunSpec, Scenario, SimSpec, Stepping, Topology, TrafficSpec,
+        WorkloadSpec,
+    };
+    let mut rng = SplitMix64::new(0x5EED_000D);
+    for case in 0..6 {
+        let m = if rng.chance(0.5) { 2 } else { 4 };
+        let open = case % 2 == 0;
+        let run = if open {
+            RunSpec::OpenLoop {
+                rates_chip: Some(vec![(1 + rng.next_below(800)) as f64 / 1000.0]),
+            }
+        } else {
+            RunSpec::ClosedLoop {
+                workload: WorkloadSpec::Collective {
+                    kind: "ring_allreduce".to_string(),
+                    participants: Participants::Chips,
+                    flits: 8 + rng.next_below(24),
+                    microbatches: 1,
+                },
+                flit_bytes: 64.0,
+                clock_ghz: 1.0,
+            }
+        };
+        let s = Scenario {
+            name: format!("prop-run-{case}"),
+            topology: Topology::Mesh {
+                m,
+                chiplet: if rng.chance(0.5) { 1 } else { m / 2 },
+                width: 1,
+            },
+            route: RouteMode::Minimal,
+            vcs: VcScheme::Baseline,
+            sim: SimSpec {
+                warmup_cycles: 0,
+                measure_cycles: 300,
+                seed: rng.next_below(1 << 32),
+                ..SimSpec::default()
+            },
+            stepping: Stepping::Event,
+            partitioning: Partitioning::default(),
+            faults: None,
+            traffic: open.then_some(TrafficSpec {
+                pattern: PatternSpec::Uniform,
+                rate: None,
+            }),
+            run,
+        };
+        let back =
+            Scenario::from_json_str(&s.to_json()).unwrap_or_else(|e| panic!("case {case}: {e}"));
+        assert_eq!(back, s, "case {case}");
+        let a = s
+            .run()
+            .unwrap_or_else(|e| panic!("case {case}: {e}"))
+            .digest();
+        let b = back
+            .run()
+            .unwrap_or_else(|e| panic!("case {case} (reparsed): {e}"))
+            .digest();
+        assert_eq!(a, b, "case {case}: digest drift after round-trip");
+    }
+}
+
 /// Closed-loop conservation over random workload DAGs: every message's
 /// flits are injected exactly once (`flits_injected == Σ size`), every
 /// message reassembles exactly once (over-delivery panics inside the
