@@ -210,6 +210,58 @@ fn bench_idle(c: &mut Criterion) {
     g.finish();
 }
 
+fn bench_serving(c: &mut Criterion) {
+    use wsdf::workload::tenancy::{ArrivalProcess, ServingSpec};
+    use wsdf_bench::serving::serving_mix;
+
+    let mut g = c.benchmark_group("serving");
+    g.sample_size(10);
+    // Same W-group as the other groups; the `repro serving` class mix at
+    // smoke payload. Light vs heavy Poisson pressure bounds the
+    // multi-tenant scheduling overhead from a few in-flight jobs to an
+    // admission-saturated fabric; the recorded job count pins what each
+    // sample actually served.
+    let p = SlParams::radix16().with_wgroups(1);
+    let bench = Bench::switchless(&p, RouteMode::Minimal, VcScheme::Baseline);
+    let cfg = SimConfig::default();
+    for (name, rate) in [("light_arrival", 2.0f64), ("heavy_arrival", 20.0)] {
+        let spec = ServingSpec {
+            seed: 0x5E21,
+            arrivals: ArrivalProcess::Poisson {
+                rate_per_kcycle: rate,
+                horizon: 1_500,
+            },
+            max_jobs: 16,
+            classes: serving_mix(16, 6_400),
+        };
+        let r = wsdf::run_serving(&bench, &cfg, &spec).unwrap();
+        g.meta(format!("jobs_{name}"), r.jobs.len());
+        g.bench_function(name, |b| {
+            b.iter(|| wsdf::run_serving(&bench, &cfg, &spec).unwrap());
+        });
+    }
+    // The same fixed-trace mix on a 2%-degraded fabric: placements over
+    // live endpoints plus detour routing under multi-tenant load.
+    {
+        let fs = FaultSet::sample(bench.fabric.net(), &FaultSpec::links(0.02, 13));
+        let fb = bench.with_fault_set(&fs);
+        let spec = ServingSpec {
+            seed: 0x5E21,
+            arrivals: ArrivalProcess::Trace {
+                cycles: (0..12).map(|k| k * 200).collect(),
+            },
+            max_jobs: 64,
+            classes: serving_mix(16, 6_400),
+        };
+        let r = wsdf::run_serving(&fb, &cfg, &spec).unwrap();
+        g.meta("jobs_faulted", r.jobs.len());
+        g.bench_function("faulted_trace", |b| {
+            b.iter(|| wsdf::run_serving(&fb, &cfg, &spec).unwrap());
+        });
+    }
+    g.finish();
+}
+
 fn bench_exchange(c: &mut Criterion) {
     let mut g = c.benchmark_group("exchange");
     g.sample_size(10);
@@ -273,6 +325,7 @@ criterion_group!(
     bench_parallel_scaling,
     bench_collectives,
     bench_resilience,
+    bench_serving,
     bench_idle,
     bench_exchange,
     bench_partition_quality

@@ -10,6 +10,7 @@ pub mod figures;
 pub mod partition_stats;
 pub mod resilience;
 pub mod scenario;
+pub mod serving;
 pub mod tables;
 pub mod targets;
 

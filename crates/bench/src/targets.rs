@@ -9,7 +9,7 @@
 //! Aggregate targets (`tables`, `figures`, `all`) are member lists over
 //! the same table ([`aggregate_members`]), not separate code paths.
 
-use crate::{collectives, figures, partition_stats, resilience, tables, Effort};
+use crate::{collectives, figures, partition_stats, resilience, serving, tables, Effort};
 
 /// Output of one target run: human-readable text plus `(id, json)` pairs
 /// for `--json DIR` serialization.
@@ -35,12 +35,52 @@ impl TargetOutput {
     }
 }
 
+/// Listing group for a leaf target: `--list` prints targets under these
+/// headings instead of one flat block.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Category {
+    /// Closed-form tables and parameter dumps.
+    Tables,
+    /// Paper figures (open-loop load-latency sweeps, energy).
+    Figures,
+    /// Saturation-seeking and other adaptive sweeps.
+    Sweeps,
+    /// Closed-loop collective and multi-tenant serving workloads.
+    Workloads,
+    /// Partition quality, fault injection, and other diagnostics.
+    Diagnostics,
+}
+
+impl Category {
+    /// The `--list` heading.
+    pub fn heading(self) -> &'static str {
+        match self {
+            Category::Tables => "tables",
+            Category::Figures => "figures",
+            Category::Sweeps => "sweeps",
+            Category::Workloads => "workloads",
+            Category::Diagnostics => "diagnostics",
+        }
+    }
+}
+
+/// Heading display order in [`listing`].
+const CATEGORIES: &[Category] = &[
+    Category::Tables,
+    Category::Figures,
+    Category::Sweeps,
+    Category::Workloads,
+    Category::Diagnostics,
+];
+
 /// One runnable target.
 pub struct Target {
     /// CLI name.
     pub name: &'static str,
     /// One-line description (`--list`).
     pub desc: &'static str,
+    /// Listing group (`--list` heading).
+    pub category: Category,
     /// Full-system scale (radix-16/32 at 41/145 groups): minutes-long
     /// even in release builds (fig11 alone is ~2.5 CPU-minutes at
     /// `--smoke`), so neither the dev-profile coverage test nor CI runs
@@ -67,78 +107,91 @@ pub const TARGETS: &[Target] = &[
     Target {
         name: "table1",
         desc: "Table I: topology comparison (closed form)",
+        category: Category::Tables,
         full_scale: false,
         run: |_| TargetOutput::text(tables::table_i()),
     },
     Target {
         name: "table2",
         desc: "Table II: network cost model",
+        category: Category::Tables,
         full_scale: false,
         run: |_| TargetOutput::text(tables::table_ii()),
     },
     Target {
         name: "table3",
         desc: "Table III: wafer/system scale parameters",
+        category: Category::Tables,
         full_scale: false,
         run: |_| TargetOutput::text(tables::table_iii_text()),
     },
     Target {
         name: "table4",
         desc: "Table IV: simulation parameters",
+        category: Category::Tables,
         full_scale: false,
         run: |_| TargetOutput::text(tables::table_iv()),
     },
     Target {
         name: "equations",
         desc: "Closed-form equation summary (diameter, cost)",
+        category: Category::Tables,
         full_scale: false,
         run: |_| TargetOutput::text(tables::equations_summary()),
     },
     Target {
         name: "fig9",
         desc: "Fig. 9: wafer layout and bandwidth budget",
+        category: Category::Tables,
         full_scale: false,
         run: |_| TargetOutput::text(tables::fig9()),
     },
     Target {
         name: "fig10ab",
         desc: "Fig. 10(a,b): intra-C-group latency, mesh vs switch",
+        category: Category::Figures,
         full_scale: false,
         run: |e| figs(figures::fig10ab(e)),
     },
     Target {
         name: "fig10cf",
         desc: "Fig. 10(c-f): intra-W-group latency, four patterns",
+        category: Category::Figures,
         full_scale: false,
         run: |e| figs(figures::fig10cf(e)),
     },
     Target {
         name: "fig11",
         desc: "Fig. 11: full radix-16 system, uniform + bit-reverse",
+        category: Category::Figures,
         full_scale: true,
         run: |e| figs(figures::fig11(e)),
     },
     Target {
         name: "fig12",
         desc: "Fig. 12: radix-32 system latency",
+        category: Category::Figures,
         full_scale: true,
         run: |e| figs(figures::fig12(e)),
     },
     Target {
         name: "fig13",
         desc: "Fig. 13: adversarial patterns, minimal vs Valiant",
+        category: Category::Figures,
         full_scale: true,
         run: |e| figs(figures::fig13(e)),
     },
     Target {
         name: "fig14",
         desc: "Fig. 14: ring-allreduce collectives (open-loop sweeps)",
+        category: Category::Figures,
         full_scale: false,
         run: |e| figs(figures::fig14(e)),
     },
     Target {
         name: "fig15",
         desc: "Fig. 15: energy per bit by channel class",
+        category: Category::Figures,
         full_scale: true,
         run: |e| {
             let groups = figures::fig15(e);
@@ -151,12 +204,14 @@ pub const TARGETS: &[Target] = &[
     Target {
         name: "ablation",
         desc: "VC-scheme ablation (Baseline vs Reduced)",
+        category: Category::Figures,
         full_scale: false,
         run: |e| figs(figures::vc_ablation(e)),
     },
     Target {
         name: "saturation",
         desc: "Adaptive saturation knee search, headline benches",
+        category: Category::Sweeps,
         full_scale: false,
         run: |e| {
             let scan = figures::saturation_scan(e);
@@ -170,6 +225,7 @@ pub const TARGETS: &[Target] = &[
         name: "collectives",
         desc: "Closed-loop collectives: completion cycles on both families, \
                verified over partitions {1,2,4}",
+        category: Category::Workloads,
         full_scale: false,
         run: |e| {
             let reports = collectives::collectives(e);
@@ -183,9 +239,24 @@ pub const TARGETS: &[Target] = &[
         },
     },
     Target {
+        name: "serving",
+        desc: "Multi-tenant serving: concurrent job mix on both families, \
+               SLO percentiles + fairness, verified over partitions {1,2,4}",
+        category: Category::Workloads,
+        full_scale: false,
+        run: |e| {
+            let reports = serving::serving(e);
+            TargetOutput {
+                text: serving::render_serving(&reports),
+                json: vec![("serving".into(), serving::serving_json(&reports))],
+            }
+        },
+    },
+    Target {
         name: "partition-stats",
         desc: "Partition quality: locality partitioner vs contiguous blocks \
                (cut channels, balance, boundary flit traffic)",
+        category: Category::Diagnostics,
         full_scale: false,
         run: |e| {
             let reports = partition_stats::partition_stats_suite(e);
@@ -202,6 +273,7 @@ pub const TARGETS: &[Target] = &[
         name: "resilience",
         desc: "Fault-injection degradation: throughput/latency/allreduce vs \
                fault fraction, verified over partitions {1,2,4}",
+        category: Category::Diagnostics,
         full_scale: false,
         run: |e| {
             let reports = resilience::resilience(e);
@@ -239,6 +311,7 @@ pub fn aggregate_members(name: &str) -> Option<&'static [&'static str]> {
             "fig15",
             "saturation",
             "collectives",
+            "serving",
             "partition-stats",
             "resilience",
         ]),
@@ -283,14 +356,24 @@ pub fn run_target(name: &str, effort: Effort) -> Option<TargetOutput> {
     find(name).map(|t| (t.run)(effort))
 }
 
-/// The `--list` output: every target with its description.
+/// The `--list` output: every leaf target grouped under its
+/// [`Category`] heading, then the aggregates and parameterized targets.
+/// Multi-line descriptions continue indented under the name column.
 pub fn listing() -> String {
     let mut s = String::from("targets:\n");
-    for t in TARGETS {
-        s.push_str(&format!("  {:<12} {}\n", t.name, t.desc));
+    for cat in CATEGORIES {
+        s.push_str(&format!("\n{}:\n", cat.heading()));
+        for t in TARGETS.iter().filter(|t| t.category == *cat) {
+            s.push_str(&format!("  {:<16} {}\n", t.name, t.desc));
+        }
     }
-    for (name, desc) in AGGREGATES.iter().chain(PARAM_TARGETS) {
-        s.push_str(&format!("  {name:<12} {desc}\n"));
+    s.push_str("\naggregates:\n");
+    for (name, desc) in AGGREGATES {
+        s.push_str(&format!("  {name:<16} {desc}\n"));
+    }
+    s.push_str("\nparameterized:\n");
+    for (name, desc) in PARAM_TARGETS {
+        s.push_str(&format!("  {name:<16} {desc}\n"));
     }
     s
 }
@@ -338,6 +421,48 @@ mod tests {
         assert_eq!(edit_distance("fig11", "fig12"), 1);
         assert_eq!(edit_distance("kitten", "sitting"), 3);
         assert_eq!(edit_distance("corpus", ""), 6);
+    }
+
+    #[test]
+    fn listing_groups_targets_under_category_headings() {
+        let s = listing();
+        // Every heading appears exactly once, in declaration order.
+        let mut pos = 0;
+        for cat in CATEGORIES {
+            let heading = format!("\n{}:\n", cat.heading());
+            let at = s[pos..]
+                .find(&heading)
+                .unwrap_or_else(|| panic!("heading {:?} missing or out of order", cat.heading()));
+            pos += at + heading.len();
+            assert!(
+                !s[pos..].contains(&heading),
+                "heading {:?} repeated",
+                cat.heading()
+            );
+        }
+        // Each leaf target is listed inside its own category's section.
+        let section_of = |name: &str| {
+            let at = s.find(&format!("  {name} ")).unwrap_or_else(|| {
+                panic!("target {name:?} missing from listing");
+            });
+            CATEGORIES
+                .iter()
+                .rfind(|c| s.find(&format!("\n{}:\n", c.heading())).unwrap() < at)
+                .copied()
+        };
+        for t in TARGETS {
+            assert_eq!(
+                section_of(t.name),
+                Some(t.category),
+                "{} listed under the wrong heading",
+                t.name
+            );
+        }
+        // Aggregates and parameterized targets keep their own sections.
+        assert!(s.contains("\naggregates:\n"));
+        assert!(s.contains("\nparameterized:\n"));
+        assert!(s.contains("  scenario "));
+        assert!(s.contains("  corpus "));
     }
 
     #[test]

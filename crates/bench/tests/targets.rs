@@ -40,6 +40,22 @@ fn resilience_target_is_registered_and_serializes() {
     wsdf::json::Value::parse(json).expect("resilience JSON must parse");
 }
 
+/// The serving target is registered, non-full-scale (so the smoke-mode
+/// coverage above really runs the multi-tenant mix), reachable from
+/// `all`, and emits a parseable JSON artifact.
+#[test]
+fn serving_target_is_registered_and_serializes() {
+    let t = find("serving").expect("serving must be registered");
+    assert!(!t.full_scale);
+    assert!(aggregate_members("all").unwrap().contains(&"serving"));
+    let out = run_target("serving", Effort::Smoke).unwrap();
+    assert!(out.text.contains("multi-tenant"));
+    let (id, json) = &out.json[0];
+    assert_eq!(id, "serving");
+    let arr = wsdf::json::Value::parse(json).expect("serving JSON must parse");
+    assert!(!arr.as_arr().unwrap().is_empty());
+}
+
 /// Full-scale targets still resolve to runners (they are skipped above
 /// for time, not because they are unwired; their runners compile against
 /// the same figure functions the registry names).

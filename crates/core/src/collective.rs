@@ -249,14 +249,17 @@ impl WorkloadReport {
     }
 
     /// Parse a report previously written by [`to_json`](Self::to_json).
+    ///
+    /// Forward-compatible: files recorded before a field existed still
+    /// load — missing numeric summaries parse as NaN, missing counters as
+    /// 0, and a missing `phases` array as empty.
     pub fn from_json(text: &str) -> Result<WorkloadReport, String> {
         let v = Value::parse(text)?;
-        let lat = field(&v, "latency")?;
         let mut phases = Vec::new();
-        for p in field(&v, "phases")?
-            .as_arr()
-            .ok_or("'phases' not an array")?
-        {
+        for p in match v.get("phases") {
+            None => &[][..],
+            Some(a) => a.as_arr().ok_or("'phases' not an array")?,
+        } {
             phases.push(PhaseReport {
                 name: field(p, "name")?
                     .as_str()
@@ -285,13 +288,23 @@ impl WorkloadReport {
             achieved_flits_per_cycle: num(&v, "achieved_flits_per_cycle")?,
             achieved_gbps: num(&v, "achieved_gbps")?,
             phases,
-            latency: LatencySummary {
-                count: int(lat, "count")?,
-                mean: num(lat, "mean")?,
-                p50: num(lat, "p50")?,
-                p95: num(lat, "p95")?,
-                p99: num(lat, "p99")?,
-                max: num(lat, "max")?,
+            latency: match v.get("latency") {
+                None => LatencySummary {
+                    count: 0,
+                    mean: f64::NAN,
+                    p50: f64::NAN,
+                    p95: f64::NAN,
+                    p99: f64::NAN,
+                    max: f64::NAN,
+                },
+                Some(lat) => LatencySummary {
+                    count: opt_int(lat, "count")?,
+                    mean: opt_num(lat, "mean")?,
+                    p50: opt_num(lat, "p50")?,
+                    p95: opt_num(lat, "p95")?,
+                    p99: opt_num(lat, "p99")?,
+                    max: opt_num(lat, "max")?,
+                },
             },
             busy_cycles: opt_int(&v, "busy_cycles")?,
             skipped_cycles: opt_int(&v, "skipped_cycles")?,
@@ -299,17 +312,17 @@ impl WorkloadReport {
     }
 }
 
-fn field<'a>(v: &'a Value, k: &str) -> Result<&'a Value, String> {
+pub(crate) fn field<'a>(v: &'a Value, k: &str) -> Result<&'a Value, String> {
     v.get(k).ok_or_else(|| format!("missing key '{k}'"))
 }
 
-fn num(v: &Value, k: &str) -> Result<f64, String> {
+pub(crate) fn num(v: &Value, k: &str) -> Result<f64, String> {
     field(v, k)?
         .as_f64()
         .ok_or_else(|| format!("'{k}' not a number"))
 }
 
-fn int(v: &Value, k: &str) -> Result<u64, String> {
+pub(crate) fn int(v: &Value, k: &str) -> Result<u64, String> {
     let x = num(v, k)?;
     if x.is_finite() && x >= 0.0 && x.fract() == 0.0 {
         Ok(x as u64)
@@ -320,10 +333,20 @@ fn int(v: &Value, k: &str) -> Result<u64, String> {
 
 /// Optional integer field: 0 when absent, so reports recorded before the
 /// stepping counters existed still load.
-fn opt_int(v: &Value, k: &str) -> Result<u64, String> {
+pub(crate) fn opt_int(v: &Value, k: &str) -> Result<u64, String> {
     match v.get(k) {
         None => Ok(0),
         Some(_) => int(v, k),
+    }
+}
+
+/// Optional number field: NaN when absent — the forward-compatibility
+/// convention for report summaries (`json::num` writes NaN back as
+/// `null`, which parses as NaN again).
+pub(crate) fn opt_num(v: &Value, k: &str) -> Result<f64, String> {
+    match v.get(k) {
+        None => Ok(f64::NAN),
+        Some(_) => num(v, k),
     }
 }
 

@@ -21,6 +21,11 @@
 //!   [`Workload`] DAG (allreduce, all-to-all, pipelines, ...) to
 //!   quiescence and reports completion cycles and achieved bandwidth per
 //!   phase as a [`WorkloadReport`].
+//! * [`run_serving()`] — the multi-tenant runner: a seeded job arrival
+//!   process spawns collective instances onto endpoint placements, all
+//!   sharing the fabric at once, and reports job-CT percentiles,
+//!   per-class interference slowdown, Jain's fairness and SLO misses as
+//!   a [`ServingReport`].
 //! * [`resilience_sweep()`] — the fault-injection runner: samples
 //!   deterministic link/router failures at each fraction
 //!   ([`topo::FaultSet`]), re-routes around them with a precomputed
@@ -56,6 +61,7 @@ pub mod collective;
 pub mod report;
 pub mod resilience;
 pub mod scenario;
+pub mod serving;
 pub mod sweep;
 
 // The hand-rolled JSON layer lives in `wsdf-sim` (the lowest crate, so
@@ -72,6 +78,7 @@ pub use resilience::{
     resilience_sweep, resilience_sweep_on, ResilienceConfig, ResiliencePoint, ResilienceReport,
 };
 pub use scenario::{Scenario, ScenarioOutcome};
+pub use serving::{run_serving, run_serving_on, ClassStat, JobRecord, ServingReport};
 pub use sweep::{
     adaptive_sweep, adaptive_sweep_on, saturation_rate, sweep, sweep_on, AdaptiveConfig,
     SaturationReport, SweepConfig, SweepPoint,

@@ -4,8 +4,9 @@
 //! A [`Scenario`] binds everything a run needs — topology family and
 //! size, routing oracle, simulation windows, stepping mode, partitioning,
 //! an optional fault spec or cycle-ordered fault schedule, a traffic
-//! pattern, and one of the four run kinds (open-loop sweep, adaptive
-//! saturation search, closed-loop collective, resilience sweep) — and
+//! pattern, and one of the five run kinds (open-loop sweep, adaptive
+//! saturation search, closed-loop collective, resilience sweep,
+//! multi-tenant serving) — and
 //! executes it through the same monomorphized [`Bench`] machinery the
 //! figure harness uses. The goals:
 //!
@@ -27,6 +28,7 @@ use crate::collective::{run_workload_on, WorkloadReport, WorkloadUnits};
 use crate::json::{self, read, Value};
 use crate::report::{Curve, Figure};
 use crate::resilience::{resilience_sweep_on, ResilienceConfig, ResilienceReport};
+use crate::serving::{run_serving_on, ServingReport};
 use crate::sweep::{adaptive_sweep_on, sweep_on, AdaptiveConfig, SaturationReport, SweepConfig};
 use std::path::{Path, PathBuf};
 use std::sync::Arc;
@@ -35,6 +37,7 @@ use wsdf_routing::{RouteMode, VcScheme};
 use wsdf_sim::SimConfig;
 use wsdf_topo::{FaultSchedule, FaultSet, FaultSpec, SlParams, SwParams};
 use wsdf_traffic::{PermKind, RingDirection};
+use wsdf_workload::tenancy::{ArrivalProcess, JobClass, Placement, ServingSpec};
 use wsdf_workload::Workload;
 
 /// Which fabric a scenario builds, with its size parameters.
@@ -665,17 +668,23 @@ pub enum RunSpec {
         /// Ring-allreduce probe payload per participant (0 = skip).
         collective_flits: u64,
     },
+    /// Multi-tenant serving run → a [`ServingReport`].
+    Serving {
+        /// Arrival process, job-class mix and placements.
+        spec: ServingSpec,
+    },
 }
 
 impl RunSpec {
     /// Stable run-kind name (`open_loop`, `adaptive`, `closed_loop`,
-    /// `resilience`).
+    /// `resilience`, `serving`).
     pub fn kind(&self) -> &'static str {
         match self {
             RunSpec::OpenLoop { .. } => "open_loop",
             RunSpec::Adaptive { .. } => "adaptive",
             RunSpec::ClosedLoop { .. } => "closed_loop",
             RunSpec::Resilience { .. } => "resilience",
+            RunSpec::Serving { .. } => "serving",
         }
     }
 
@@ -724,6 +733,51 @@ impl RunSpec {
                 join_nums(fractions),
                 json::num(*router_ratio)
             ),
+            RunSpec::Serving { spec } => {
+                let arrivals = match &spec.arrivals {
+                    ArrivalProcess::Poisson {
+                        rate_per_kcycle,
+                        horizon,
+                    } => format!(
+                        "{{\"process\": \"poisson\", \"rate_per_kcycle\": {}, \"horizon\": {horizon}}}",
+                        json::num(*rate_per_kcycle)
+                    ),
+                    ArrivalProcess::Trace { cycles } => {
+                        let cs: Vec<String> = cycles.iter().map(|c| c.to_string()).collect();
+                        format!("{{\"process\": \"trace\", \"cycles\": [{}]}}", cs.join(", "))
+                    }
+                };
+                let classes: Vec<String> = spec
+                    .classes
+                    .iter()
+                    .map(|c| {
+                        let mb = if c.collective == "pipeline" {
+                            format!(", \"microbatches\": {}", c.microbatches)
+                        } else {
+                            String::new()
+                        };
+                        format!(
+                            "{{\"name\": \"{}\", \"collective\": \"{}\", \"flits\": {}{mb}, \
+                             \"participants\": {}, \"placement\": \"{}\", \"slo_cycles\": {}, \
+                             \"weight\": {}}}",
+                            json::escape(&c.name),
+                            c.collective,
+                            c.flits,
+                            c.participants,
+                            c.placement.name(),
+                            c.slo_cycles,
+                            json::num(c.weight)
+                        )
+                    })
+                    .collect();
+                format!(
+                    "{{\"kind\": \"serving\", \"seed\": {}, \"max_jobs\": {}, \
+                     \"arrivals\": {arrivals}, \"classes\": [{}]}}",
+                    spec.seed,
+                    spec.max_jobs,
+                    classes.join(", ")
+                )
+            }
         }
     }
 
@@ -763,7 +817,8 @@ impl RunSpec {
                     &["kind", "start_chip", "growth", "rel_tol", "max_points"],
                 )?;
                 let d = AdaptiveConfig::default();
-                let start_chip = read::opt_f64_field(v, path, "start_chip")?.unwrap_or(d.start_chip);
+                let start_chip =
+                    read::opt_f64_field(v, path, "start_chip")?.unwrap_or(d.start_chip);
                 if start_chip <= 0.0 {
                     return Err(format!("{path}.start_chip: expected number > 0"));
                 }
@@ -793,7 +848,8 @@ impl RunSpec {
                     &format!("{path}.workload"),
                 )?;
                 let d = WorkloadUnits::default();
-                let flit_bytes = read::opt_f64_field(v, path, "flit_bytes")?.unwrap_or(d.flit_bytes);
+                let flit_bytes =
+                    read::opt_f64_field(v, path, "flit_bytes")?.unwrap_or(d.flit_bytes);
                 if flit_bytes <= 0.0 {
                     return Err(format!("{path}.flit_bytes: expected number > 0"));
                 }
@@ -866,8 +922,165 @@ impl RunSpec {
                     )?,
                 })
             }
+            "serving" => {
+                read::check_keys(
+                    v,
+                    path,
+                    &["kind", "seed", "max_jobs", "arrivals", "classes"],
+                )?;
+                let seed = read::u64_or(v, path, "seed", 1)?;
+                let max_jobs = read::u64_or(v, path, "max_jobs", 256)?;
+                if max_jobs == 0 || max_jobs > wsdf_workload::message::MAX_JOBS {
+                    return Err(format!(
+                        "{path}.max_jobs: must be in 1..={}",
+                        wsdf_workload::message::MAX_JOBS
+                    ));
+                }
+                let apath = format!("{path}.arrivals");
+                let a = read::req(v, path, "arrivals")?;
+                read::check_keys(
+                    a,
+                    &apath,
+                    &["process", "rate_per_kcycle", "horizon", "cycles"],
+                )?;
+                let arrivals = match read::str_field(a, &apath, "process")? {
+                    "poisson" => {
+                        if a.get("cycles").is_some() {
+                            return Err(format!("{apath}.cycles: only trace arrivals take cycles"));
+                        }
+                        let rate =
+                            read::opt_f64_field(a, &apath, "rate_per_kcycle")?.unwrap_or(1.0);
+                        if !(rate > 0.0 && rate <= 1000.0) {
+                            return Err(format!(
+                                "{apath}.rate_per_kcycle: expected number in (0, 1000]"
+                            ));
+                        }
+                        let horizon = read::u64_or(a, &apath, "horizon", 10_000)?;
+                        if horizon == 0 {
+                            return Err(format!("{apath}.horizon: must be at least 1"));
+                        }
+                        ArrivalProcess::Poisson {
+                            rate_per_kcycle: rate,
+                            horizon,
+                        }
+                    }
+                    "trace" => {
+                        for key in ["rate_per_kcycle", "horizon"] {
+                            if a.get(key).is_some() {
+                                return Err(format!(
+                                    "{apath}.{key}: only poisson arrivals take {key}"
+                                ));
+                            }
+                        }
+                        let arr = read::arr_field(a, &apath, "cycles")?;
+                        if arr.is_empty() {
+                            return Err(format!(
+                                "{apath}.cycles: expected at least one arrival cycle"
+                            ));
+                        }
+                        let mut cycles = Vec::with_capacity(arr.len());
+                        for (i, c) in arr.iter().enumerate() {
+                            cycles.push(read::as_u64(c).ok_or_else(|| {
+                                format!("{apath}.cycles[{i}]: expected non-negative integer")
+                            })?);
+                        }
+                        ArrivalProcess::Trace { cycles }
+                    }
+                    _ => {
+                        return Err(format!(
+                            "{apath}.process: expected \"poisson\" or \"trace\""
+                        ))
+                    }
+                };
+                let arr = read::arr_field(v, path, "classes")?;
+                if arr.is_empty() {
+                    return Err(format!("{path}.classes: expected at least one class"));
+                }
+                let mut classes = Vec::with_capacity(arr.len());
+                for (i, c) in arr.iter().enumerate() {
+                    let cpath = format!("{path}.classes[{i}]");
+                    read::check_keys(
+                        c,
+                        &cpath,
+                        &[
+                            "name",
+                            "collective",
+                            "flits",
+                            "microbatches",
+                            "participants",
+                            "placement",
+                            "slo_cycles",
+                            "weight",
+                        ],
+                    )?;
+                    let name = read::str_field(c, &cpath, "name")?.to_string();
+                    if name.is_empty() {
+                        return Err(format!("{cpath}.name: must not be empty"));
+                    }
+                    let collective = read::str_field(c, &cpath, "collective")?;
+                    if !COLLECTIVES.contains(&collective) {
+                        return Err(format!(
+                            "{cpath}.collective: unknown collective \"{collective}\""
+                        ));
+                    }
+                    let flits = read::u64_or(c, &cpath, "flits", 64)?;
+                    if flits == 0 {
+                        return Err(format!("{cpath}.flits: must be at least 1"));
+                    }
+                    let microbatches = match c.get("microbatches") {
+                        None => 1,
+                        Some(_) if collective != "pipeline" => {
+                            return Err(format!(
+                            "{cpath}.microbatches: only the pipeline collective takes microbatches"
+                        ))
+                        }
+                        Some(_) => {
+                            let mb = read::u64_field(c, &cpath, "microbatches")?;
+                            if mb == 0 || mb > u32::MAX as u64 {
+                                return Err(format!("{cpath}.microbatches: must be at least 1"));
+                            }
+                            mb as u32
+                        }
+                    };
+                    let participants = read::u64_field(c, &cpath, "participants")?;
+                    if !(2..=u32::MAX as u64).contains(&participants) {
+                        return Err(format!("{cpath}.participants: must be at least 2"));
+                    }
+                    let placement = match c.get("placement") {
+                        None => Placement::Block,
+                        Some(p) => p.as_str().and_then(Placement::from_name).ok_or_else(|| {
+                            format!(
+                                "{cpath}.placement: expected \"block\", \"strided\" or \"overlapping\""
+                            )
+                        })?,
+                    };
+                    let weight = read::opt_f64_field(c, &cpath, "weight")?.unwrap_or(1.0);
+                    if weight <= 0.0 {
+                        return Err(format!("{cpath}.weight: expected number > 0"));
+                    }
+                    classes.push(JobClass {
+                        name,
+                        collective: collective.to_string(),
+                        flits,
+                        microbatches,
+                        participants: participants as u32,
+                        placement,
+                        slo_cycles: read::u64_or(c, &cpath, "slo_cycles", 0)?,
+                        weight,
+                    });
+                }
+                Ok(RunSpec::Serving {
+                    spec: ServingSpec {
+                        seed,
+                        arrivals,
+                        max_jobs,
+                        classes,
+                    },
+                })
+            }
             _ => Err(format!(
-                "{path}.kind: expected \"open_loop\", \"adaptive\", \"closed_loop\" or \"resilience\""
+                "{path}.kind: expected \"open_loop\", \"adaptive\", \"closed_loop\", \
+                 \"resilience\" or \"serving\""
             )),
         }
     }
@@ -1000,6 +1213,13 @@ impl Scenario {
                     ));
                 }
             }
+            RunSpec::Serving { .. } => {
+                if traffic.is_some() {
+                    return Err(format!(
+                        "{tpath}: serving runs take {path}.run.classes, not traffic"
+                    ));
+                }
+            }
             _ => {
                 let t = traffic
                     .as_ref()
@@ -1029,7 +1249,7 @@ impl Scenario {
                             ));
                         }
                     }
-                    RunSpec::ClosedLoop { .. } => unreachable!(),
+                    RunSpec::ClosedLoop { .. } | RunSpec::Serving { .. } => unreachable!(),
                 }
                 if t.pattern == PatternSpec::Hotspot && topology.wgroups() < 4 {
                     return Err(format!(
@@ -1275,6 +1495,11 @@ impl Scenario {
                 let report = resilience_sweep_on(&bench, &rcfg, t.pattern, pool);
                 Ok(ScenarioOutcome::Resilience(report))
             }
+            RunSpec::Serving { spec } => {
+                let report = run_serving_on(&bench, &cfg, spec, pool)
+                    .map_err(|e| format!("scenario.run: {e}"))?;
+                Ok(ScenarioOutcome::Serving(Box::new(report)))
+            }
         }
     }
 }
@@ -1323,7 +1548,8 @@ fn build_workload(spec: &WorkloadSpec, bench: &Bench) -> Result<Workload, String
 
 /// One node per chip (node 0), filtered to the largest live component on
 /// a degraded bench — the same participant rule as the resilience probe.
-fn live_chips(bench: &Bench) -> Vec<u32> {
+/// Serving placements resolve against this same list.
+pub(crate) fn live_chips(bench: &Bench) -> Vec<u32> {
     let Some(f) = &bench.faults else {
         return (0..bench.scope.num_chips())
             .map(|c| bench.scope.node_of(c, 0))
@@ -1337,7 +1563,7 @@ fn live_chips(bench: &Bench) -> Vec<u32> {
         .collect()
 }
 
-/// The result of executing a [`Scenario`]: one of the four report types,
+/// The result of executing a [`Scenario`]: one of the five report types,
 /// with uniform rendering and digesting.
 #[derive(Debug, Clone)]
 pub enum ScenarioOutcome {
@@ -1354,6 +1580,9 @@ pub enum ScenarioOutcome {
     ClosedLoop(WorkloadReport),
     /// Resilience sweep result.
     Resilience(ResilienceReport),
+    /// Multi-tenant serving result (boxed: the report carries the full
+    /// job-CT histogram, far larger than the other variants).
+    Serving(Box<ServingReport>),
 }
 
 impl ScenarioOutcome {
@@ -1364,6 +1593,7 @@ impl ScenarioOutcome {
             ScenarioOutcome::Adaptive { .. } => "adaptive",
             ScenarioOutcome::ClosedLoop(_) => "closed_loop",
             ScenarioOutcome::Resilience(_) => "resilience",
+            ScenarioOutcome::Serving(_) => "serving",
         }
     }
 
@@ -1374,6 +1604,7 @@ impl ScenarioOutcome {
             ScenarioOutcome::Adaptive { label, report } => report.to_json(label),
             ScenarioOutcome::ClosedLoop(r) => r.to_json(),
             ScenarioOutcome::Resilience(r) => r.to_json(),
+            ScenarioOutcome::Serving(r) => r.to_json(),
         }
     }
 
@@ -1390,6 +1621,7 @@ impl ScenarioOutcome {
             ScenarioOutcome::Adaptive { label, report } => report.render(label),
             ScenarioOutcome::ClosedLoop(r) => r.render(),
             ScenarioOutcome::Resilience(r) => r.render(),
+            ScenarioOutcome::Serving(r) => r.render(),
         }
     }
 }
@@ -1577,7 +1809,7 @@ mod tests {
             ),
             (
                 &bad_kind,
-                "scenario.run.kind: expected \"open_loop\", \"adaptive\", \"closed_loop\" or \"resilience\"",
+                "scenario.run.kind: expected \"open_loop\", \"adaptive\", \"closed_loop\", \"resilience\" or \"serving\"",
             ),
         ];
         for (doc, want) in cases {
@@ -1651,6 +1883,91 @@ mod tests {
         let s = Scenario::from_json_str(&dag).unwrap();
         let out = s.run().unwrap();
         assert_eq!(out.kind(), "closed_loop");
+    }
+
+    #[test]
+    fn serving_parses_round_trips_and_executes() {
+        let text = mesh_scenario(
+            r#"{"kind": "serving", "seed": 3,
+                "arrivals": {"process": "trace", "cycles": [0, 40, 80, 120]},
+                "classes": [
+                  {"name": "train", "collective": "ring_allreduce", "flits": 8,
+                   "participants": 4, "placement": "block", "slo_cycles": 5000},
+                  {"name": "infer", "collective": "pipeline", "flits": 4,
+                   "microbatches": 2, "participants": 3, "placement": "overlapping",
+                   "weight": 0.5}]}"#,
+            "",
+        );
+        let s = Scenario::from_json_str(&text).unwrap();
+        assert_eq!(s.run.kind(), "serving");
+        // Canonical form round-trips exactly.
+        let back = Scenario::from_json_str(&s.to_json()).unwrap();
+        assert_eq!(back, s);
+        let out = s.run().unwrap();
+        let ScenarioOutcome::Serving(r) = &out else {
+            panic!("wrong outcome kind")
+        };
+        assert_eq!(r.jobs.len(), 4);
+        assert_eq!(r.classes.len(), 2);
+        assert_eq!(out.kind(), "serving");
+    }
+
+    #[test]
+    fn serving_error_paths_are_precise() {
+        let cases: &[(&str, &str)] = &[
+            (
+                r#"{"kind": "serving", "arrivals": {"process": "zipf"},
+                    "classes": [{"name": "a", "collective": "reduce", "participants": 2}]}"#,
+                "scenario.run.arrivals.process: expected \"poisson\" or \"trace\"",
+            ),
+            (
+                r#"{"kind": "serving", "arrivals": {"process": "poisson", "rate_per_kcycle": 0},
+                    "classes": [{"name": "a", "collective": "reduce", "participants": 2}]}"#,
+                "scenario.run.arrivals.rate_per_kcycle: expected number in (0, 1000]",
+            ),
+            (
+                r#"{"kind": "serving", "arrivals": {"process": "trace", "cycles": []},
+                    "classes": [{"name": "a", "collective": "reduce", "participants": 2}]}"#,
+                "scenario.run.arrivals.cycles: expected at least one arrival cycle",
+            ),
+            (
+                r#"{"kind": "serving", "arrivals": {"process": "trace", "cycles": [0]},
+                    "classes": []}"#,
+                "scenario.run.classes: expected at least one class",
+            ),
+            (
+                r#"{"kind": "serving", "arrivals": {"process": "trace", "cycles": [0]},
+                    "classes": [{"name": "a", "collective": "reduce", "participants": 2,
+                                 "placement": "anywhere"}]}"#,
+                "scenario.run.classes[0].placement: expected \"block\", \"strided\" or \"overlapping\"",
+            ),
+            (
+                r#"{"kind": "serving", "arrivals": {"process": "trace", "cycles": [0]},
+                    "classes": [{"name": "a", "collective": "reduce", "participants": 1}]}"#,
+                "scenario.run.classes[0].participants: must be at least 2",
+            ),
+            (
+                r#"{"kind": "serving", "arrivals": {"process": "trace", "cycles": [0]},
+                    "classes": [{"name": "a", "collective": "broadcast", "participants": 2,
+                                 "microbatches": 3}]}"#,
+                "scenario.run.classes[0].microbatches: only the pipeline collective takes microbatches",
+            ),
+        ];
+        for (run, want) in cases {
+            let err = Scenario::from_json_str(&mesh_scenario(run, "")).unwrap_err();
+            assert_eq!(&err, want);
+        }
+        // Serving runs reject a traffic section outright.
+        let err = Scenario::from_json_str(&mesh_scenario(
+            r#"{"kind": "serving", "arrivals": {"process": "trace", "cycles": [0]},
+                "classes": [{"name": "a", "collective": "reduce", "participants": 2}]}"#,
+            r#""traffic": {"pattern": "uniform", "rate": 0.5},"#,
+        ))
+        .unwrap_err();
+        assert_eq!(
+            err,
+            "scenario.traffic: serving runs take scenario.run.classes, not traffic"
+        );
     }
 
     #[test]

@@ -16,6 +16,9 @@
 //!   the run ends at quiescence, yielding a [`WorkloadOutcome`] with
 //!   completion cycles, per-phase timing, and the engine's full latency
 //!   histogram.
+//! * [`tenancy`] — multi-tenant serving: a seeded job arrival process
+//!   spawning collective instances onto endpoint placements, multiplexed
+//!   through one [`tenancy::MultiJobDriver`] sharing the fabric.
 //!
 //! Completion times are bit-identical for any BSP partition or worker
 //! count — dependency release happens at the cycle barrier on merged
@@ -37,6 +40,7 @@
 pub mod collective;
 pub mod driver;
 pub mod message;
+pub mod tenancy;
 
 pub use collective::{Message, Workload};
 pub use driver::{
@@ -44,3 +48,7 @@ pub use driver::{
     WorkloadOutcome,
 };
 pub use message::{packet_count, packet_id, segments, Reassembly};
+pub use tenancy::{
+    build_jobs, run_multi_job_faulted_on, ArrivalProcess, JobClass, JobInstance, MultiJobDriver,
+    MultiJobOutcome, Placement, ServingSpec,
+};

@@ -15,6 +15,17 @@
 //! driver counts arrived flits per message id ([`Reassembly`]) and declares
 //! the message complete when the count reaches its size — the arrival
 //! cycle of the last packet's tail flit is the message completion time.
+//!
+//! Multi-tenant runs partition the 36-bit message field further, into a
+//! job id and an intra-job message id:
+//!
+//! ```text
+//!   bits 55..40   job id            (up to 2^16 concurrent jobs)
+//!   bits 39..20   intra-job msg id  (up to 2^20 messages per job)
+//! ```
+//!
+//! [`job_packet_id`]/[`job_of`]/[`job_msg_of`] pack and unpack that split;
+//! single-job drivers keep using the flat [`packet_id`] form (job id 0).
 
 /// Bits of the packet-sequence field within a packet id.
 pub const SEQ_BITS: u32 = 20;
@@ -44,6 +55,39 @@ pub fn msg_of(id: u64) -> u32 {
 #[inline]
 pub fn seq_of(id: u64) -> u64 {
     id & (MAX_PACKETS_PER_MESSAGE - 1)
+}
+
+/// Bits of the job-id field within a multi-tenant packet id.
+pub const JOB_BITS: u32 = 16;
+
+/// Bits of the intra-job message field within a multi-tenant packet id.
+pub const INTRA_BITS: u32 = 56 - SEQ_BITS - JOB_BITS;
+
+/// Maximum concurrent jobs per multi-tenant run (`2^JOB_BITS`).
+pub const MAX_JOBS: u64 = 1 << JOB_BITS;
+
+/// Maximum messages per job (`2^INTRA_BITS`).
+pub const MAX_JOB_MESSAGES: u64 = 1 << INTRA_BITS;
+
+/// Pack (job id, intra-job message id, packet seq) into a packet id.
+#[inline]
+pub fn job_packet_id(job: u32, msg: u32, seq: u64) -> u64 {
+    debug_assert!((job as u64) < MAX_JOBS);
+    debug_assert!((msg as u64) < MAX_JOB_MESSAGES);
+    debug_assert!(seq < MAX_PACKETS_PER_MESSAGE);
+    ((job as u64) << (INTRA_BITS + SEQ_BITS)) | ((msg as u64) << SEQ_BITS) | seq
+}
+
+/// Job id of a multi-tenant packet id.
+#[inline]
+pub fn job_of(id: u64) -> u32 {
+    (id >> (INTRA_BITS + SEQ_BITS)) as u32
+}
+
+/// Intra-job message id of a multi-tenant packet id.
+#[inline]
+pub fn job_msg_of(id: u64) -> u32 {
+    ((id >> SEQ_BITS) & (MAX_JOB_MESSAGES - 1)) as u32
 }
 
 /// Segment a message of `flits` flits into engine packets of at most
@@ -126,6 +170,28 @@ mod tests {
             // Engine VC-stamp bits stay clear.
             assert_eq!(id >> 56, 0);
         }
+    }
+
+    #[test]
+    fn job_tag_roundtrip() {
+        for (j, m, s) in [
+            (0u32, 0u32, 0u64),
+            (1, 2, 3),
+            (0xFFFF, 0xF_FFFF, 0xF_FFFF),
+            (42, 0, 19),
+        ] {
+            let id = job_packet_id(j, m, s);
+            assert_eq!(job_of(id), j);
+            assert_eq!(job_msg_of(id), m);
+            assert_eq!(seq_of(id), s);
+            // Engine VC-stamp bits stay clear even at the field maxima.
+            assert_eq!(id >> 56, 0);
+        }
+        // Job 0 coincides with the flat single-job tag space.
+        assert_eq!(job_packet_id(0, 7, 3), packet_id(7, 3));
+        // Field widths tile the 36-bit message field exactly.
+        assert_eq!(JOB_BITS + INTRA_BITS + SEQ_BITS, 56);
+        assert_eq!(MAX_JOBS * MAX_JOB_MESSAGES, MAX_MESSAGES);
     }
 
     #[test]

@@ -496,6 +496,57 @@ fn any_workload_spec(rng: &mut SplitMix64) -> wsdf::scenario::WorkloadSpec {
     }
 }
 
+/// Random serving spec: valid arrivals (both processes), a class mix
+/// over the registered collectives, all three placement schemes.
+fn any_serving_spec(rng: &mut SplitMix64) -> wsdf::workload::tenancy::ServingSpec {
+    use wsdf::workload::tenancy::{ArrivalProcess, JobClass, Placement, ServingSpec};
+    let kinds = [
+        "ring_allreduce",
+        "rd_allreduce",
+        "all_to_all",
+        "broadcast",
+        "reduce",
+        "pipeline",
+    ];
+    let classes = (0..1 + rng.next_below(3))
+        .map(|i| {
+            let kind = kinds[rng.next_below(kinds.len() as u64) as usize];
+            JobClass {
+                name: format!("class{i}"),
+                collective: kind.to_string(),
+                flits: 1 + rng.next_below(128),
+                microbatches: if kind == "pipeline" {
+                    1 + rng.next_below(4) as u32
+                } else {
+                    1
+                },
+                participants: 2 + rng.next_below(8) as u32,
+                placement: [Placement::Block, Placement::Strided, Placement::Overlapping]
+                    [rng.next_below(3) as usize],
+                slo_cycles: rng.next_below(1 << 20),
+                weight: (1 + rng.next_below(40)) as f64 / 8.0,
+            }
+        })
+        .collect();
+    ServingSpec {
+        seed: rng.next_below(1 << 32),
+        arrivals: if rng.chance(0.5) {
+            ArrivalProcess::Poisson {
+                rate_per_kcycle: (1 + rng.next_below(1000)) as f64,
+                horizon: 1 + rng.next_below(50_000),
+            }
+        } else {
+            ArrivalProcess::Trace {
+                cycles: (0..1 + rng.next_below(10))
+                    .map(|_| rng.next_below(1 << 20))
+                    .collect(),
+            }
+        },
+        max_jobs: 1 + rng.next_below(256),
+        classes,
+    }
+}
+
 /// Random *valid* scenario across every topology family, run kind and
 /// optional section. Structurally valid (it parses back), but not
 /// necessarily cheap to execute — runnable cases are drawn separately.
@@ -544,7 +595,7 @@ fn any_scenario(rng: &mut SplitMix64) -> wsdf::scenario::Scenario {
         packet_len: packet_len as u8,
         buffer_flits: (packet_len + rng.next_below(60)) as u16,
     };
-    let run = match rng.next_below(4) {
+    let run = match rng.next_below(5) {
         0 => RunSpec::OpenLoop {
             rates_chip: rng.chance(0.5).then(|| {
                 (0..1 + rng.next_below(4))
@@ -563,6 +614,9 @@ fn any_scenario(rng: &mut SplitMix64) -> wsdf::scenario::Scenario {
             flit_bytes: (1 + rng.next_below(512)) as f64,
             clock_ghz: (1 + rng.next_below(40)) as f64 / 10.0,
         },
+        3 => RunSpec::Serving {
+            spec: any_serving_spec(rng),
+        },
         _ => RunSpec::Resilience {
             rate_chip: (1 + rng.next_below(1000)) as f64 / 500.0,
             fractions: (0..1 + rng.next_below(3))
@@ -573,7 +627,8 @@ fn any_scenario(rng: &mut SplitMix64) -> wsdf::scenario::Scenario {
             collective_flits: rng.next_below(64),
         },
     };
-    // Traffic is forbidden on closed-loop runs and required elsewhere; a
+    // Traffic is forbidden on closed-loop and serving runs and required
+    // elsewhere; a
     // single-point rate is required exactly when a fixed-grid open-loop
     // run gives no rates_chip. Hotspot needs 4+ W-groups.
     let wgroups = match &topology {
@@ -596,7 +651,7 @@ fn any_scenario(rng: &mut SplitMix64) -> wsdf::scenario::Scenario {
         patterns.push("hotspot");
     }
     let needs_rate = matches!(run, RunSpec::OpenLoop { rates_chip: None });
-    let traffic = if matches!(run, RunSpec::ClosedLoop { .. }) {
+    let traffic = if matches!(run, RunSpec::ClosedLoop { .. } | RunSpec::Serving { .. }) {
         None
     } else {
         Some(TrafficSpec {
@@ -824,5 +879,229 @@ fn workload_flit_conservation() {
                 );
             }
         }
+    }
+}
+
+/// A consistent random [`wsdf::ServingReport`]: every class serves at
+/// least one job (NaN-free, since NaN breaks `PartialEq` round-trip
+/// comparison), the CT histogram matches the job records, and the
+/// percentiles come from that histogram — exactly the invariants the
+/// real runner maintains.
+fn any_serving_report(rng: &mut SplitMix64) -> wsdf::ServingReport {
+    use wsdf::{ClassStat, JobRecord, ServingReport};
+    let class_names = ["alpha", "beta", "gamma"];
+    let nclasses = 1 + rng.next_below(3) as usize;
+    let njobs = nclasses * (1 + rng.next_below(4) as usize);
+    let mut hist = LatencyHistogram::default();
+    let jobs: Vec<JobRecord> = (0..njobs)
+        .map(|i| {
+            let arrival = rng.next_below(1 << 40);
+            let ct = 1 + rng.next_below(1 << 40);
+            hist.record(ct);
+            JobRecord {
+                id: i as u32,
+                class: class_names[i % nclasses].to_string(),
+                arrival,
+                completion: arrival + ct,
+                ct,
+            }
+        })
+        .collect();
+    let makespan = jobs.iter().map(|j| j.completion).max().unwrap();
+    let classes: Vec<ClassStat> = (0..nclasses)
+        .map(|ci| {
+            let mine: Vec<&JobRecord> =
+                jobs.iter().filter(|j| j.class == class_names[ci]).collect();
+            let n = mine.len() as u64;
+            let mean_ct = mine.iter().map(|r| r.ct as f64).sum::<f64>() / n as f64;
+            let isolated_ct = 1 + rng.next_below(1 << 30);
+            let flits = 1 + rng.next_below(1 << 40);
+            ClassStat {
+                name: class_names[ci].to_string(),
+                jobs: n,
+                flits,
+                mean_ct,
+                isolated_ct,
+                slowdown: mean_ct / isolated_ct as f64,
+                throughput_flits_per_kcycle: flits as f64 * 1000.0 / makespan as f64,
+                slo_cycles: rng.next_below(1 << 40),
+                slo_misses: rng.next_below(n + 1),
+            }
+        })
+        .collect();
+    let fairness = wsdf::serving::jain_fairness(
+        &classes
+            .iter()
+            .map(|c| c.throughput_flits_per_kcycle)
+            .collect::<Vec<f64>>(),
+    );
+    let pct = |q: Option<u64>| q.unwrap() as f64;
+    ServingReport {
+        label: format!("prop-{}", rng.next_below(1000)),
+        makespan_cycles: makespan,
+        ct_p50: pct(hist.p50()),
+        ct_p95: pct(hist.p95()),
+        ct_p99: pct(hist.p99()),
+        fairness,
+        ct_hist: hist,
+        jobs,
+        classes,
+        busy_cycles: rng.next_below(1 << 40),
+        skipped_cycles: rng.next_below(1 << 40),
+    }
+}
+
+/// Serving reports round-trip through JSON — histogram included (it is
+/// rebuilt from the job records on parse) — and the serialization is a
+/// fixed point.
+#[test]
+fn serving_report_json_round_trips() {
+    use wsdf::ServingReport;
+    let mut rng = SplitMix64::new(0x5EED_000E);
+    for case in 0..CASES {
+        let r = any_serving_report(&mut rng);
+        let text = r.to_json();
+        let back = ServingReport::from_json(&text).unwrap_or_else(|e| panic!("case {case}: {e}"));
+        assert_eq!(back, r, "case {case}: round-trip drift");
+        assert_eq!(back.to_json(), text, "case {case}: not a fixed point");
+    }
+}
+
+/// Forward compatibility of serving reports: any subset of the optional
+/// sections may be missing and the parse still succeeds, with missing
+/// numeric summaries reading as NaN, counters as 0, and arrays as empty.
+#[test]
+fn serving_report_parses_with_any_optional_subset() {
+    use wsdf::ServingReport;
+    let mut rng = SplitMix64::new(0x5EED_000F);
+    for case in 0..CASES {
+        let makespan = rng.chance(0.5).then(|| rng.next_below(1 << 40));
+        let p50 = rng.chance(0.5).then(|| rng.next_below(1 << 30) as f64);
+        let fairness = rng.chance(0.5).then(|| rng.next_below(101) as f64 / 100.0);
+        let with_jobs = rng.chance(0.5);
+        let with_classes = rng.chance(0.5);
+        let mut s = String::from("{\"label\": \"legacy\"");
+        if let Some(m) = makespan {
+            s.push_str(&format!(", \"makespan_cycles\": {m}"));
+        }
+        if let Some(p) = p50 {
+            s.push_str(&format!(", \"ct_p50\": {p}"));
+        }
+        if let Some(f) = fairness {
+            s.push_str(&format!(", \"fairness\": {f}"));
+        }
+        if with_jobs {
+            s.push_str(
+                ", \"jobs\": [{\"id\": 0, \"class\": \"a\", \"arrival\": 3, \
+                 \"completion\": 10, \"ct\": 7}]",
+            );
+        }
+        if with_classes {
+            // A class written by an older serializer: only name and jobs.
+            s.push_str(", \"classes\": [{\"name\": \"a\", \"jobs\": 1}]");
+        }
+        s.push('}');
+        let r = ServingReport::from_json(&s).unwrap_or_else(|e| panic!("case {case}: {e}\n{s}"));
+        assert_eq!(r.label, "legacy", "case {case}");
+        assert_eq!(r.makespan_cycles, makespan.unwrap_or(0), "case {case}");
+        match p50 {
+            Some(p) => assert_eq!(r.ct_p50, p, "case {case}"),
+            None => assert!(r.ct_p50.is_nan(), "case {case}"),
+        }
+        match fairness {
+            Some(f) => assert_eq!(r.fairness, f, "case {case}"),
+            None => assert!(r.fairness.is_nan(), "case {case}"),
+        }
+        // Never-written fields always default.
+        assert!(r.ct_p95.is_nan() && r.ct_p99.is_nan(), "case {case}");
+        assert_eq!(r.busy_cycles, 0, "case {case}");
+        if with_jobs {
+            assert_eq!(r.jobs.len(), 1, "case {case}");
+            assert_eq!(r.ct_hist.count(), 1, "case {case}");
+            assert_eq!(r.jobs[0].ct, 7, "case {case}");
+        } else {
+            assert!(r.jobs.is_empty() && r.ct_hist.is_empty(), "case {case}");
+        }
+        if with_classes {
+            let c = &r.classes[0];
+            assert_eq!((c.jobs, c.flits, c.slo_misses), (1, 0, 0), "case {case}");
+            assert!(c.mean_ct.is_nan() && c.slowdown.is_nan(), "case {case}");
+        } else {
+            assert!(r.classes.is_empty(), "case {case}");
+        }
+    }
+}
+
+/// Forward compatibility of workload reports: `phases`, `latency` (whole
+/// or any subset of its fields) and the busy/skipped counters may all be
+/// missing — older files parse with empty/NaN/0 defaults.
+#[test]
+fn workload_report_parses_with_any_optional_subset() {
+    use wsdf::WorkloadReport;
+    let mut rng = SplitMix64::new(0x5EED_0010);
+    for case in 0..CASES {
+        let cc = rng.next_below(1 << 40);
+        let with_phases = rng.chance(0.5);
+        let latency = rng.chance(0.5).then(|| {
+            (
+                rng.chance(0.5).then(|| rng.next_below(1 << 30)),
+                rng.chance(0.5).then(|| rng.next_below(1 << 20) as f64),
+            )
+        });
+        let busy = rng.chance(0.5).then(|| rng.next_below(cc + 1));
+        let mut s = format!(
+            "{{\"label\": \"l\", \"workload\": \"w\", \"completion_cycles\": {cc}, \
+             \"messages\": 2, \"flits\": 64, \"achieved_flits_per_cycle\": 0.5, \
+             \"achieved_gbps\": 1.25"
+        );
+        if with_phases {
+            s.push_str(
+                ", \"phases\": [{\"name\": \"p0\", \"messages\": 2, \"flits\": 64, \
+                 \"start_cycle\": 1, \"end_cycle\": 9, \"achieved_flits_per_cycle\": 8, \
+                 \"achieved_gbps\": 16}]",
+            );
+        }
+        if let Some((count, p50)) = &latency {
+            s.push_str(", \"latency\": {");
+            let mut parts = Vec::new();
+            if let Some(c) = count {
+                parts.push(format!("\"count\": {c}"));
+            }
+            if let Some(p) = p50 {
+                parts.push(format!("\"p50\": {p}"));
+            }
+            s.push_str(&parts.join(", "));
+            s.push('}');
+        }
+        if let Some(b) = busy {
+            s.push_str(&format!(", \"busy_cycles\": {b}"));
+        }
+        s.push('}');
+        let r = WorkloadReport::from_json(&s).unwrap_or_else(|e| panic!("case {case}: {e}\n{s}"));
+        assert_eq!(r.completion_cycles, cc, "case {case}");
+        assert_eq!(r.phases.len(), usize::from(with_phases), "case {case}");
+        match &latency {
+            None => {
+                assert_eq!(r.latency.count, 0, "case {case}");
+                assert!(
+                    r.latency.mean.is_nan() && r.latency.p50.is_nan(),
+                    "case {case}"
+                );
+            }
+            Some((count, p50)) => {
+                assert_eq!(r.latency.count, count.unwrap_or(0), "case {case}");
+                match p50 {
+                    Some(p) => assert_eq!(r.latency.p50, *p, "case {case}"),
+                    None => assert!(r.latency.p50.is_nan(), "case {case}"),
+                }
+                // Never-written subfields default to NaN.
+                assert!(
+                    r.latency.p99.is_nan() && r.latency.max.is_nan(),
+                    "case {case}"
+                );
+            }
+        }
+        assert_eq!(r.busy_cycles, busy.unwrap_or(0), "case {case}");
+        assert_eq!(r.skipped_cycles, 0, "case {case}");
     }
 }

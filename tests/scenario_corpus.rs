@@ -115,7 +115,13 @@ fn corpus_covers_the_run_kind_by_family_matrix() {
         }
     }
     for family in ["switchless", "switchbased"] {
-        for kind in ["open_loop", "adaptive", "closed_loop", "resilience"] {
+        for kind in [
+            "open_loop",
+            "adaptive",
+            "closed_loop",
+            "resilience",
+            "serving",
+        ] {
             assert!(
                 seen.contains(&(family, kind)),
                 "corpus lacks a {family} {kind} scenario"
