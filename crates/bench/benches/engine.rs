@@ -3,8 +3,9 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use wsdf::routing::{RouteMode, VcScheme};
-use wsdf::{Bench, PatternSpec, Workload, WorkloadUnits};
-use wsdf_sim::SimConfig;
+use wsdf::workload::tenancy::ServingSpec;
+use wsdf::{Bench, PatternSpec, ServingReport, Session, Workload, WorkloadReport, WorkloadUnits};
+use wsdf_sim::{Metrics, SimConfig, TrafficPattern};
 use wsdf_topo::{FaultSet, FaultSpec, SlParams, SwParams, SwitchFabric, SwitchlessFabric};
 
 fn quick_cfg() -> SimConfig {
@@ -14,6 +15,38 @@ fn quick_cfg() -> SimConfig {
         drain_cycles: 0,
         ..Default::default()
     }
+}
+
+// Session-backed one-liners so every sample times the same frontend the
+// harness uses (trace disabled — the zero-cost claim is part of what the
+// baselines pin).
+fn run(bench: &Bench, cfg: &SimConfig, pat: &dyn TrafficPattern) -> Metrics {
+    Session::bench(bench)
+        .sim(cfg.clone())
+        .metrics(pat)
+        .unwrap()
+        .report
+}
+
+fn run_workload(
+    bench: &Bench,
+    cfg: &SimConfig,
+    wl: &Workload,
+    units: &WorkloadUnits,
+) -> WorkloadReport {
+    Session::bench(bench)
+        .sim(cfg.clone())
+        .workload(wl, units)
+        .unwrap()
+        .report
+}
+
+fn run_serving(bench: &Bench, cfg: &SimConfig, spec: &ServingSpec) -> ServingReport {
+    Session::bench(bench)
+        .sim(cfg.clone())
+        .serving(spec)
+        .unwrap()
+        .report
 }
 
 fn bench_topology_build(c: &mut Criterion) {
@@ -41,14 +74,14 @@ fn bench_simulation_cycles(c: &mut Criterion) {
                 let p = SlParams::radix16().with_wgroups(1);
                 let bench = Bench::switchless(&p, RouteMode::Minimal, VcScheme::Baseline);
                 let pat = bench.pattern(PatternSpec::Uniform, load);
-                b.iter(|| bench.run(&quick_cfg(), pat.as_ref()).unwrap());
+                b.iter(|| run(&bench, &quick_cfg(), pat.as_ref()));
             },
         );
     }
     g.bench_function("mesh4x4_uniform_0.5", |b| {
         let bench = Bench::single_mesh(4, 2, 1);
         let pat = bench.pattern(PatternSpec::Uniform, 0.5);
-        b.iter(|| bench.run(&quick_cfg(), pat.as_ref()).unwrap());
+        b.iter(|| run(&bench, &quick_cfg(), pat.as_ref()));
     });
     g.finish();
 }
@@ -67,7 +100,7 @@ fn bench_parallel_scaling(c: &mut Criterion) {
             let mut cfg = quick_cfg();
             cfg.partitions = parts;
             let pat = bench.pattern(PatternSpec::Uniform, 0.15);
-            b.iter(|| bench.run(&cfg, pat.as_ref()).unwrap());
+            b.iter(|| run(&bench, &cfg, pat.as_ref()));
         });
     }
     g.finish();
@@ -94,7 +127,7 @@ fn bench_collectives(c: &mut Criterion) {
         g.meta("workload", &wl.name);
         g.bench_function(name, |b| {
             let cfg = SimConfig::default();
-            b.iter(|| wsdf::run_workload(&bench, &cfg, &wl, &WorkloadUnits::default()).unwrap());
+            b.iter(|| run_workload(&bench, &cfg, &wl, &WorkloadUnits::default()));
         });
     }
     g.finish();
@@ -124,7 +157,7 @@ fn bench_resilience(c: &mut Criterion) {
             &frac,
             |b, _| {
                 let pat = fb.pattern(PatternSpec::Uniform, 0.15);
-                b.iter(|| fb.run(&quick_cfg(), pat.as_ref()).unwrap());
+                b.iter(|| run(&fb, &quick_cfg(), pat.as_ref()));
             },
         );
     }
@@ -149,11 +182,11 @@ fn bench_idle(c: &mut Criterion) {
             ..SimConfig::default()
         };
         let pat = bench.pattern(PatternSpec::Uniform, 0.001);
-        let m = bench.run(&cfg, pat.as_ref()).unwrap();
+        let m = run(&bench, &cfg, pat.as_ref());
         g.meta("busy_cycles", m.busy_cycles);
         g.meta("skipped_cycles", m.skipped_cycles);
         g.bench_function("zero_load_probe", |b| {
-            b.iter(|| bench.run(&cfg, pat.as_ref()).unwrap());
+            b.iter(|| run(&bench, &cfg, pat.as_ref()));
         });
     }
 
@@ -172,11 +205,11 @@ fn bench_idle(c: &mut Criterion) {
             .collect();
         let wl = Workload::ring_allreduce(&participants, 8);
         let cfg = SimConfig::default();
-        let r = wsdf::run_workload(&bench, &cfg, &wl, &WorkloadUnits::default()).unwrap();
+        let r = run_workload(&bench, &cfg, &wl, &WorkloadUnits::default());
         g.meta("busy_cycles", r.busy_cycles);
         g.meta("skipped_cycles", r.skipped_cycles);
         g.bench_function("drain_tail", |b| {
-            b.iter(|| wsdf::run_workload(&bench, &cfg, &wl, &WorkloadUnits::default()).unwrap());
+            b.iter(|| run_workload(&bench, &cfg, &wl, &WorkloadUnits::default()));
         });
     }
 
@@ -200,11 +233,11 @@ fn bench_idle(c: &mut Criterion) {
             ..SimConfig::default()
         };
         let pat = fb.pattern(PatternSpec::Uniform, 0.02);
-        let m = fb.run(&cfg, pat.as_ref()).unwrap();
+        let m = run(&fb, &cfg, pat.as_ref());
         g.meta("busy_cycles", m.busy_cycles);
         g.meta("skipped_cycles", m.skipped_cycles);
         g.bench_function("sparse_fault", |b| {
-            b.iter(|| fb.run(&cfg, pat.as_ref()).unwrap());
+            b.iter(|| run(&fb, &cfg, pat.as_ref()));
         });
     }
     g.finish();
@@ -234,10 +267,10 @@ fn bench_serving(c: &mut Criterion) {
             max_jobs: 16,
             classes: serving_mix(16, 6_400),
         };
-        let r = wsdf::run_serving(&bench, &cfg, &spec).unwrap();
+        let r = run_serving(&bench, &cfg, &spec);
         g.meta(format!("jobs_{name}"), r.jobs.len());
         g.bench_function(name, |b| {
-            b.iter(|| wsdf::run_serving(&bench, &cfg, &spec).unwrap());
+            b.iter(|| run_serving(&bench, &cfg, &spec));
         });
     }
     // The same fixed-trace mix on a 2%-degraded fabric: placements over
@@ -253,10 +286,10 @@ fn bench_serving(c: &mut Criterion) {
             max_jobs: 64,
             classes: serving_mix(16, 6_400),
         };
-        let r = wsdf::run_serving(&fb, &cfg, &spec).unwrap();
+        let r = run_serving(&fb, &cfg, &spec);
         g.meta("jobs_faulted", r.jobs.len());
         g.bench_function("faulted_trace", |b| {
-            b.iter(|| wsdf::run_serving(&fb, &cfg, &spec).unwrap());
+            b.iter(|| run_serving(&fb, &cfg, &spec));
         });
     }
     g.finish();
@@ -285,7 +318,7 @@ fn bench_exchange(c: &mut Criterion) {
         cfg.partition_map = Some(std::sync::Arc::new(assign));
         g.bench_with_input(BenchmarkId::new("uniform_0.15_p8", name), &cfg, |b, cfg| {
             let pat = bench.pattern(PatternSpec::Uniform, 0.15);
-            b.iter(|| bench.run(cfg, pat.as_ref()).unwrap());
+            b.iter(|| run(&bench, cfg, pat.as_ref()));
         });
     }
     g.finish();

@@ -7,13 +7,26 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use wsdf::routing::{RouteMode, VcScheme};
-use wsdf::{adaptive_sweep, sweep, AdaptiveConfig, Bench, PatternSpec, SweepConfig};
+use wsdf::{
+    AdaptiveConfig, Bench, PatternSpec, SaturationReport, Session, SweepConfig, SweepPoint,
+};
 use wsdf_bench::{figures, Effort};
 use wsdf_topo::{SlParams, SwParams};
 use wsdf_traffic::{PermKind, RingDirection};
 
 fn quick() -> SweepConfig {
     SweepConfig::default().scaled(0.05)
+}
+
+fn sweep(bench: &Bench, cfg: &SweepConfig, spec: PatternSpec, rates: &[f64]) -> Vec<SweepPoint> {
+    Session::bench(bench)
+        .sweep(cfg, spec, rates)
+        .unwrap()
+        .report
+}
+
+fn adaptive_sweep(bench: &Bench, cfg: &AdaptiveConfig, spec: PatternSpec) -> SaturationReport {
+    Session::bench(bench).adaptive(cfg, spec).unwrap().report
 }
 
 fn quick_adaptive() -> AdaptiveConfig {

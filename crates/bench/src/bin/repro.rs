@@ -6,6 +6,7 @@
 //! repro <target> [--smoke|--full] [--json DIR]
 //! repro scenario <file> [--check] [--json DIR]
 //! repro corpus [--update] [--json DIR]
+//! repro trace [--smoke] [--json DIR]
 //! repro --list
 //! ```
 //!
@@ -19,6 +20,7 @@
 use std::io::Write;
 use wsdf_bench::scenario::{run_corpus, run_scenario_file};
 use wsdf_bench::targets::{listing, run_target, suggest};
+use wsdf_bench::trace::run_trace_smoke;
 use wsdf_bench::Effort;
 
 fn main() {
@@ -116,6 +118,32 @@ fn main() {
             }
             return;
         }
+        "trace" => {
+            if positionals.len() > 1 {
+                eprintln!("usage: repro trace [--smoke] [--json DIR]");
+                std::process::exit(2);
+            }
+            match run_trace_smoke(effort) {
+                Ok(run) => {
+                    print!("{}", run.output.text);
+                    write_artifacts(&json_dir, &run.output.json);
+                    // The raw JSONL streams go next to the JSON artifacts.
+                    if let Some(dir) = &json_dir {
+                        std::fs::create_dir_all(dir).expect("create json dir");
+                        for (name, jsonl) in &run.streams {
+                            let path = format!("{dir}/{name}");
+                            std::fs::write(&path, jsonl).expect("write trace stream");
+                            eprintln!("wrote {path}");
+                        }
+                    }
+                }
+                Err(e) => {
+                    eprintln!("trace smoke failed: {e}");
+                    std::process::exit(1);
+                }
+            }
+            return;
+        }
         _ => {}
     }
     if positionals.len() > 1 {
@@ -168,7 +196,8 @@ fn write_json(dir: &str, id: &str, json: &str) {
 fn usage() {
     eprintln!(
         "usage: repro <target> [--smoke|--full] [--json DIR]  |  \
-         repro scenario <file> [--check]  |  repro corpus [--update]  |  repro --list\n"
+         repro scenario <file> [--check]  |  repro corpus [--update]  |  \
+         repro trace [--smoke]  |  repro --list\n"
     );
     eprint!("{}", listing());
 }

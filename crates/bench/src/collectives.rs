@@ -12,7 +12,7 @@
 use crate::Effort;
 use wsdf::routing::{RouteMode, VcScheme};
 use wsdf::traffic::Scope;
-use wsdf::{run_workload, Bench, Workload, WorkloadReport, WorkloadUnits};
+use wsdf::{Bench, Session, Workload, WorkloadReport, WorkloadUnits};
 use wsdf_sim::SimConfig;
 use wsdf_topo::{SlParams, SwParams};
 
@@ -84,9 +84,13 @@ pub fn collectives(effort: Effort) -> Vec<WorkloadReport> {
                         partitions: parts,
                         ..Default::default()
                     };
-                    run_workload(&bench, &cfg, &wl, &units).unwrap_or_else(|e| {
-                        panic!("[{} / {}] p={parts}: {e}", bench.label, wl.name)
-                    })
+                    Session::bench(&bench)
+                        .sim(cfg)
+                        .workload(&wl, &units)
+                        .map(|o| o.report)
+                        .unwrap_or_else(|e| {
+                            panic!("[{} / {}] p={parts}: {e}", bench.label, wl.name)
+                        })
                 })
                 .collect();
             let base = reports.remove(0);

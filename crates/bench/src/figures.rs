@@ -7,7 +7,7 @@ use crate::Effort;
 use wsdf::report::{Curve, Figure};
 use wsdf::routing::{RouteMode, VcScheme};
 use wsdf::{
-    adaptive_sweep, sweep, AdaptiveConfig, Bench, PatternSpec, SaturationReport, SweepConfig,
+    AdaptiveConfig, Bench, PatternSpec, SaturationReport, Session, SweepConfig, SweepPoint,
 };
 use wsdf_analysis::EnergyModel;
 use wsdf_sim::SimConfig;
@@ -16,6 +16,19 @@ use wsdf_traffic::{PermKind, RingDirection};
 
 fn rates(max: f64, steps: usize) -> Vec<f64> {
     (1..=steps).map(|i| max * i as f64 / steps as f64).collect()
+}
+
+// All figure sweeps route through the unified Session frontend; the
+// trace-free paths below cannot fail, so the unwraps never fire.
+fn sweep(bench: &Bench, cfg: &SweepConfig, spec: PatternSpec, rates: &[f64]) -> Vec<SweepPoint> {
+    Session::bench(bench)
+        .sweep(cfg, spec, rates)
+        .unwrap()
+        .report
+}
+
+fn adaptive_sweep(bench: &Bench, cfg: &AdaptiveConfig, spec: PatternSpec) -> SaturationReport {
+    Session::bench(bench).adaptive(cfg, spec).unwrap().report
 }
 
 fn cfg(scale: f64) -> SweepConfig {
@@ -419,9 +432,11 @@ pub fn fig15(effort: Effort) -> Vec<(String, Vec<EnergyBar>)> {
             ),
         ] {
             let pattern = bench.pattern(PatternSpec::Uniform, rate / bench.nodes_per_chip);
-            let m = bench
-                .run(&sim, pattern.as_ref())
-                .unwrap_or_else(|e| panic!("fig15 {label}: {e}"));
+            let m = Session::bench(&bench)
+                .sim(sim.clone())
+                .metrics(pattern.as_ref())
+                .unwrap_or_else(|e| panic!("fig15 {label}: {e}"))
+                .report;
             let hops = m.avg_hops_per_flit();
             let (inter, intra) = model.energy_split(&hops);
             bars.push(EnergyBar {

@@ -13,6 +13,7 @@ pub mod scenario;
 pub mod serving;
 pub mod tables;
 pub mod targets;
+pub mod trace;
 
 /// Scale factor presets for simulation windows.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]

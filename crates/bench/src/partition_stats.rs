@@ -114,9 +114,11 @@ pub fn partition_stats_suite(effort: Effort) -> Vec<PartitionReport> {
         }
         .scaled(scale);
         let pattern = bench.pattern(PatternSpec::Uniform, 0.1);
-        let m = bench
-            .run(&cfg, pattern.as_ref())
-            .expect("partition-stats traffic run failed");
+        let m = wsdf::Session::bench(&bench)
+            .sim(cfg)
+            .metrics(pattern.as_ref())
+            .expect("partition-stats traffic run failed")
+            .report;
         let net = bench.fabric.net();
         let points = PARTITIONS
             .iter()

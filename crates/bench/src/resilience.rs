@@ -11,7 +11,7 @@
 
 use crate::collectives::family_benches;
 use crate::Effort;
-use wsdf::{resilience_sweep, PatternSpec, ResilienceConfig, ResilienceReport};
+use wsdf::{PatternSpec, ResilienceConfig, ResilienceReport, Session};
 
 /// Partition counts every fraction is verified over.
 pub const PARTITIONS: &[usize] = &[1, 2, 4];
@@ -48,7 +48,12 @@ pub fn resilience(effort: Effort) -> Vec<ResilienceReport> {
     for bench in family_benches() {
         let mut reports: Vec<ResilienceReport> = PARTITIONS
             .iter()
-            .map(|&parts| resilience_sweep(&bench, &config(effort, parts), PatternSpec::Uniform))
+            .map(|&parts| {
+                Session::bench(&bench)
+                    .resilience(&config(effort, parts), PatternSpec::Uniform)
+                    .unwrap()
+                    .report
+            })
             .collect();
         let base = reports.remove(0);
         for (r, &parts) in reports.iter().zip(&PARTITIONS[1..]) {

@@ -18,6 +18,7 @@
 use crate::targets::TargetOutput;
 use std::path::Path;
 use wsdf::scenario::{self, Scenario};
+use wsdf::Session;
 
 /// Outcome of a corpus run: the rendered output plus how many files
 /// disagreed with the pinned digest table (0 = clean).
@@ -34,7 +35,11 @@ pub fn run_scenario_file(file: &str, check: bool) -> Result<TargetOutput, String
     let path = Path::new(file);
     let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {file}: {e}"))?;
     let s = Scenario::from_json_str(&text)?;
-    let outcome = s.run()?;
+    // The Session frontend honors the scenario's optional `telemetry`
+    // section (trace captured in memory); without one this is exactly
+    // `Scenario::run`.
+    let run = Session::scenario(&s).run()?;
+    let outcome = run.report;
     let digest = outcome.digest();
     let mut out = TargetOutput::default();
     out.text.push_str(&outcome.render());
@@ -43,6 +48,17 @@ pub fn run_scenario_file(file: &str, check: bool) -> Result<TargetOutput, String
         s.name,
         outcome.kind()
     ));
+    let trace_digest = run.trace.as_ref().and_then(|t| t.digest.clone());
+    if let Some(t) = &run.trace {
+        out.text.push_str(&format!(
+            "telemetry: {} record(s), trace digest {}\n",
+            t.jsonl.as_deref().map_or(0, |j| j.lines().count()),
+            trace_digest.as_deref().unwrap_or("-"),
+        ));
+        if let Some(jsonl) = &t.jsonl {
+            out.json.push((format!("{}-trace", s.name), jsonl.clone()));
+        }
+    }
     out.json.push((s.name.clone(), outcome.report_json()));
     if check {
         let dir = path.parent().unwrap_or_else(|| Path::new("."));
@@ -64,6 +80,23 @@ pub fn run_scenario_file(file: &str, check: bool) -> Result<TargetOutput, String
                 ))
             }
             Some(_) => out.text.push_str("digest check: OK\n"),
+        }
+        if let Some(got) = &trace_digest {
+            let tname = format!("{name}::trace");
+            match pinned.iter().find(|(f, _)| *f == tname) {
+                None => {
+                    return Err(format!(
+                        "{tname}: no pinned trace digest in {}",
+                        dir.join(scenario::DIGESTS_FILE).display()
+                    ))
+                }
+                Some((_, want)) if want != got => {
+                    return Err(format!(
+                        "{tname}: trace digest mismatch: pinned {want}, got {got}"
+                    ))
+                }
+                Some(_) => out.text.push_str("trace digest check: OK\n"),
+            }
         }
     }
     Ok(out)
@@ -88,14 +121,23 @@ pub fn run_corpus_in(dir: &Path, update: bool) -> Result<CorpusRun, String> {
     let mut out = TargetOutput::default();
     let mut got: Vec<(String, String)> = Vec::with_capacity(entries.len());
     for e in &entries {
-        let outcome = e
-            .scenario
+        let run = Session::scenario(&e.scenario)
             .run()
             .map_err(|err| format!("{}: {err}", e.file))?;
+        let outcome = run.report;
         let digest = outcome.digest();
         out.text
             .push_str(&format!("{:<44} {:<11} {digest}\n", e.file, outcome.kind()));
         got.push((e.file.clone(), digest));
+        // Telemetry-enabled scenarios pin the trace byte stream too, as a
+        // separate `<file>::trace` entry — the report digest above is
+        // unchanged by the telemetry section (observe-only contract).
+        if let Some(td) = run.trace.as_ref().and_then(|t| t.digest.clone()) {
+            let tname = format!("{}::trace", e.file);
+            out.text
+                .push_str(&format!("{:<44} {:<11} {td}\n", tname, "trace"));
+            got.push((tname, td));
+        }
     }
 
     if update {

@@ -14,7 +14,7 @@
 use crate::collectives::{family_benches, PARTITIONS};
 use crate::Effort;
 use wsdf::workload::tenancy::{ArrivalProcess, JobClass, Placement, ServingSpec};
-use wsdf::{run_serving, ServingReport};
+use wsdf::{ServingReport, Session};
 use wsdf_sim::SimConfig;
 use wsdf_topo::{FaultSet, FaultSpec};
 
@@ -105,7 +105,10 @@ pub fn serving(effort: Effort) -> Vec<ServingReport> {
                     partitions: parts,
                     ..Default::default()
                 };
-                run_serving(bench, &cfg, &spec)
+                Session::bench(bench)
+                    .sim(cfg)
+                    .serving(&spec)
+                    .map(|o| o.report)
                     .unwrap_or_else(|e| panic!("[{}] p={parts}: {e}", bench.label))
             })
             .collect();

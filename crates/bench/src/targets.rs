@@ -337,6 +337,10 @@ pub const PARAM_TARGETS: &[(&str, &str)] = &[
         "corpus",
         "Golden scenario corpus digests: repro corpus [--update]",
     ),
+    (
+        "trace",
+        "Streaming telemetry smoke: repro trace [--smoke] [--json DIR]",
+    ),
 ];
 
 /// Look up a leaf target by name.

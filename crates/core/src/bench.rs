@@ -7,13 +7,15 @@
 //! enum still implements [`RouteOracle`] itself (one match per call) for
 //! callers that need a uniform oracle view, e.g. route walkers.
 
+use crate::scenario::PartitionerKind;
+use crate::session::SessionConfig;
 use wsdf_exec::BspPool;
 use wsdf_routing::{
     DetourOracle, MeshOracle, ReachMap, RouteMode, SlOracle, SwOracle, SwitchNodeOracle, VcScheme,
 };
 use wsdf_sim::{
     FaultMap, Metrics, NetworkDesc, PacketHeader, RouteChoice, RouteOracle, SimConfig, SimResult,
-    SplitMix64, TrafficPattern,
+    SplitMix64, Tracer, TrafficPattern,
 };
 use wsdf_topo::{
     single_mesh, single_switch, FaultSet, MeshFabric, SlParams, SwParams, SwitchFabric, SwitchNode,
@@ -367,11 +369,21 @@ impl Bench {
     /// and `wsdf_exec::configured_threads`), so switching schemes never
     /// changes *how many* partitions run — only *which* routers share
     /// one. Results are bit-identical either way; only barrier traffic
-    /// changes. Honors the `WSDF_PARTITIONER` env var: `blocks` keeps
-    /// the engine's legacy contiguous blocks, anything else (or unset)
-    /// selects the locality partitioner.
+    /// changes. Honors the `WSDF_PARTITIONER` env var (resolved once via
+    /// [`SessionConfig::from_env`]): `blocks` keeps the engine's legacy
+    /// contiguous blocks, anything else (or unset) selects the locality
+    /// partitioner.
     pub fn apply_partitioner(&self, cfg: &mut SimConfig) {
-        if cfg.partition_map.is_some() || !locality_partitioner_default() {
+        self.apply_partitioner_with(cfg, SessionConfig::from_env().partitioner);
+    }
+
+    /// [`Bench::apply_partitioner`] with an explicit scheme instead of the
+    /// environment default. [`PartitionerKind::Blocks`] leaves the map
+    /// unset — the engine then falls back to its internal contiguous
+    /// blocks, which is exactly what the explicit `contiguous_blocks`
+    /// map would produce.
+    pub fn apply_partitioner_with(&self, cfg: &mut SimConfig, kind: PartitionerKind) {
+        if cfg.partition_map.is_some() || kind != PartitionerKind::Locality {
             return;
         }
         let net = self.fabric.net();
@@ -389,80 +401,115 @@ impl Bench {
         }
     }
 
+    /// Prepare a cloned config for a run: raise the VC count to the
+    /// oracle's requirement and fill in the partition map with `kind`
+    /// (unless an explicit map was given). This is the single config
+    /// normalization point every run kind — [`crate::Session`] and the
+    /// deprecated free functions alike — goes through.
+    pub(crate) fn prepare_cfg(&self, cfg: &SimConfig, kind: PartitionerKind) -> SimConfig {
+        let mut cfg = cfg.clone();
+        cfg.num_vcs = cfg.num_vcs.max(self.oracle.num_vcs());
+        self.apply_partitioner_with(&mut cfg, kind);
+        cfg
+    }
+
+    /// Monomorphized engine entry on an already-[prepared](Bench::prepare_cfg)
+    /// config, with optional streaming telemetry. Dispatches on the
+    /// oracle kind *once*, then runs the engine with the concrete oracle
+    /// type — the per-flit path is fully static. The pattern stays
+    /// dynamic (queried per packet, not per flit).
+    pub(crate) fn run_prepared(
+        &self,
+        cfg: &SimConfig,
+        pattern: &dyn TrafficPattern,
+        pool: &BspPool,
+        trace: Option<&Tracer>,
+    ) -> SimResult<Metrics> {
+        let net = self.fabric.net();
+        let faults = self.fault_map();
+        match &self.oracle {
+            BenchOracle::Sl(o) => {
+                wsdf_sim::simulate_traced_on(net, cfg, o, pattern, pool, faults, trace)
+            }
+            BenchOracle::Sw(o) => {
+                wsdf_sim::simulate_traced_on(net, cfg, o, pattern, pool, faults, trace)
+            }
+            BenchOracle::Mesh(o) => {
+                wsdf_sim::simulate_traced_on(net, cfg, o, pattern, pool, faults, trace)
+            }
+            BenchOracle::Switch(o) => {
+                wsdf_sim::simulate_traced_on(net, cfg, o, pattern, pool, faults, trace)
+            }
+            BenchOracle::Detour(o) => {
+                wsdf_sim::simulate_traced_on(net, cfg, o, pattern, pool, faults, trace)
+            }
+        }
+    }
+
     /// Run one simulation with an explicit config and pattern. The config's
     /// VC count is raised to the oracle's requirement automatically.
-    ///
-    /// Dispatches on the oracle kind *once*, then runs the monomorphized
-    /// engine with the concrete oracle type — the per-flit path is fully
-    /// static. The pattern stays dynamic (queried per packet, not per
-    /// flit).
+    #[deprecated(
+        since = "0.6.0",
+        note = "use the wsdf Session builder: \
+                 Session::bench(&b).metrics(&pattern)"
+    )]
     pub fn run(&self, cfg: &SimConfig, pattern: &dyn TrafficPattern) -> SimResult<Metrics> {
-        self.run_on(cfg, pattern, wsdf_exec::global_pool())
+        let cfg = self.prepare_cfg(cfg, SessionConfig::from_env().partitioner);
+        self.run_prepared(&cfg, pattern, wsdf_exec::global_pool(), None)
     }
 
     /// [`Bench::run`] on an explicit [`BspPool`] executor instead of the
     /// process-wide pool. Metrics are bit-identical for any pool size —
     /// the determinism matrix in `tests/determinism_and_vcs.rs` pins this
     /// down — so the pool choice is purely a scheduling concern.
+    #[deprecated(
+        since = "0.6.0",
+        note = "use the wsdf Session builder: \
+                 Session::bench(&b).pool(pool).metrics(&pattern)"
+    )]
     pub fn run_on(
         &self,
         cfg: &SimConfig,
         pattern: &dyn TrafficPattern,
         pool: &BspPool,
     ) -> SimResult<Metrics> {
-        let mut cfg = cfg.clone();
-        cfg.num_vcs = cfg.num_vcs.max(self.oracle.num_vcs());
-        self.apply_partitioner(&mut cfg);
-        let net = self.fabric.net();
-        let faults = self.fault_map();
-        match &self.oracle {
-            BenchOracle::Sl(o) => {
-                wsdf_sim::simulate_faulted_on(net, &cfg, o, pattern, pool, faults)
-            }
-            BenchOracle::Sw(o) => {
-                wsdf_sim::simulate_faulted_on(net, &cfg, o, pattern, pool, faults)
-            }
-            BenchOracle::Mesh(o) => {
-                wsdf_sim::simulate_faulted_on(net, &cfg, o, pattern, pool, faults)
-            }
-            BenchOracle::Switch(o) => {
-                wsdf_sim::simulate_faulted_on(net, &cfg, o, pattern, pool, faults)
-            }
-            BenchOracle::Detour(o) => {
-                wsdf_sim::simulate_faulted_on(net, &cfg, o, pattern, pool, faults)
-            }
-        }
+        let cfg = self.prepare_cfg(cfg, SessionConfig::from_env().partitioner);
+        self.run_prepared(&cfg, pattern, pool, None)
     }
 
     /// Type-erased variant of [`Bench::run`] built on
     /// [`wsdf_sim::simulate_dyn`]; useful when a caller already holds the
     /// oracle as `&dyn RouteOracle` or wants uniform treatment across
     /// heterogeneous benches at the cost of per-flit virtual dispatch.
+    #[deprecated(
+        since = "0.6.0",
+        note = "use the wsdf Session builder: \
+                 Session::bench(&b).dyn_dispatch().metrics(&pattern)"
+    )]
     pub fn run_dyn(&self, cfg: &SimConfig, pattern: &dyn TrafficPattern) -> SimResult<Metrics> {
-        let mut cfg = cfg.clone();
-        cfg.num_vcs = cfg.num_vcs.max(self.oracle.num_vcs());
-        self.apply_partitioner(&mut cfg);
-        wsdf_sim::simulate_faulted_on(
+        let cfg = self.prepare_cfg(cfg, SessionConfig::from_env().partitioner);
+        self.run_dyn_prepared(&cfg, pattern, wsdf_exec::global_pool(), None)
+    }
+
+    /// Type-erased engine entry on an already-prepared config — the
+    /// dynamic-dispatch sibling of [`Bench::run_prepared`].
+    pub(crate) fn run_dyn_prepared(
+        &self,
+        cfg: &SimConfig,
+        pattern: &dyn TrafficPattern,
+        pool: &BspPool,
+        trace: Option<&Tracer>,
+    ) -> SimResult<Metrics> {
+        wsdf_sim::simulate_traced_on(
             self.fabric.net(),
-            &cfg,
+            cfg,
             self.oracle.as_dyn(),
             pattern,
-            wsdf_exec::global_pool(),
+            pool,
             self.fault_map(),
+            trace,
         )
     }
-}
-
-/// Process-wide default partitioning scheme for [`Bench`] runs: the
-/// `WSDF_PARTITIONER` env var, where the literal `blocks` opts back into
-/// the engine's contiguous block scheme and anything else (or unset)
-/// selects `wsdf_topo::locality_partition`. Cached like
-/// `WSDF_EVENT_DRIVEN` so repeated runs cannot race a test harness
-/// mutating the environment mid-process.
-fn locality_partitioner_default() -> bool {
-    use std::sync::OnceLock;
-    static DEFAULT: OnceLock<bool> = OnceLock::new();
-    *DEFAULT.get_or_init(|| std::env::var("WSDF_PARTITIONER").map_or(true, |v| v != "blocks"))
 }
 
 /// Fault filter around a [`TrafficPattern`]: endpoints on dead routers
@@ -519,6 +566,7 @@ fn mesh_scope(p: &SlParams) -> Scope {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::session::Session;
     use wsdf_sim::SimConfig;
 
     fn quick_cfg() -> SimConfig {
@@ -530,13 +578,21 @@ mod tests {
         }
     }
 
+    fn run_quick(b: &Bench, pat: &dyn TrafficPattern) -> Metrics {
+        Session::bench(b)
+            .sim(quick_cfg())
+            .metrics(pat)
+            .unwrap()
+            .report
+    }
+
     #[test]
     fn mesh_bench_runs_uniform() {
         let b = Bench::single_mesh(4, 2, 1);
         assert_eq!(b.endpoints(), 16);
         assert_eq!(b.chips(), 4.0);
         let pat = b.pattern(PatternSpec::Uniform, 0.2);
-        let m = b.run(&quick_cfg(), pat.as_ref()).unwrap();
+        let m = run_quick(&b, pat.as_ref());
         assert!(m.packets_ejected > 0);
         assert!(!m.deadlocked);
     }
@@ -546,7 +602,7 @@ mod tests {
         let b = Bench::single_switch(16);
         assert_eq!(b.chips(), 16.0);
         let pat = b.pattern(PatternSpec::Uniform, 0.3);
-        let m = b.run(&quick_cfg(), pat.as_ref()).unwrap();
+        let m = run_quick(&b, pat.as_ref());
         assert!(m.packets_ejected > 0);
     }
 
@@ -562,7 +618,7 @@ mod tests {
             PatternSpec::RingWGroup(RingDirection::Bidirectional),
         ] {
             let pat = b.pattern(spec, 0.1);
-            let m = b.run(&quick_cfg(), pat.as_ref()).unwrap();
+            let m = run_quick(&b, pat.as_ref());
             assert!(m.packets_ejected > 0, "{spec:?} delivered nothing");
         }
     }
@@ -573,7 +629,7 @@ mod tests {
         let b = Bench::switchbased(&p, RouteMode::Minimal);
         assert_eq!(b.label, "SW-based");
         let pat = b.pattern(PatternSpec::Uniform, 0.3);
-        let m = b.run(&quick_cfg(), pat.as_ref()).unwrap();
+        let m = run_quick(&b, pat.as_ref());
         assert!(m.packets_ejected > 0);
     }
 
@@ -581,8 +637,13 @@ mod tests {
     fn dyn_run_matches_monomorphized_run() {
         let b = Bench::single_mesh(4, 2, 1);
         let pat = b.pattern(PatternSpec::Uniform, 0.3);
-        let a = b.run(&quick_cfg(), pat.as_ref()).unwrap();
-        let d = b.run_dyn(&quick_cfg(), pat.as_ref()).unwrap();
+        let a = run_quick(&b, pat.as_ref());
+        let d = Session::bench(&b)
+            .sim(quick_cfg())
+            .dyn_dispatch()
+            .metrics(pat.as_ref())
+            .unwrap()
+            .report;
         assert_eq!(a.packets_created, d.packets_created);
         assert_eq!(a.packets_ejected, d.packets_ejected);
         assert_eq!(a.latency_sum, d.latency_sum);

@@ -11,9 +11,10 @@
 
 use crate::bench::{Bench, BenchOracle};
 use crate::json::{self, Value};
+use crate::session::SessionConfig;
 use wsdf_exec::BspPool;
-use wsdf_sim::{Metrics, RouteOracle, SimConfig, SimResult};
-use wsdf_workload::{run_collective_faulted_on, Workload, WorkloadOutcome};
+use wsdf_sim::{Metrics, SimConfig, SimResult, Tracer};
+use wsdf_workload::{run_collective_traced_on, Workload, WorkloadOutcome};
 
 /// Unit conversions for bandwidth reporting.
 ///
@@ -356,6 +357,11 @@ pub(crate) fn opt_num(v: &Value, k: &str) -> Result<f64, String> {
 /// monomorphized engine — same discipline as [`Bench::run`]. The config's
 /// VC count is raised to the oracle's requirement automatically; its
 /// open-loop window fields are ignored (the run ends at quiescence).
+#[deprecated(
+    since = "0.6.0",
+    note = "use the wsdf Session builder: \
+             Session::bench(&b).pool(pool).workload(&wl, &units)"
+)]
 pub fn run_workload_on(
     bench: &Bench,
     cfg: &SimConfig,
@@ -363,37 +369,63 @@ pub fn run_workload_on(
     units: &WorkloadUnits,
     pool: &BspPool,
 ) -> SimResult<WorkloadReport> {
-    let mut cfg = cfg.clone();
-    cfg.num_vcs = cfg.num_vcs.max(bench.oracle.num_vcs());
-    bench.apply_partitioner(&mut cfg);
+    let cfg = bench.prepare_cfg(cfg, SessionConfig::from_env().partitioner);
+    run_workload_impl(bench, &cfg, wl, units, pool, None)
+}
+
+/// The closed-loop core on an already-prepared config — every entry
+/// point ([`crate::Session`], the deprecated free functions, the
+/// resilience sweep's collective probe) routes through here.
+pub(crate) fn run_workload_impl(
+    bench: &Bench,
+    cfg: &SimConfig,
+    wl: &Workload,
+    units: &WorkloadUnits,
+    pool: &BspPool,
+    trace: Option<&Tracer>,
+) -> SimResult<WorkloadReport> {
     let net = bench.fabric.net();
     let faults = bench.fault_map();
     let out = match &bench.oracle {
-        BenchOracle::Sl(o) => run_collective_faulted_on(net, &cfg, o, wl, pool, faults),
-        BenchOracle::Sw(o) => run_collective_faulted_on(net, &cfg, o, wl, pool, faults),
-        BenchOracle::Mesh(o) => run_collective_faulted_on(net, &cfg, o, wl, pool, faults),
-        BenchOracle::Switch(o) => run_collective_faulted_on(net, &cfg, o, wl, pool, faults),
-        BenchOracle::Detour(o) => run_collective_faulted_on(net, &cfg, o, wl, pool, faults),
+        BenchOracle::Sl(o) => run_collective_traced_on(net, cfg, o, wl, pool, faults, trace),
+        BenchOracle::Sw(o) => run_collective_traced_on(net, cfg, o, wl, pool, faults, trace),
+        BenchOracle::Mesh(o) => run_collective_traced_on(net, cfg, o, wl, pool, faults, trace),
+        BenchOracle::Switch(o) => run_collective_traced_on(net, cfg, o, wl, pool, faults, trace),
+        BenchOracle::Detour(o) => run_collective_traced_on(net, cfg, o, wl, pool, faults, trace),
     }?;
     Ok(WorkloadReport::build(&bench.label, wl, &out, units))
 }
 
 /// [`run_workload_on`] on the process-wide executor.
+#[deprecated(
+    since = "0.6.0",
+    note = "use the wsdf Session builder: \
+             Session::bench(&b).workload(&wl, &units)"
+)]
 pub fn run_workload(
     bench: &Bench,
     cfg: &SimConfig,
     wl: &Workload,
     units: &WorkloadUnits,
 ) -> SimResult<WorkloadReport> {
-    run_workload_on(bench, cfg, wl, units, wsdf_exec::global_pool())
+    let cfg = bench.prepare_cfg(cfg, SessionConfig::from_env().partitioner);
+    run_workload_impl(bench, &cfg, wl, units, wsdf_exec::global_pool(), None)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::session::Session;
 
     fn quick_cfg() -> SimConfig {
         SimConfig::default()
+    }
+
+    fn run_wl(bench: &Bench, wl: &Workload) -> Result<WorkloadReport, String> {
+        Session::bench(bench)
+            .sim(quick_cfg())
+            .workload(wl, &WorkloadUnits::default())
+            .map(|o| o.report)
     }
 
     #[test]
@@ -401,7 +433,7 @@ mod tests {
         let bench = Bench::single_mesh(4, 2, 1);
         let eps: Vec<u32> = (0..bench.endpoints()).collect();
         let wl = Workload::ring_allreduce(&eps, 64);
-        let r = run_workload(&bench, &quick_cfg(), &wl, &WorkloadUnits::default()).unwrap();
+        let r = run_wl(&bench, &wl).unwrap();
         assert!(r.completion_cycles > 0);
         assert_eq!(r.messages, wl.len() as u64);
         assert_eq!(r.flits, wl.total_flits());
@@ -409,7 +441,7 @@ mod tests {
         // The allgather phase cannot start before reduce-scatter finishes
         // at some node, and must end no earlier than it starts.
         assert!(r.phases[1].start_cycle > 0);
-        assert!(r.phases[1].end_cycle as u64 == r.completion_cycles);
+        assert!(r.phases[1].end_cycle == r.completion_cycles);
         assert!(r.latency.count > 0);
         assert!(r.achieved_flits_per_cycle > 0.0);
         assert!(r.achieved_gbps > 0.0);
@@ -420,7 +452,7 @@ mod tests {
         let bench = Bench::single_switch(8);
         let eps: Vec<u32> = (0..8).collect();
         let wl = Workload::all_to_all(&eps, 16);
-        let r = run_workload(&bench, &quick_cfg(), &wl, &WorkloadUnits::default()).unwrap();
+        let r = run_wl(&bench, &wl).unwrap();
         let back = WorkloadReport::from_json(&r.to_json()).unwrap();
         assert_eq!(back, r);
     }
@@ -446,7 +478,7 @@ mod tests {
             },
             &[],
         );
-        let err = run_workload(&bench, &quick_cfg(), &wl, &WorkloadUnits::default()).unwrap_err();
-        assert!(matches!(err, wsdf_sim::SimError::Invalid(_)));
+        let err = run_wl(&bench, &wl).unwrap_err();
+        assert!(err.contains("invalid simulation input"), "{err}");
     }
 }

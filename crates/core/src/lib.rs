@@ -8,39 +8,32 @@
 //!   oracle and endpoint scoping.
 //! * [`PatternSpec`] — a workload selector that [`Bench::pattern`] turns
 //!   into a concrete traffic generator at a given per-node rate.
-//! * [`sweep()`] — the fixed-grid load-latency sweep runner behind the
-//!   paper's figures: it walks a list of per-chip injection rates, runs a
-//!   full simulation per point, converts units, and stops once the fabric
-//!   is clearly past saturation.
-//! * [`adaptive_sweep()`] — the saturation-seeking runner: a geometric
-//!   coarse scan followed by bisection of the saturation knee, returning a
-//!   [`SaturationReport`] with the saturation throughput, the zero-load
-//!   latency, and every measured point — each carrying p50/p95/p99/max
-//!   latency from the engine's streaming histogram.
-//! * [`run_workload()`] — the closed-loop runner: drives a collective
-//!   [`Workload`] DAG (allreduce, all-to-all, pipelines, ...) to
-//!   quiescence and reports completion cycles and achieved bandwidth per
-//!   phase as a [`WorkloadReport`].
-//! * [`run_serving()`] — the multi-tenant runner: a seeded job arrival
-//!   process spawns collective instances onto endpoint placements, all
-//!   sharing the fabric at once, and reports job-CT percentiles,
-//!   per-class interference slowdown, Jain's fairness and SLO misses as
-//!   a [`ServingReport`].
-//! * [`resilience_sweep()`] — the fault-injection runner: samples
-//!   deterministic link/router failures at each fraction
-//!   ([`topo::FaultSet`]), re-routes around them with a precomputed
-//!   detour oracle ([`routing::DetourOracle`]), and reports degraded
-//!   throughput/latency plus collective completion over the survivors as
-//!   a [`ResilienceReport`].
+//! * [`Session`] — the unified run frontend. Every run kind goes through
+//!   one builder: open-loop sweeps ([`Session::sweep`]), saturation
+//!   search ([`Session::adaptive`]), closed-loop collectives
+//!   ([`Session::workload`]), multi-tenant serving ([`Session::serving`]),
+//!   fault sweeps ([`Session::resilience`]), raw metrics
+//!   ([`Session::metrics`]) and declarative scenarios ([`Session::run`]).
+//!   Each returns a typed [`Outcome`] carrying the kind's report plus,
+//!   when streaming telemetry is enabled via [`Session::trace`], the
+//!   deterministic JSONL trace and its digest.
+//!
+//! The historical free-function runners (`sweep`, `adaptive_sweep`,
+//! `run_workload`, `run_serving`, `resilience_sweep` and their `*_on`
+//! variants) still work but are deprecated shims over the same
+//! internals; new code should use [`Session`].
 //!
 //! ```no_run
-//! use wsdf::{AdaptiveConfig, Bench, PatternSpec};
+//! use wsdf::{AdaptiveConfig, Bench, PatternSpec, Session};
 //! use wsdf_topo::SlParams;
 //!
 //! // Fig. 10(a), switch-less side: a 4×4-core C-group under uniform load.
 //! // No hand-tuned rate grid: the driver finds the knee on its own.
 //! let bench = Bench::single_mesh(4, 2, 1);
-//! let report = wsdf::adaptive_sweep(&bench, &AdaptiveConfig::default(), PatternSpec::Uniform);
+//! let out = Session::bench(&bench)
+//!     .adaptive(&AdaptiveConfig::default(), PatternSpec::Uniform)
+//!     .unwrap();
+//! let report = &out.report;
 //! println!(
 //!     "saturation {:.2} flits/cycle/chip, zero-load {:.1} cycles",
 //!     report.sat_chip, report.zero_load_latency
@@ -62,6 +55,7 @@ pub mod report;
 pub mod resilience;
 pub mod scenario;
 pub mod serving;
+pub mod session;
 pub mod sweep;
 
 // The hand-rolled JSON layer lives in `wsdf-sim` (the lowest crate, so
@@ -70,19 +64,22 @@ pub mod sweep;
 pub use wsdf_sim::json;
 
 pub use bench::{Bench, BenchFaults, BenchOracle, Fabric, LivePattern, PatternSpec};
-pub use collective::{
-    run_workload, run_workload_on, LatencySummary, PhaseReport, WorkloadReport, WorkloadUnits,
-};
+#[allow(deprecated)]
+pub use collective::{run_workload, run_workload_on};
+pub use collective::{LatencySummary, PhaseReport, WorkloadReport, WorkloadUnits};
 pub use report::{Curve, Figure, Point};
-pub use resilience::{
-    resilience_sweep, resilience_sweep_on, ResilienceConfig, ResiliencePoint, ResilienceReport,
-};
-pub use scenario::{Scenario, ScenarioOutcome};
-pub use serving::{run_serving, run_serving_on, ClassStat, JobRecord, ServingReport};
-pub use sweep::{
-    adaptive_sweep, adaptive_sweep_on, saturation_rate, sweep, sweep_on, AdaptiveConfig,
-    SaturationReport, SweepConfig, SweepPoint,
-};
+#[allow(deprecated)]
+pub use resilience::{resilience_sweep, resilience_sweep_on};
+pub use resilience::{ResilienceConfig, ResiliencePoint, ResilienceReport};
+pub use scenario::{PartitionerKind, Partitioning, Scenario, ScenarioOutcome, Stepping};
+#[allow(deprecated)]
+pub use serving::{run_serving, run_serving_on};
+pub use serving::{ClassStat, JobRecord, ServingReport};
+pub use session::{Outcome, Session, SessionConfig, TraceOutcome};
+#[allow(deprecated)]
+pub use sweep::{adaptive_sweep, adaptive_sweep_on, sweep, sweep_on};
+pub use sweep::{saturation_rate, AdaptiveConfig, SaturationReport, SweepConfig, SweepPoint};
+pub use wsdf_sim::{SharedBuf, TraceConfig, TraceRec};
 pub use wsdf_workload::Workload;
 
 pub use wsdf_analysis as analysis;

@@ -25,11 +25,13 @@
 //! in the engine.
 
 use crate::bench::{Bench, PatternSpec};
-use crate::collective::{run_workload_on, WorkloadUnits};
+use crate::collective::WorkloadUnits;
 use crate::json::{self, Value};
-use crate::sweep::{sweep_on, SweepConfig};
+use crate::scenario::PartitionerKind;
+use crate::session::SessionConfig;
+use crate::sweep::SweepConfig;
 use wsdf_exec::BspPool;
-use wsdf_sim::SimConfig;
+use wsdf_sim::{SimConfig, TraceRec, Tracer};
 use wsdf_topo::{FaultSet, FaultSpec};
 use wsdf_workload::Workload;
 
@@ -294,11 +296,40 @@ fn live_chips(bench: &Bench) -> Vec<u32> {
 }
 
 /// Run a resilience sweep on an explicit executor. See the module docs.
+#[deprecated(
+    since = "0.6.0",
+    note = "use the wsdf Session builder: \
+             Session::bench(&b).pool(pool).resilience(&cfg, spec)"
+)]
 pub fn resilience_sweep_on(
     bench: &Bench,
     cfg: &ResilienceConfig,
     spec: PatternSpec,
     pool: &BspPool,
+) -> ResilienceReport {
+    resilience_impl(
+        bench,
+        cfg,
+        spec,
+        pool,
+        SessionConfig::from_env().partitioner,
+        None,
+    )
+}
+
+/// The fault-injection core behind [`resilience_sweep`] and the
+/// [`crate::Session`] resilience run kind. When telemetry is attached
+/// with the `epochs` stream enabled, each fault fraction is delimited by
+/// a [`TraceRec::Epoch`] record *before* its probes — every fraction is
+/// an independent simulation starting at cycle 0, so the epoch records
+/// are the segment boundaries of the concatenated stream.
+pub(crate) fn resilience_impl(
+    bench: &Bench,
+    cfg: &ResilienceConfig,
+    spec: PatternSpec,
+    pool: &BspPool,
+    partitioner: PartitionerKind,
+    trace: Option<&Tracer>,
 ) -> ResilienceReport {
     assert!(
         bench.faults.is_none(),
@@ -307,7 +338,16 @@ pub fn resilience_sweep_on(
     let net = bench.fabric.net();
     let units = WorkloadUnits::default();
     let mut points = Vec::with_capacity(cfg.fractions.len());
-    for &f in &cfg.fractions {
+    for (epoch, &f) in cfg.fractions.iter().enumerate() {
+        if let Some(t) = trace {
+            if t.config().epochs {
+                t.emit_one(TraceRec::Epoch {
+                    cycle: 0,
+                    epoch: epoch as u32,
+                    label: format!("fault_fraction={f}"),
+                });
+            }
+        }
         let fs = FaultSet::sample(net, &cfg.fault_spec(f));
         let fb = bench.with_fault_set(&fs);
 
@@ -317,9 +357,10 @@ pub fn resilience_sweep_on(
             sim: cfg.sim.clone(),
             ..Default::default()
         };
-        let probe = sweep_on(&fb, &scfg, spec, &[cfg.rate_chip], pool)
-            .pop()
-            .expect("single-rate sweep yields one point");
+        let probe =
+            crate::sweep::sweep_impl(&fb, &scfg, spec, &[cfg.rate_chip], pool, partitioner, trace)
+                .pop()
+                .expect("single-rate sweep yields one point");
 
         // Reachability accounting.
         let (live_endpoints, unreachable_pairs) = match &fb.faults {
@@ -332,7 +373,8 @@ pub fn resilience_sweep_on(
         let (completion_cycles, collective_chips) = if cfg.collective_flits > 0 && chips.len() >= 2
         {
             let wl = Workload::ring_allreduce(&chips, cfg.collective_flits);
-            let r = run_workload_on(&fb, &cfg.sim, &wl, &units, pool)
+            let wcfg = fb.prepare_cfg(&cfg.sim, partitioner);
+            let r = crate::collective::run_workload_impl(&fb, &wcfg, &wl, &units, pool, trace)
                 .unwrap_or_else(|e| panic!("[{} @ {f}] allreduce probe: {e}", bench.label));
             (r.completion_cycles, chips.len() as u32)
         } else {
@@ -365,18 +407,34 @@ pub fn resilience_sweep_on(
 }
 
 /// [`resilience_sweep_on`] on the process-wide executor.
+#[deprecated(
+    since = "0.6.0",
+    note = "use the wsdf Session builder: \
+             Session::bench(&b).resilience(&cfg, spec)"
+)]
 pub fn resilience_sweep(
     bench: &Bench,
     cfg: &ResilienceConfig,
     spec: PatternSpec,
 ) -> ResilienceReport {
-    resilience_sweep_on(bench, cfg, spec, wsdf_exec::global_pool())
+    resilience_impl(
+        bench,
+        cfg,
+        spec,
+        wsdf_exec::global_pool(),
+        SessionConfig::from_env().partitioner,
+        None,
+    )
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::sweep::sweep;
+    use crate::session::Session;
+
+    fn run_res(bench: &Bench, cfg: &ResilienceConfig, spec: PatternSpec) -> ResilienceReport {
+        Session::bench(bench).resilience(cfg, spec).unwrap().report
+    }
 
     fn quick() -> ResilienceConfig {
         ResilienceConfig {
@@ -390,7 +448,7 @@ mod tests {
     fn zero_fault_point_matches_pristine_sweep_exactly() {
         let bench = Bench::single_mesh(4, 2, 1);
         let cfg = quick();
-        let report = resilience_sweep(&bench, &cfg, PatternSpec::Uniform);
+        let report = run_res(&bench, &cfg, PatternSpec::Uniform);
         let p0 = &report.points[0];
         assert_eq!(p0.fault_fraction, 0.0);
         assert_eq!(p0.dead_links, 0);
@@ -402,7 +460,10 @@ mod tests {
             sim: cfg.sim.clone(),
             ..Default::default()
         };
-        let q = sweep(&bench, &scfg, PatternSpec::Uniform, &[cfg.rate_chip])
+        let q = Session::bench(&bench)
+            .sweep(&scfg, PatternSpec::Uniform, &[cfg.rate_chip])
+            .unwrap()
+            .report
             .pop()
             .unwrap();
         assert_eq!(p0.accepted_chip, q.accepted_chip);
@@ -415,7 +476,7 @@ mod tests {
     #[test]
     fn degradation_is_graceful_not_fatal() {
         let bench = Bench::single_mesh(4, 2, 1);
-        let report = resilience_sweep(&bench, &quick(), PatternSpec::Uniform);
+        let report = run_res(&bench, &quick(), PatternSpec::Uniform);
         assert_eq!(report.points.len(), 4);
         for p in &report.points {
             if p.fault_fraction > 0.0 {
@@ -435,7 +496,7 @@ mod tests {
         let bench = Bench::single_switch(8);
         let mut cfg = quick();
         cfg.fractions = vec![0.0, 0.2];
-        let report = resilience_sweep(&bench, &cfg, PatternSpec::Uniform);
+        let report = run_res(&bench, &cfg, PatternSpec::Uniform);
         let back = ResilienceReport::from_json(&report.to_json()).unwrap();
         assert_eq!(back, report);
     }
@@ -443,8 +504,8 @@ mod tests {
     #[test]
     fn sweep_is_deterministic() {
         let bench = Bench::single_mesh(4, 2, 1);
-        let a = resilience_sweep(&bench, &quick(), PatternSpec::Uniform);
-        let b = resilience_sweep(&bench, &quick(), PatternSpec::Uniform);
+        let a = run_res(&bench, &quick(), PatternSpec::Uniform);
+        let b = run_res(&bench, &quick(), PatternSpec::Uniform);
         assert_eq!(a, b);
     }
 }

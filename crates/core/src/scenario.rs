@@ -24,17 +24,17 @@
 //!   file.
 
 use crate::bench::{Bench, PatternSpec};
-use crate::collective::{run_workload_on, WorkloadReport, WorkloadUnits};
+use crate::collective::{run_workload_impl, WorkloadReport, WorkloadUnits};
 use crate::json::{self, read, Value};
 use crate::report::{Curve, Figure};
-use crate::resilience::{resilience_sweep_on, ResilienceConfig, ResilienceReport};
-use crate::serving::{run_serving_on, ServingReport};
-use crate::sweep::{adaptive_sweep_on, sweep_on, AdaptiveConfig, SaturationReport, SweepConfig};
+use crate::resilience::{resilience_impl, ResilienceConfig, ResilienceReport};
+use crate::serving::{run_serving_impl, ServingReport};
+use crate::sweep::{adaptive_impl, sweep_impl, AdaptiveConfig, SaturationReport, SweepConfig};
 use std::path::{Path, PathBuf};
 use std::sync::Arc;
 use wsdf_exec::BspPool;
 use wsdf_routing::{RouteMode, VcScheme};
-use wsdf_sim::SimConfig;
+use wsdf_sim::{SimConfig, TraceConfig, Tracer};
 use wsdf_topo::{FaultSchedule, FaultSet, FaultSpec, SlParams, SwParams};
 use wsdf_traffic::{PermKind, RingDirection};
 use wsdf_workload::tenancy::{ArrivalProcess, JobClass, Placement, ServingSpec};
@@ -1109,6 +1109,10 @@ pub struct Scenario {
     pub faults: Option<FaultsSpec>,
     /// Open-loop traffic (open-loop/adaptive/resilience runs).
     pub traffic: Option<TrafficSpec>,
+    /// Streaming telemetry (optional; observe-only). Adding or removing
+    /// this section never changes the *report* digest — it only controls
+    /// whether a trace stream is produced alongside.
+    pub telemetry: Option<TraceConfig>,
     /// What to measure.
     pub run: RunSpec,
 }
@@ -1134,6 +1138,7 @@ impl Scenario {
                 "partitioning",
                 "faults",
                 "traffic",
+                "telemetry",
                 "run",
             ],
         )?;
@@ -1201,6 +1206,10 @@ impl Scenario {
         let traffic = match v.get("traffic") {
             None => None,
             Some(t) => Some(TrafficSpec::from_json(t, &format!("{path}.traffic"))?),
+        };
+        let telemetry = match v.get("telemetry") {
+            None => None,
+            Some(t) => Some(TraceConfig::from_json(t, &format!("{path}.telemetry"))?),
         };
 
         // Cross-section rules: what each run kind takes.
@@ -1275,6 +1284,7 @@ impl Scenario {
             partitioning,
             faults,
             traffic,
+            telemetry,
             run,
         })
     }
@@ -1308,6 +1318,9 @@ impl Scenario {
         }
         if let Some(t) = &self.traffic {
             s.push_str(&format!("  \"traffic\": {},\n", t.to_json()));
+        }
+        if let Some(t) = &self.telemetry {
+            s.push_str(&format!("  \"telemetry\": {},\n", t.to_json()));
         }
         s.push_str(&format!("  \"run\": {}\n}}\n", self.run.to_json()));
         s
@@ -1407,17 +1420,44 @@ impl Scenario {
     }
 
     /// Execute on the process-wide executor.
+    ///
+    /// Note: this ignores [`Self::telemetry`] — producing a trace stream
+    /// requires a sink, which the [`crate::Session`] builder supplies
+    /// (`Session::scenario(&s).run()` captures it and returns the trace
+    /// digest alongside the report).
     pub fn run(&self) -> Result<ScenarioOutcome, String> {
         self.run_on(wsdf_exec::global_pool())
     }
 
     /// Execute on an explicit [`BspPool`]. Reports (and therefore
     /// digests) are bit-identical for any pool size, partition count and
-    /// partitioner.
+    /// partitioner. Like [`Scenario::run`], telemetry is not captured —
+    /// use the [`crate::Session`] frontend for that.
     pub fn run_on(&self, pool: &BspPool) -> Result<ScenarioOutcome, String> {
+        self.run_traced_on(pool, None)
+    }
+
+    /// The full run path: every scenario execution — [`Scenario::run`],
+    /// [`Scenario::run_on`], and the [`crate::Session`] frontend — goes
+    /// through here. `trace` attaches streaming telemetry to every
+    /// simulation the run kind performs (observe-only: the outcome is
+    /// bit-identical with and without it).
+    pub(crate) fn run_traced_on(
+        &self,
+        pool: &BspPool,
+        trace: Option<&Tracer>,
+    ) -> Result<ScenarioOutcome, String> {
         let bench = self.build_bench();
         let mut cfg = self.sim_config();
         self.apply_partitioning(&bench, &mut cfg)?;
+        // Partitioning is already resolved into an explicit map (or a
+        // deliberate single partition) above, so the scheme below is
+        // inert — it only matters when the map is absent. Pass the
+        // scenario's own choice for documentation value.
+        let pk = match &self.partitioning {
+            Partitioning::Auto { partitioner, .. } => *partitioner,
+            Partitioning::Map(_) => PartitionerKind::Locality,
+        };
         match &self.run {
             RunSpec::OpenLoop { rates_chip } => {
                 let t = self.traffic.as_ref().expect("validated at parse");
@@ -1429,7 +1469,7 @@ impl Scenario {
                     sim: cfg,
                     ..Default::default()
                 };
-                let points = sweep_on(&bench, &scfg, t.pattern, &rates, pool);
+                let points = sweep_impl(&bench, &scfg, t.pattern, &rates, pool, pk, trace);
                 let mut fig = Figure::new(
                     self.name.clone(),
                     format!("scenario {} — {}", self.name, pattern_name(t.pattern)),
@@ -1454,7 +1494,7 @@ impl Scenario {
                     rel_tol: *rel_tol,
                     max_points: *max_points as usize,
                 };
-                let report = adaptive_sweep_on(&bench, &acfg, t.pattern, pool);
+                let report = adaptive_impl(&bench, &acfg, t.pattern, pool, pk, trace);
                 Ok(ScenarioOutcome::Adaptive {
                     label: bench.label.clone(),
                     report,
@@ -1472,7 +1512,8 @@ impl Scenario {
                     flit_bytes: *flit_bytes,
                     clock_ghz: *clock_ghz,
                 };
-                let report = run_workload_on(&bench, &cfg, &wl, &units, pool)
+                let wcfg = bench.prepare_cfg(&cfg, pk);
+                let report = run_workload_impl(&bench, &wcfg, &wl, &units, pool, trace)
                     .map_err(|e| format!("scenario.run: closed-loop run failed: {e}"))?;
                 Ok(ScenarioOutcome::ClosedLoop(report))
             }
@@ -1492,11 +1533,12 @@ impl Scenario {
                     seed: *seed,
                     collective_flits: *collective_flits,
                 };
-                let report = resilience_sweep_on(&bench, &rcfg, t.pattern, pool);
+                let report = resilience_impl(&bench, &rcfg, t.pattern, pool, pk, trace);
                 Ok(ScenarioOutcome::Resilience(report))
             }
             RunSpec::Serving { spec } => {
-                let report = run_serving_on(&bench, &cfg, spec, pool)
+                let scfg = bench.prepare_cfg(&cfg, pk);
+                let report = run_serving_impl(&bench, &scfg, spec, pool, trace)
                     .map_err(|e| format!("scenario.run: {e}"))?;
                 Ok(ScenarioOutcome::Serving(Box::new(report)))
             }

@@ -13,10 +13,12 @@
 use crate::bench::{Bench, BenchOracle};
 use crate::collective::{field, int, opt_int, opt_num};
 use crate::json::{self, Value};
+use crate::session::SessionConfig;
 use wsdf_exec::BspPool;
-use wsdf_sim::{LatencyHistogram, RouteOracle, SimConfig};
+use wsdf_sim::Tracer;
+use wsdf_sim::{LatencyHistogram, SimConfig};
 use wsdf_workload::run_collective_faulted_on;
-use wsdf_workload::tenancy::{build_jobs, run_multi_job_faulted_on, JobInstance, ServingSpec};
+use wsdf_workload::tenancy::{build_jobs, run_multi_job_traced_on, JobInstance, ServingSpec};
 
 /// Completion record of one served job.
 #[derive(Debug, Clone, PartialEq)]
@@ -347,25 +349,42 @@ pub fn jain_fairness(xs: &[f64]) -> f64 {
 /// monomorphization discipline as [`crate::collective::run_workload_on`].
 /// Errors are human-readable strings (spec materialization and engine
 /// failures both).
+#[deprecated(
+    since = "0.6.0",
+    note = "use the wsdf Session builder: \
+             Session::bench(&b).pool(pool).serving(&spec)"
+)]
 pub fn run_serving_on(
     bench: &Bench,
     cfg: &SimConfig,
     spec: &ServingSpec,
     pool: &BspPool,
 ) -> Result<ServingReport, String> {
-    let mut cfg = cfg.clone();
-    cfg.num_vcs = cfg.num_vcs.max(bench.oracle.num_vcs());
-    bench.apply_partitioner(&mut cfg);
+    let cfg = bench.prepare_cfg(cfg, SessionConfig::from_env().partitioner);
+    run_serving_impl(bench, &cfg, spec, pool, None)
+}
+
+/// The multi-tenant core on an already-prepared config. Telemetry covers
+/// the *concurrent* run only — the per-class isolated baselines are
+/// auxiliary reference simulations and stay untraced, so the job stream
+/// in the trace corresponds one-to-one with the report's job table.
+pub(crate) fn run_serving_impl(
+    bench: &Bench,
+    cfg: &SimConfig,
+    spec: &ServingSpec,
+    pool: &BspPool,
+    trace: Option<&Tracer>,
+) -> Result<ServingReport, String> {
     let endpoints = crate::scenario::live_chips(bench);
     let jobs = build_jobs(spec, &endpoints)?;
     let net = bench.fabric.net();
     let faults = bench.fault_map();
     let out = match &bench.oracle {
-        BenchOracle::Sl(o) => run_multi_job_faulted_on(net, &cfg, o, &jobs, pool, faults),
-        BenchOracle::Sw(o) => run_multi_job_faulted_on(net, &cfg, o, &jobs, pool, faults),
-        BenchOracle::Mesh(o) => run_multi_job_faulted_on(net, &cfg, o, &jobs, pool, faults),
-        BenchOracle::Switch(o) => run_multi_job_faulted_on(net, &cfg, o, &jobs, pool, faults),
-        BenchOracle::Detour(o) => run_multi_job_faulted_on(net, &cfg, o, &jobs, pool, faults),
+        BenchOracle::Sl(o) => run_multi_job_traced_on(net, cfg, o, &jobs, pool, faults, trace),
+        BenchOracle::Sw(o) => run_multi_job_traced_on(net, cfg, o, &jobs, pool, faults, trace),
+        BenchOracle::Mesh(o) => run_multi_job_traced_on(net, cfg, o, &jobs, pool, faults, trace),
+        BenchOracle::Switch(o) => run_multi_job_traced_on(net, cfg, o, &jobs, pool, faults, trace),
+        BenchOracle::Detour(o) => run_multi_job_traced_on(net, cfg, o, &jobs, pool, faults, trace),
     }
     .map_err(|e| format!("serving run failed: {e}"))?;
 
@@ -377,19 +396,19 @@ pub fn run_serving_on(
         };
         let iso = match &bench.oracle {
             BenchOracle::Sl(o) => {
-                run_collective_faulted_on(net, &cfg, o, &job.workload, pool, faults)
+                run_collective_faulted_on(net, cfg, o, &job.workload, pool, faults)
             }
             BenchOracle::Sw(o) => {
-                run_collective_faulted_on(net, &cfg, o, &job.workload, pool, faults)
+                run_collective_faulted_on(net, cfg, o, &job.workload, pool, faults)
             }
             BenchOracle::Mesh(o) => {
-                run_collective_faulted_on(net, &cfg, o, &job.workload, pool, faults)
+                run_collective_faulted_on(net, cfg, o, &job.workload, pool, faults)
             }
             BenchOracle::Switch(o) => {
-                run_collective_faulted_on(net, &cfg, o, &job.workload, pool, faults)
+                run_collective_faulted_on(net, cfg, o, &job.workload, pool, faults)
             }
             BenchOracle::Detour(o) => {
-                run_collective_faulted_on(net, &cfg, o, &job.workload, pool, faults)
+                run_collective_faulted_on(net, cfg, o, &job.workload, pool, faults)
             }
         }
         .map_err(|e| format!("isolated baseline failed: {e}"))?;
@@ -415,12 +434,18 @@ pub fn run_serving_on(
 }
 
 /// [`run_serving_on`] on the process-wide executor.
+#[deprecated(
+    since = "0.6.0",
+    note = "use the wsdf Session builder: \
+             Session::bench(&b).serving(&spec)"
+)]
 pub fn run_serving(
     bench: &Bench,
     cfg: &SimConfig,
     spec: &ServingSpec,
 ) -> Result<ServingReport, String> {
-    run_serving_on(bench, cfg, spec, wsdf_exec::global_pool())
+    let cfg = bench.prepare_cfg(cfg, SessionConfig::from_env().partitioner);
+    run_serving_impl(bench, &cfg, spec, wsdf_exec::global_pool(), None)
 }
 
 #[cfg(test)]
@@ -477,7 +502,10 @@ mod tests {
     #[test]
     fn serving_on_mesh_reports_all_sections() {
         let bench = Bench::single_mesh(4, 2, 1);
-        let r = run_serving(&bench, &SimConfig::default(), &spec()).unwrap();
+        let r = crate::session::Session::bench(&bench)
+            .serving(&spec())
+            .unwrap()
+            .report;
         assert_eq!(r.jobs.len(), 9);
         assert_eq!(r.classes.len(), 3);
         assert_eq!(r.ct_hist.count(), 9);
@@ -505,7 +533,10 @@ mod tests {
     #[test]
     fn serving_report_json_roundtrip() {
         let bench = Bench::single_mesh(4, 2, 1);
-        let r = run_serving(&bench, &SimConfig::default(), &spec()).unwrap();
+        let r = crate::session::Session::bench(&bench)
+            .serving(&spec())
+            .unwrap()
+            .report;
         let back = ServingReport::from_json(&r.to_json()).unwrap();
         assert_eq!(back, r);
     }

@@ -17,8 +17,10 @@
 //! [`wsdf_sim::LatencyHistogram`], not just the mean.
 
 use crate::bench::{Bench, PatternSpec};
+use crate::scenario::PartitionerKind;
+use crate::session::SessionConfig;
 use wsdf_exec::BspPool;
-use wsdf_sim::{Metrics, SimConfig};
+use wsdf_sim::{Metrics, SimConfig, Tracer};
 
 /// One measured point of a sweep.
 #[derive(Debug, Clone, PartialEq)]
@@ -184,16 +186,27 @@ struct SweepDriver<'a> {
     /// would let interior chips mask a saturated C-group boundary link).
     bottleneck: bool,
     zero_load: Option<f64>,
+    trace: Option<&'a Tracer>,
 }
 
 impl<'a> SweepDriver<'a> {
-    fn new(bench: &'a Bench, cfg: &'a SweepConfig, spec: PatternSpec, pool: &'a BspPool) -> Self {
+    fn new(
+        bench: &'a Bench,
+        cfg: &'a SweepConfig,
+        spec: PatternSpec,
+        pool: &'a BspPool,
+        partitioner: PartitionerKind,
+        trace: Option<&'a Tracer>,
+    ) -> Self {
         let bottleneck = matches!(
             spec,
             PatternSpec::RingCGroup(_) | PatternSpec::RingWGroup(_)
         );
         let mut sim = cfg.sim.clone();
         sim.per_endpoint_stats = bottleneck;
+        // Normalize once: VC raise + partition map are rate-independent,
+        // so every point of the sweep shares one prepared config.
+        let sim = bench.prepare_cfg(&sim, partitioner);
         SweepDriver {
             bench,
             cfg,
@@ -202,6 +215,7 @@ impl<'a> SweepDriver<'a> {
             sim,
             bottleneck,
             zero_load: None,
+            trace,
         }
     }
 
@@ -215,7 +229,7 @@ impl<'a> SweepDriver<'a> {
         let rate_node = rate_chip / bench.nodes_per_chip;
         let pattern = bench.pattern(self.spec, rate_node);
         let metrics = bench
-            .run_on(&self.sim, pattern.as_ref(), self.pool)
+            .run_prepared(&self.sim, pattern.as_ref(), self.pool, self.trace)
             .unwrap_or_else(|e| panic!("[{}] {:?} @ {rate_chip}: {e}", bench.label, self.spec));
         let latency = metrics.avg_latency().unwrap_or(f64::INFINITY);
         let zero_load = *self.zero_load.get_or_insert(latency);
@@ -277,18 +291,36 @@ fn latency_max_cycles(m: &Metrics) -> f64 {
 /// process-wide), so worker threads — and their partition-pinned cache
 /// state — are reused across sweep points instead of being re-created per
 /// simulation.
+#[deprecated(
+    since = "0.6.0",
+    note = "use the wsdf Session builder: \
+             Session::bench(&b).sweep(spec, rates)"
+)]
 pub fn sweep(
     bench: &Bench,
     cfg: &SweepConfig,
     spec: PatternSpec,
     rates_chip: &[f64],
 ) -> Vec<SweepPoint> {
-    sweep_on(bench, cfg, spec, rates_chip, wsdf_exec::global_pool())
+    sweep_impl(
+        bench,
+        cfg,
+        spec,
+        rates_chip,
+        wsdf_exec::global_pool(),
+        SessionConfig::from_env().partitioner,
+        None,
+    )
 }
 
 /// [`sweep`] on an explicit [`BspPool`] executor (results are pool-size
 /// independent; used by the resilience sweep to keep one pool across every
 /// fault fraction).
+#[deprecated(
+    since = "0.6.0",
+    note = "use the wsdf Session builder: \
+             Session::bench(&b).pool(pool).sweep(spec, rates)"
+)]
 pub fn sweep_on(
     bench: &Bench,
     cfg: &SweepConfig,
@@ -296,7 +328,30 @@ pub fn sweep_on(
     rates_chip: &[f64],
     pool: &BspPool,
 ) -> Vec<SweepPoint> {
-    let mut driver = SweepDriver::new(bench, cfg, spec, pool);
+    sweep_impl(
+        bench,
+        cfg,
+        spec,
+        rates_chip,
+        pool,
+        SessionConfig::from_env().partitioner,
+        None,
+    )
+}
+
+/// The fixed-grid sweep core every entry point routes through — the
+/// [`crate::Session`] run kind, the deprecated free functions, and the
+/// resilience probe alike.
+pub(crate) fn sweep_impl(
+    bench: &Bench,
+    cfg: &SweepConfig,
+    spec: PatternSpec,
+    rates_chip: &[f64],
+    pool: &BspPool,
+    partitioner: PartitionerKind,
+    trace: Option<&Tracer>,
+) -> Vec<SweepPoint> {
+    let mut driver = SweepDriver::new(bench, cfg, spec, pool, partitioner, trace);
     let mut out = Vec::new();
     let mut past_saturation = 0usize;
     for &rate_chip in rates_chip {
@@ -339,23 +394,60 @@ const ANCHOR_SLACK: f64 = 1.5;
 /// which are bit-identical for any partition/worker count — the report is
 /// therefore deterministic too (covered by the determinism matrix in
 /// `tests/determinism_and_vcs.rs`).
+#[deprecated(
+    since = "0.6.0",
+    note = "use the wsdf Session builder: \
+             Session::bench(&b).adaptive(spec, &cfg)"
+)]
 pub fn adaptive_sweep(bench: &Bench, cfg: &AdaptiveConfig, spec: PatternSpec) -> SaturationReport {
-    adaptive_sweep_on(bench, cfg, spec, wsdf_exec::global_pool())
+    adaptive_impl(
+        bench,
+        cfg,
+        spec,
+        wsdf_exec::global_pool(),
+        SessionConfig::from_env().partitioner,
+        None,
+    )
 }
 
 /// [`adaptive_sweep`] on an explicit [`BspPool`] executor (results are
 /// pool-size independent; used by the scenario runner to pin worker
 /// counts for digest reproducibility).
+#[deprecated(
+    since = "0.6.0",
+    note = "use the wsdf Session builder: \
+             Session::bench(&b).pool(pool).adaptive(spec, &cfg)"
+)]
 pub fn adaptive_sweep_on(
     bench: &Bench,
     cfg: &AdaptiveConfig,
     spec: PatternSpec,
     pool: &BspPool,
 ) -> SaturationReport {
+    adaptive_impl(
+        bench,
+        cfg,
+        spec,
+        pool,
+        SessionConfig::from_env().partitioner,
+        None,
+    )
+}
+
+/// The saturation-seeking core behind [`adaptive_sweep`] and the
+/// [`crate::Session`] adaptive run kind.
+pub(crate) fn adaptive_impl(
+    bench: &Bench,
+    cfg: &AdaptiveConfig,
+    spec: PatternSpec,
+    pool: &BspPool,
+    partitioner: PartitionerKind,
+    trace: Option<&Tracer>,
+) -> SaturationReport {
     assert!(cfg.growth > 1.0, "growth must be > 1");
     assert!(cfg.start_chip > 0.0, "start_chip must be > 0");
     assert!(cfg.rel_tol > 0.0, "rel_tol must be > 0");
-    let mut driver = SweepDriver::new(bench, &cfg.base, spec, pool);
+    let mut driver = SweepDriver::new(bench, &cfg.base, spec, pool, partitioner, trace);
     let budget = cfg.max_points.max(3);
     let mut points: Vec<SweepPoint> = Vec::new();
 
@@ -473,6 +565,23 @@ pub fn saturation_rate(points: &[SweepPoint]) -> f64 {
 mod tests {
     use super::*;
     use crate::bench::Bench;
+    use crate::session::Session;
+
+    fn run_sweep(
+        bench: &Bench,
+        cfg: &SweepConfig,
+        spec: PatternSpec,
+        rates: &[f64],
+    ) -> Vec<SweepPoint> {
+        Session::bench(bench)
+            .sweep(cfg, spec, rates)
+            .unwrap()
+            .report
+    }
+
+    fn run_adaptive(bench: &Bench, cfg: &AdaptiveConfig, spec: PatternSpec) -> SaturationReport {
+        Session::bench(bench).adaptive(cfg, spec).unwrap().report
+    }
 
     fn quick() -> SweepConfig {
         SweepConfig::default().scaled(0.12)
@@ -493,8 +602,8 @@ mod tests {
         let mesh = Bench::single_mesh(4, 2, 1);
         let sw = Bench::single_switch(16);
         let rates: Vec<f64> = (1..=8).map(|i| i as f64 * 0.4).collect();
-        let pm = sweep(&mesh, &quick(), PatternSpec::Uniform, &rates);
-        let ps = sweep(&sw, &quick(), PatternSpec::Uniform, &rates);
+        let pm = run_sweep(&mesh, &quick(), PatternSpec::Uniform, &rates);
+        let ps = run_sweep(&sw, &quick(), PatternSpec::Uniform, &rates);
         let sat_mesh = saturation_rate(&pm);
         let sat_sw = saturation_rate(&ps);
         assert!(
@@ -508,7 +617,7 @@ mod tests {
     fn sweep_stops_after_saturation() {
         let sw = Bench::single_switch(8);
         let rates: Vec<f64> = (1..=20).map(|i| i as f64 * 0.25).collect();
-        let pts = sweep(&sw, &quick(), PatternSpec::Uniform, &rates);
+        let pts = run_sweep(&sw, &quick(), PatternSpec::Uniform, &rates);
         assert!(pts.len() < rates.len(), "sweep must stop early");
         assert!(pts.last().unwrap().saturated);
     }
@@ -516,7 +625,7 @@ mod tests {
     #[test]
     fn latency_grows_monotonically_near_saturation() {
         let mesh = Bench::single_mesh(4, 2, 1);
-        let pts = sweep(&mesh, &quick(), PatternSpec::Uniform, &[0.4, 1.2, 2.0, 2.8]);
+        let pts = run_sweep(&mesh, &quick(), PatternSpec::Uniform, &[0.4, 1.2, 2.0, 2.8]);
         assert!(pts.len() >= 3);
         assert!(
             pts.last().unwrap().latency > pts[0].latency,
@@ -527,7 +636,7 @@ mod tests {
     #[test]
     fn sweep_points_carry_percentiles() {
         let mesh = Bench::single_mesh(4, 2, 1);
-        let pts = sweep(&mesh, &quick(), PatternSpec::Uniform, &[0.8]);
+        let pts = run_sweep(&mesh, &quick(), PatternSpec::Uniform, &[0.8]);
         let p = &pts[0];
         assert!(p.p50.is_finite() && p.p95.is_finite() && p.p99.is_finite());
         // Percentiles are monotone and bracketed by the mean's
@@ -549,10 +658,10 @@ mod tests {
             let dense: Vec<f64> = (1..=24).map(|i| dense_max * i as f64 / 24.0).collect();
             let mut grid_cfg = quick();
             grid_cfg.post_saturation_points = dense.len(); // no early stop
-            let grid = sweep(&bench, &grid_cfg, PatternSpec::Uniform, &dense);
+            let grid = run_sweep(&bench, &grid_cfg, PatternSpec::Uniform, &dense);
             let sat_grid = saturation_rate(&grid);
 
-            let report = adaptive_sweep(&bench, &quick_adaptive(), PatternSpec::Uniform);
+            let report = run_adaptive(&bench, &quick_adaptive(), PatternSpec::Uniform);
             assert!(
                 report.points.len() < grid.len(),
                 "[{}] adaptive used {} points, grid {}",
@@ -575,7 +684,7 @@ mod tests {
     #[test]
     fn adaptive_report_is_ordered_and_bracketed() {
         let mesh = Bench::single_mesh(4, 2, 1);
-        let report = adaptive_sweep(&mesh, &quick_adaptive(), PatternSpec::Uniform);
+        let report = run_adaptive(&mesh, &quick_adaptive(), PatternSpec::Uniform);
         assert!(report.points.len() >= 3);
         assert!(report.zero_load_latency.is_finite());
         assert!(report.sat_chip > 0.0);
@@ -620,8 +729,8 @@ mod tests {
             ..Default::default()
         };
         let sw = Bench::single_switch(16);
-        let report = adaptive_sweep(&sw, &congested, PatternSpec::Uniform);
-        let flat = adaptive_sweep(&sw, &quick_adaptive(), PatternSpec::Uniform);
+        let report = run_adaptive(&sw, &congested, PatternSpec::Uniform);
+        let flat = run_adaptive(&sw, &quick_adaptive(), PatternSpec::Uniform);
         assert!(
             report.zero_load_latency <= flat.zero_load_latency * ANCHOR_SLACK,
             "congested start anchored at {:.1} cycles vs flat {:.1}",
@@ -648,7 +757,7 @@ mod tests {
             start_chip: 4.0,
             ..Default::default()
         };
-        let report = adaptive_sweep(&sw, &cfg, PatternSpec::Uniform);
+        let report = run_adaptive(&sw, &cfg, PatternSpec::Uniform);
         assert!(report.points.iter().any(|p| !p.saturated));
         assert!(report.sat_chip > 0.5 && report.sat_chip <= 1.1);
     }
@@ -656,7 +765,7 @@ mod tests {
     #[test]
     fn render_includes_percentile_columns() {
         let mesh = Bench::single_mesh(4, 2, 1);
-        let report = adaptive_sweep(&mesh, &quick_adaptive(), PatternSpec::Uniform);
+        let report = run_adaptive(&mesh, &quick_adaptive(), PatternSpec::Uniform);
         let txt = report.render("2D-Mesh");
         assert!(txt.contains("p50"));
         assert!(txt.contains("p99"));

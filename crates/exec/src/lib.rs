@@ -41,8 +41,11 @@ use std::thread::JoinHandle;
 
 /// Resolve a thread-count override from an environment lookup function.
 /// Split out from [`configured_threads`] so the precedence logic is
-/// testable without mutating the process environment.
-fn resolve_threads(get: impl Fn(&str) -> Option<String>) -> Option<usize> {
+/// testable without mutating the process environment, and public so the
+/// `wsdf` crate's `SessionConfig::resolve` can document the full
+/// environment-precedence table in one place without re-implementing
+/// this rule.
+pub fn resolve_threads(get: impl Fn(&str) -> Option<String>) -> Option<usize> {
     for key in ["WSDF_THREADS", "RAYON_NUM_THREADS"] {
         if let Some(v) = get(key) {
             if let Ok(n) = v.trim().parse::<usize>() {

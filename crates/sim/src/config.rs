@@ -70,11 +70,21 @@ impl Default for SimConfig {
 /// Process-wide default for [`SimConfig::event_driven`]: the
 /// `WSDF_EVENT_DRIVEN` env var, where only the literal `0` opts out.
 /// Cached so repeated `SimConfig::default()` calls cannot race a test
-/// harness mutating the environment mid-run.
-fn event_driven_default() -> bool {
+/// harness mutating the environment mid-run. Public so the `wsdf`
+/// crate's `SessionConfig::from_env` resolves stepping from the same
+/// cached read instead of a second per-callsite lookup.
+pub fn event_driven_default() -> bool {
     use std::sync::OnceLock;
     static DEFAULT: OnceLock<bool> = OnceLock::new();
-    *DEFAULT.get_or_init(|| std::env::var("WSDF_EVENT_DRIVEN").map_or(true, |v| v != "0"))
+    *DEFAULT.get_or_init(|| resolve_event_driven(|k| std::env::var(k).ok()))
+}
+
+/// The pure resolution rule behind [`event_driven_default`]: only the
+/// literal `0` in `WSDF_EVENT_DRIVEN` selects dense stepping; anything
+/// else (or unset) selects event-driven. Split out so the precedence
+/// table is testable without mutating the process environment.
+pub fn resolve_event_driven(get: impl Fn(&str) -> Option<String>) -> bool {
+    get("WSDF_EVENT_DRIVEN").is_none_or(|v| v != "0")
 }
 
 impl SimConfig {

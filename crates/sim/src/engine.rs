@@ -70,6 +70,7 @@ use crate::pattern::TrafficPattern;
 use crate::router::{
     Arrival, CreditTarget, CycleCtx, EndpointRt, FlitTarget, Msg, PortIn, PortOut, RouterRt,
 };
+use crate::telemetry::{self, PartTrace, TraceRec, Tracer};
 use crate::wake::{ep_code, router_code, WakeWheel, EP_BIT};
 use wsdf_exec::BspPool;
 
@@ -147,6 +148,10 @@ struct Partition {
     /// the barrier those messages sit undelivered in the read mailboxes
     /// with no wheel wake yet, so this bounds the idle fast-forward.
     out_min: u64,
+    /// Opt-in telemetry state ([`Simulation::attach_trace`]); `None`
+    /// keeps the hot path allocation- and branch-cost-free apart from one
+    /// `Option` check per emission site.
+    trace: Option<Box<PartTrace>>,
 }
 
 impl Partition {
@@ -236,7 +241,17 @@ impl Partition {
             work_r,
             work_e,
             out_min,
+            trace,
         } = self;
+        // Telemetry cycle entry: flush any completed sampling window and
+        // take the boundary queue-depth sample *before* this cycle's state
+        // changes. Runs for every partition at every executed cycle (even
+        // with an empty event worklist), which is what makes the emitted
+        // stream independent of the stepping mode — see `crate::telemetry`.
+        let mut trace = trace.as_deref_mut();
+        if let Some(t) = trace.as_deref_mut() {
+            t.begin_cycle(now, routers);
+        }
         let mut ctx = CycleCtx {
             now,
             flit_qs,
@@ -258,6 +273,7 @@ impl Partition {
             credit_cons_port,
             credit_pend,
             out_min,
+            trace,
         };
         if !event {
             for ep in endpoints.iter_mut() {
@@ -572,6 +588,11 @@ pub struct Simulation<O: RouteOracle> {
     storm_hot: u32,
     /// Total agents (routers + endpoints): the storm-entry threshold base.
     agents: u64,
+    /// Telemetry emit handle ([`Simulation::attach_trace`]); `None` = off.
+    tracer: Option<Tracer>,
+    /// Serial-section scratch: records drained from the partitions at the
+    /// barrier, canonicalized and shipped by `emit_trace_batch`.
+    trace_batch: Vec<TraceRec>,
 }
 
 /// Consecutive cycles with ≥ a quarter of all agents moving flits before
@@ -722,6 +743,7 @@ impl<O: RouteOracle> Simulation<O> {
                 work_r: Vec::new(),
                 work_e: Vec::new(),
                 out_min: u64::MAX,
+                trace: None,
             })
             .collect();
 
@@ -967,7 +989,59 @@ impl<O: RouteOracle> Simulation<O> {
             storm: false,
             storm_hot: 0,
             agents: (net.num_routers() + net.num_endpoints()) as u64,
+            tracer: None,
+            trace_batch: Vec::new(),
         })
+    }
+
+    /// Arm streaming telemetry: allocate each partition's [`PartTrace`]
+    /// buffers and keep a clone of `tracer` for the barrier drain. Call
+    /// before the run; the emitted stream covers the whole schedule.
+    ///
+    /// Observe-only by construction — partitions record into private
+    /// buffers inside the parallel section, the engine drains them in
+    /// partition order in the serial barrier section, sorts the batch into
+    /// the canonical `(cycle, kind, id)` order, and hands it to the
+    /// tracer's writer thread. Simulated state never depends on any of it,
+    /// and the emitted bytes are identical for every partition count,
+    /// worker count, and stepping mode.
+    pub fn attach_trace(&mut self, tracer: &Tracer) {
+        let cfg = tracer.config();
+        let channels = self.flit_loc.len();
+        let endpoints = self.ep_loc.len();
+        for part in &mut self.partitions {
+            part.trace = Some(Box::new(PartTrace::new(cfg, channels, endpoints)));
+        }
+        self.tracer = Some(tracer.clone());
+    }
+
+    /// Canonicalize and ship the batch drained since the last emit.
+    fn emit_trace_batch(&mut self) {
+        if self.trace_batch.is_empty() {
+            return;
+        }
+        telemetry::canonicalize(&mut self.trace_batch);
+        match &self.tracer {
+            Some(t) => t.emit(std::mem::take(&mut self.trace_batch)),
+            None => self.trace_batch.clear(),
+        }
+    }
+
+    /// End-of-run telemetry: flush each partition's final (possibly
+    /// partial) window, drain, and emit.
+    fn finish_trace(&mut self) {
+        if self.tracer.is_none() {
+            return;
+        }
+        let mut batch = std::mem::take(&mut self.trace_batch);
+        for part in &mut self.partitions {
+            if let Some(tr) = part.trace.as_deref_mut() {
+                tr.finish();
+                tr.drain_into(&mut batch);
+            }
+        }
+        self.trace_batch = batch;
+        self.emit_trace_batch();
     }
 
     /// Current cycle.
@@ -1050,6 +1124,7 @@ impl<O: RouteOracle> Simulation<O> {
         }
         while self.now < total {
             let (moved, in_flight) = self.step(pool, pattern, &ranges, warm, meas_end, false);
+            self.emit_trace_batch();
             if self.update_regime(moved) {
                 // Storm over: the wheels and the emission schedule went
                 // stale while stepping densely — rebuild both.
@@ -1105,6 +1180,7 @@ impl<O: RouteOracle> Simulation<O> {
                 }
             }
         }
+        self.finish_trace();
         Ok(self.collect())
     }
 
@@ -1293,6 +1369,18 @@ impl<O: RouteOracle> Simulation<O> {
         // read side (the read side was fully drained above).
         self.exch.swap();
 
+        // Serial telemetry drain: move every partition's buffered records
+        // into the batch (partition order — the canonical sort at emit
+        // time erases it from the output).
+        if self.tracer.is_some() {
+            let batch = &mut self.trace_batch;
+            for part in &mut self.partitions {
+                if let Some(tr) = part.trace.as_deref_mut() {
+                    tr.drain_into(batch);
+                }
+            }
+        }
+
         self.busy_cycles += 1;
         self.now += 1;
         let moved: u64 = self.partitions.iter().map(|p| p.moved).sum();
@@ -1415,6 +1503,13 @@ impl<O: RouteOracle> Simulation<O> {
             let ep_router = &self.ep_router;
             events.sort_by_key(|a| ep_router[a.dst as usize]);
             driver.on_arrivals(cycle, &events);
+            // Merge the driver's job-lifecycle records (stamped `cycle`)
+            // into this cycle's batch before the canonical sort, keeping
+            // the emitted stream cycle-monotonic.
+            if self.tracer.is_some() {
+                driver.drain_trace(&mut self.trace_batch);
+            }
+            self.emit_trace_batch();
             if in_flight == 0 && self.backlog() == 0 && driver.done() {
                 break;
             }
@@ -1459,6 +1554,7 @@ impl<O: RouteOracle> Simulation<O> {
                 }
             }
         }
+        self.finish_trace();
         Ok(self.collect_with(self.now))
     }
 }
@@ -1499,6 +1595,16 @@ pub trait WorkloadDriver {
     /// arrivals only.
     fn next_release(&self) -> Option<u64> {
         None
+    }
+
+    /// Move any buffered telemetry records (job admissions/retirements,
+    /// workload phase markers) into `out`. Called at the BSP barrier of
+    /// every cycle when tracing is armed, right before the batch is
+    /// canonicalized — stamp records with the cycle passed to
+    /// [`pre_cycle`](Self::pre_cycle)/[`on_arrivals`](Self::on_arrivals)
+    /// so the stream stays cycle-monotonic. The default buffers nothing.
+    fn drain_trace(&mut self, out: &mut Vec<TraceRec>) {
+        let _ = out;
     }
 }
 
@@ -1633,10 +1739,34 @@ pub fn simulate_on<O: RouteOracle, P: TrafficPattern + ?Sized>(
     Simulation::new(net, cfg, oracle)?.run_on(pool, pattern)
 }
 
+/// The full-surface one-shot entry point: optional [`FaultMap`] (`None`
+/// is byte-for-byte the pristine path) and optional streaming telemetry
+/// ([`Tracer`]). This is the function every higher-level run kind bottoms
+/// out in; prefer the `wsdf::Session` builder for anything user-facing.
+pub fn simulate_traced_on<O: RouteOracle, P: TrafficPattern + ?Sized>(
+    net: &NetworkDesc,
+    cfg: &SimConfig,
+    oracle: O,
+    pattern: &P,
+    pool: &BspPool,
+    faults: Option<&FaultMap>,
+    trace: Option<&Tracer>,
+) -> SimResult<Metrics> {
+    let mut sim = Simulation::with_faults(net, cfg, oracle, faults)?;
+    if let Some(t) = trace {
+        sim.attach_trace(t);
+    }
+    sim.run_on(pool, pattern)
+}
+
 /// [`simulate_on`] with an optional [`FaultMap`]: `None` is byte-for-byte
 /// the pristine path (same compilation, same hot path); `Some` arms the
 /// dead-channel asserts and sizes auto partitions by live routers. See
 /// [`Simulation::with_faults`].
+#[deprecated(
+    since = "0.6.0",
+    note = "use the wsdf Session builder (or simulate_traced_on) instead"
+)]
 pub fn simulate_faulted_on<O: RouteOracle, P: TrafficPattern + ?Sized>(
     net: &NetworkDesc,
     cfg: &SimConfig,
@@ -1645,7 +1775,7 @@ pub fn simulate_faulted_on<O: RouteOracle, P: TrafficPattern + ?Sized>(
     pool: &BspPool,
     faults: Option<&FaultMap>,
 ) -> SimResult<Metrics> {
-    Simulation::with_faults(net, cfg, oracle, faults)?.run_on(pool, pattern)
+    simulate_traced_on(net, cfg, oracle, pattern, pool, faults, None)
 }
 
 /// Type-erased entry point for heterogeneous sweeps: same engine, same

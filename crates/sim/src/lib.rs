@@ -54,12 +54,15 @@ pub mod oracle;
 pub mod pattern;
 pub mod rng;
 pub mod router;
+pub mod telemetry;
 pub mod wake;
 
 pub use channel::{ChannelClass, ChannelDesc, ChannelId, RingFull, Terminus, TimedRing};
 pub use config::SimConfig;
+#[allow(deprecated)]
+pub use engine::simulate_faulted_on;
 pub use engine::{
-    effective_partitions, simulate, simulate_dyn, simulate_faulted_on, simulate_on, ExchangeEdge,
+    effective_partitions, simulate, simulate_dyn, simulate_on, simulate_traced_on, ExchangeEdge,
     Injector, SimError, SimResult, Simulation, WorkloadDriver,
 };
 pub use fault::FaultMap;
@@ -70,4 +73,5 @@ pub use oracle::{RouteChoice, RouteOracle};
 pub use pattern::TrafficPattern;
 pub use rng::SplitMix64;
 pub use router::Arrival;
+pub use telemetry::{SharedBuf, TraceConfig, TraceGuard, TraceRec, Tracer};
 pub use wsdf_exec::{configured_threads, global_pool, BspPool};

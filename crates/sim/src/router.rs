@@ -25,6 +25,7 @@ use crate::metrics::Metrics;
 use crate::oracle::{RouteChoice, RouteOracle};
 use crate::pattern::TrafficPattern;
 use crate::rng::SplitMix64;
+use crate::telemetry::PartTrace;
 use crate::wake::{WakeWheel, EP_BIT};
 use std::collections::VecDeque;
 
@@ -224,6 +225,10 @@ pub struct CycleCtx<'a> {
     /// register at delivery, so the engine caps idle fast-forwards here —
     /// keeping the jump schedule identical for every partition count.
     pub out_min: &'a mut u64,
+    /// Opt-in telemetry buffer (`None` when tracing is off — the hot path
+    /// pays one branch per emission site and nothing else). Observe-only:
+    /// nothing here may feed back into simulated state.
+    pub trace: Option<&'a mut PartTrace>,
 }
 
 impl CycleCtx<'_> {
@@ -651,6 +656,11 @@ impl RouterRt {
                 ctx.metrics.flits_per_channel[pout.ch as usize] += 1;
             }
         }
+        // Telemetry: every traversal counts toward the channel's window
+        // (not just measured ones — utilization is a physical quantity).
+        if let Some(t) = ctx.trace.as_deref_mut() {
+            t.link(pout.ch);
+        }
 
         // Credit back upstream for the freed buffer slot.
         let in_port = f as usize / self.vcs as usize;
@@ -719,6 +729,11 @@ fn eject(flit: Flit, arrive: u64, ctx: &mut CycleCtx<'_>) {
             ctx.metrics.latency_sum += lat;
             ctx.metrics.latency_max = ctx.metrics.latency_max.max(lat);
             ctx.metrics.latency_hist.record(lat);
+            // Telemetry: gated exactly like the report's latency stats so
+            // the trace stream reconciles with the summary aggregates.
+            if let Some(t) = ctx.trace.as_deref_mut() {
+                t.latency(flit.pkt.dst, lat);
+            }
         }
         if ctx.collect_arrivals {
             ctx.arrivals.push(Arrival {
@@ -1037,6 +1052,11 @@ impl EndpointRt {
                 if !ctx.metrics.flits_per_channel.is_empty() {
                     ctx.metrics.flits_per_channel[self.inj_ch as usize] += 1;
                 }
+            }
+            // Telemetry mirror of the router-side traversal count: the
+            // injection channel's only sender is this endpoint.
+            if let Some(t) = ctx.trace.as_deref_mut() {
+                t.link(self.inj_ch);
             }
             budget -= 1;
             self.send_seq += 1;

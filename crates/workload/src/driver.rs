@@ -14,7 +14,7 @@ use std::collections::BTreeSet;
 use wsdf_exec::BspPool;
 use wsdf_sim::{
     Arrival, FaultMap, Injector, Metrics, NetworkDesc, RouteOracle, SimConfig, SimResult,
-    Simulation, WorkloadDriver,
+    Simulation, Tracer, WorkloadDriver,
 };
 
 /// Timing of one workload phase.
@@ -227,9 +227,28 @@ pub fn run_collective_faulted_on<O: RouteOracle>(
     pool: &BspPool,
     faults: Option<&FaultMap>,
 ) -> SimResult<WorkloadOutcome> {
+    run_collective_traced_on(net, cfg, oracle, wl, pool, faults, None)
+}
+
+/// [`run_collective_faulted_on`] with optional streaming telemetry: when
+/// `trace` is `Some`, the engine's link/queue/latency streams are emitted
+/// through the tracer for the whole closed-loop run. Telemetry is
+/// observe-only — the outcome is bit-identical with and without it.
+pub fn run_collective_traced_on<O: RouteOracle>(
+    net: &NetworkDesc,
+    cfg: &SimConfig,
+    oracle: O,
+    wl: &Workload,
+    pool: &BspPool,
+    faults: Option<&FaultMap>,
+    trace: Option<&Tracer>,
+) -> SimResult<WorkloadOutcome> {
     wl.validate(net.num_endpoints() as u32)
         .map_err(wsdf_sim::SimError::Invalid)?;
     let mut sim = Simulation::with_faults(net, cfg, oracle, faults)?;
+    if let Some(t) = trace {
+        sim.attach_trace(t);
+    }
     let mut driver = ClosedLoop::new(wl, cfg.packet_len);
     let metrics = sim.run_closed_loop_on(pool, &mut driver)?;
     Ok(driver.into_outcome(metrics))

@@ -44,11 +44,11 @@ pub mod tenancy;
 
 pub use collective::{Message, Workload};
 pub use driver::{
-    run_collective, run_collective_faulted_on, run_collective_on, ClosedLoop, PhaseStat,
-    WorkloadOutcome,
+    run_collective, run_collective_faulted_on, run_collective_on, run_collective_traced_on,
+    ClosedLoop, PhaseStat, WorkloadOutcome,
 };
 pub use message::{packet_count, packet_id, segments, Reassembly};
 pub use tenancy::{
-    build_jobs, run_multi_job_faulted_on, ArrivalProcess, JobClass, JobInstance, MultiJobDriver,
-    MultiJobOutcome, Placement, ServingSpec,
+    build_jobs, run_multi_job_faulted_on, run_multi_job_traced_on, ArrivalProcess, JobClass,
+    JobInstance, MultiJobDriver, MultiJobOutcome, Placement, ServingSpec,
 };

@@ -33,7 +33,7 @@ use std::collections::BTreeSet;
 use wsdf_exec::BspPool;
 use wsdf_sim::{
     Arrival, FaultMap, Injector, Metrics, NetworkDesc, RouteOracle, SimConfig, SimResult,
-    Simulation, SplitMix64, WorkloadDriver,
+    Simulation, SplitMix64, TraceRec, Tracer, WorkloadDriver,
 };
 
 /// Keyed-stream salt for arrival draws (one Bernoulli per cycle).
@@ -360,6 +360,10 @@ pub struct MultiJobDriver<'a> {
     /// Completion cycle per job (`u64::MAX` = not yet complete).
     job_completion: Vec<u64>,
     jobs_done: usize,
+    /// Telemetry buffer for job admit/retire records; `None` (the
+    /// default) records nothing. Armed by [`Self::record_trace`] when a
+    /// run traces the `jobs` stream.
+    trace_buf: Option<Vec<TraceRec>>,
 }
 
 impl<'a> MultiJobDriver<'a> {
@@ -383,7 +387,17 @@ impl<'a> MultiJobDriver<'a> {
             ready: BTreeSet::new(),
             job_completion: vec![u64::MAX; jobs.len()],
             jobs_done: 0,
+            trace_buf: None,
         }
+    }
+
+    /// Arm job-lifecycle telemetry: buffer an `admit` record at every
+    /// admission and a `retire` record at every completion, handed to the
+    /// engine through [`WorkloadDriver::drain_trace`]. Records are pure
+    /// functions of the (deterministic) arrival/completion schedule, so
+    /// the trace stream stays digest-stable.
+    pub fn record_trace(&mut self) {
+        self.trace_buf = Some(Vec::new());
     }
 
     /// Jobs fully completed so far.
@@ -414,6 +428,16 @@ impl<'a> MultiJobDriver<'a> {
                 last_done: 0,
                 completed: 0,
             });
+            if let Some(buf) = &mut self.trace_buf {
+                // Admission happens exactly at the arrival cycle (the
+                // engine's fast-forward never hops past `next_release`),
+                // so the arrival is also the record's stream position.
+                buf.push(TraceRec::Admit {
+                    cycle: job.arrival,
+                    job: j as u32,
+                    class: job.class,
+                });
+            }
             self.next_admit += 1;
         }
     }
@@ -448,7 +472,7 @@ impl WorkloadDriver for MultiJobDriver<'_> {
         }
     }
 
-    fn on_arrivals(&mut self, _now: u64, arrivals: &[Arrival]) {
+    fn on_arrivals(&mut self, now: u64, arrivals: &[Arrival]) {
         for a in arrivals {
             let (j, m) = (job_of(a.id), job_msg_of(a.id));
             let st = self.states[j as usize]
@@ -471,6 +495,17 @@ impl WorkloadDriver for MultiJobDriver<'_> {
             if st.completed == self.jobs[j as usize].workload.len() {
                 self.job_completion[j as usize] = st.last_done;
                 self.jobs_done += 1;
+                if let Some(buf) = &mut self.trace_buf {
+                    // Stamped at the detection cycle (`now`) to keep the
+                    // stream cycle-monotonic; `done` carries the actual
+                    // completion cycle, which may trail `now` by up to one
+                    // ejection-channel latency (see `Arrival`).
+                    buf.push(TraceRec::Retire {
+                        cycle: now,
+                        job: j,
+                        done: st.last_done,
+                    });
+                }
             }
         }
     }
@@ -490,6 +525,12 @@ impl WorkloadDriver for MultiJobDriver<'_> {
             .map_or(u64::MAX, |job| job.arrival);
         Some(frontier.min(arrival))
     }
+
+    fn drain_trace(&mut self, out: &mut Vec<TraceRec>) {
+        if let Some(buf) = &mut self.trace_buf {
+            out.append(buf);
+        }
+    }
 }
 
 /// Run a materialized job set to quiescence on `net` with `oracle`, on an
@@ -504,6 +545,21 @@ pub fn run_multi_job_faulted_on<O: RouteOracle>(
     pool: &BspPool,
     faults: Option<&FaultMap>,
 ) -> SimResult<MultiJobOutcome> {
+    run_multi_job_traced_on(net, cfg, oracle, jobs, pool, faults, None)
+}
+
+/// [`run_multi_job_faulted_on`] with optional streaming telemetry: the
+/// engine streams link/queue/latency records and, when the tracer's
+/// `jobs` stream is on, the driver adds admit/retire records.
+pub fn run_multi_job_traced_on<O: RouteOracle>(
+    net: &NetworkDesc,
+    cfg: &SimConfig,
+    oracle: O,
+    jobs: &[JobInstance],
+    pool: &BspPool,
+    faults: Option<&FaultMap>,
+    trace: Option<&Tracer>,
+) -> SimResult<MultiJobOutcome> {
     for job in jobs {
         job.workload
             .validate(net.num_endpoints() as u32)
@@ -511,6 +567,12 @@ pub fn run_multi_job_faulted_on<O: RouteOracle>(
     }
     let mut sim = Simulation::with_faults(net, cfg, oracle, faults)?;
     let mut driver = MultiJobDriver::new(jobs, cfg.packet_len);
+    if let Some(t) = trace {
+        sim.attach_trace(t);
+        if t.config().jobs {
+            driver.record_trace();
+        }
+    }
     let metrics = sim.run_closed_loop_on(pool, &mut driver)?;
     Ok(driver.into_outcome(metrics))
 }

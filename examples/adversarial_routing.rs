@@ -9,7 +9,7 @@
 
 use wsdf::routing::{RouteMode, VcScheme};
 use wsdf::topo::{SlParams, SwParams};
-use wsdf::{adaptive_sweep, AdaptiveConfig, Bench, PatternSpec};
+use wsdf::{AdaptiveConfig, Bench, PatternSpec, Session};
 
 fn main() {
     // 9 W-groups keep the example under a minute; the full repro harness
@@ -42,7 +42,7 @@ fn main() {
             } else {
                 "minimal"
             };
-            let report = adaptive_sweep(&bench, &cfg, spec);
+            let report = Session::bench(&bench).adaptive(&cfg, spec).unwrap().report;
             let knee = report.points.iter().rev().find(|p| !p.saturated);
             let p99 = knee.map(|p| p.p99).unwrap_or(f64::NAN);
             println!(

@@ -14,7 +14,14 @@
 use wsdf::routing::{RouteMode, VcScheme};
 use wsdf::topo::{SlParams, SwParams};
 use wsdf::traffic::RingDirection;
-use wsdf::{saturation_rate, sweep, Bench, PatternSpec, SweepConfig};
+use wsdf::{saturation_rate, Bench, PatternSpec, Session, SweepConfig, SweepPoint};
+
+fn sweep(bench: &Bench, cfg: &SweepConfig, spec: PatternSpec, rates: &[f64]) -> Vec<SweepPoint> {
+    Session::bench(bench)
+        .sweep(cfg, spec, rates)
+        .unwrap()
+        .report
+}
 
 fn main() {
     let cfg = SweepConfig::default().scaled(0.5);

@@ -13,7 +13,7 @@
 use wsdf::routing::{RouteMode, VcScheme};
 use wsdf::sim::{ChannelClass, SimConfig};
 use wsdf::topo::SlParams;
-use wsdf::{Bench, PatternSpec};
+use wsdf::{Bench, PatternSpec, Session};
 
 fn main() {
     for width in [1u8, 2] {
@@ -25,7 +25,11 @@ fn main() {
         };
         // Just below the 1B saturation point of Fig. 10(c).
         let pattern = bench.pattern(PatternSpec::Uniform, 1.1 / bench.nodes_per_chip);
-        let m = bench.run(&cfg, pattern.as_ref()).expect("runs");
+        let m = Session::bench(&bench)
+            .sim(cfg)
+            .metrics(pattern.as_ref())
+            .expect("runs")
+            .report;
 
         println!(
             "== mesh width {width} (\"{}\") @ 1.1 flits/cycle/chip uniform ==",

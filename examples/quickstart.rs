@@ -8,7 +8,7 @@
 
 use wsdf::routing::{RouteMode, VcScheme};
 use wsdf::topo::SlParams;
-use wsdf::{adaptive_sweep, AdaptiveConfig, Bench, PatternSpec};
+use wsdf::{AdaptiveConfig, Bench, PatternSpec, Session, TraceConfig};
 
 fn main() {
     // The paper's radix-16-equivalent configuration, one W-group:
@@ -27,9 +27,23 @@ fn main() {
     // geometric steps, then bisects the saturation knee to within 2%.
     // Every point reports mean and p50/p95/p99 latency from the engine's
     // streaming histogram.
+    // Streaming telemetry rides along: every probe's link utilization,
+    // queue depths and per-class ejection latencies land in a JSONL
+    // stream whose bytes are deterministic — same digest at any
+    // partition or worker count.
     let cfg = AdaptiveConfig::default();
-    let report = adaptive_sweep(&bench, &cfg, PatternSpec::Uniform);
+    let out = Session::bench(&bench)
+        .trace(TraceConfig::default())
+        .adaptive(&cfg, PatternSpec::Uniform)
+        .expect("adaptive session failed");
+    let report = out.report;
+    let trace = out.trace.expect("telemetry was enabled");
     println!("\n{}", report.render(&bench.label));
+    println!(
+        "trace: {} JSONL records, digest {}",
+        trace.jsonl.as_deref().map_or(0, |t| t.lines().count()),
+        trace.digest.as_deref().unwrap_or("-")
+    );
     println!(
         "saturation: {:.2} flits/cycle/chip ({} simulations, zero-load {:.1} cycles)",
         report.sat_chip,

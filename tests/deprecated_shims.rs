@@ -1,0 +1,141 @@
+//! Shim compatibility: the deprecated 0.5-era entry points must keep
+//! returning bit-identical results to the [`Session`] builder that
+//! replaced them, until they are removed.
+//!
+//! This is the **only** place in the tree allowed to call the deprecated
+//! functions — CI builds everything else with `-D deprecated`, and this
+//! file opts out with the crate-level `allow` below.
+#![allow(deprecated)]
+
+use wsdf::routing::{RouteMode, VcScheme};
+use wsdf::sim::SimConfig;
+use wsdf::topo::SlParams;
+use wsdf::workload::tenancy::{ArrivalProcess, JobClass, Placement, ServingSpec};
+use wsdf::{
+    adaptive_sweep, resilience_sweep, run_serving, run_workload, sweep, AdaptiveConfig, Bench,
+    PatternSpec, ResilienceConfig, Session, SweepConfig, Workload, WorkloadUnits,
+};
+
+fn bench() -> Bench {
+    Bench::switchless(
+        &SlParams::radix16().with_wgroups(1),
+        RouteMode::Minimal,
+        VcScheme::Baseline,
+    )
+}
+
+fn sim() -> SimConfig {
+    SimConfig {
+        warmup_cycles: 100,
+        measure_cycles: 200,
+        drain_cycles: 100,
+        ..Default::default()
+    }
+}
+
+/// `Bench::run` / `Bench::run_dyn` ≡ `Session::metrics`.
+#[test]
+fn run_shims_match_session_metrics() {
+    let bench = bench();
+    let pattern = bench.pattern(PatternSpec::Uniform, 0.2);
+    let new = Session::bench(&bench)
+        .sim(sim())
+        .metrics(pattern.as_ref())
+        .unwrap()
+        .report;
+    let old = bench.run(&sim(), pattern.as_ref()).unwrap();
+    let old_dyn = bench.run_dyn(&sim(), pattern.as_ref()).unwrap();
+    assert_eq!(format!("{old:?}"), format!("{new:?}"), "Bench::run");
+    assert_eq!(format!("{old_dyn:?}"), format!("{new:?}"), "Bench::run_dyn");
+}
+
+/// `sweep` / `adaptive_sweep` ≡ `Session::{sweep, adaptive}`.
+#[test]
+fn sweep_shims_match_session() {
+    let bench = bench();
+    let cfg = SweepConfig::default().scaled(0.1);
+    let rates = [0.3, 0.6];
+    let new = Session::bench(&bench)
+        .sweep(&cfg, PatternSpec::Uniform, &rates)
+        .unwrap()
+        .report;
+    let old = sweep(&bench, &cfg, PatternSpec::Uniform, &rates);
+    assert_eq!(format!("{old:?}"), format!("{new:?}"), "sweep");
+
+    let acfg = AdaptiveConfig {
+        base: SweepConfig::default().scaled(0.1),
+        start_chip: 0.2,
+        max_points: 8,
+        ..Default::default()
+    };
+    let new = Session::bench(&bench)
+        .adaptive(&acfg, PatternSpec::Uniform)
+        .unwrap()
+        .report;
+    let old = adaptive_sweep(&bench, &acfg, PatternSpec::Uniform);
+    assert_eq!(format!("{old:?}"), format!("{new:?}"), "adaptive_sweep");
+}
+
+/// `run_workload` ≡ `Session::workload`.
+#[test]
+fn workload_shim_matches_session() {
+    let bench = bench();
+    let participants: Vec<u32> = (0..8).collect();
+    let wl = Workload::ring_allreduce(&participants, 32);
+    let units = WorkloadUnits::default();
+    let new = Session::bench(&bench)
+        .sim(sim())
+        .workload(&wl, &units)
+        .unwrap()
+        .report;
+    let old = run_workload(&bench, &sim(), &wl, &units).unwrap();
+    assert_eq!(format!("{old:?}"), format!("{new:?}"), "run_workload");
+}
+
+/// `run_serving` ≡ `Session::serving`.
+#[test]
+fn serving_shim_matches_session() {
+    let bench = bench();
+    let spec = ServingSpec {
+        seed: 0x51,
+        arrivals: ArrivalProcess::Trace {
+            cycles: vec![0, 150],
+        },
+        max_jobs: 4,
+        classes: vec![JobClass {
+            name: "train".into(),
+            collective: "ring_allreduce".into(),
+            flits: 8,
+            microbatches: 1,
+            participants: 6,
+            placement: Placement::Block,
+            slo_cycles: 40_000,
+            weight: 1.0,
+        }],
+    };
+    let new = Session::bench(&bench)
+        .sim(sim())
+        .serving(&spec)
+        .unwrap()
+        .report;
+    let old = run_serving(&bench, &sim(), &spec).unwrap();
+    assert_eq!(old, new, "run_serving");
+}
+
+/// `resilience_sweep` ≡ `Session::resilience`.
+#[test]
+fn resilience_shim_matches_session() {
+    let bench = bench();
+    let cfg = ResilienceConfig {
+        fractions: vec![0.0, 0.15],
+        collective_flits: 16,
+        ..Default::default()
+    }
+    .scaled(0.08);
+    let new = Session::bench(&bench)
+        .resilience(&cfg, PatternSpec::Uniform)
+        .unwrap()
+        .report;
+    let old = resilience_sweep(&bench, &cfg, PatternSpec::Uniform);
+    assert_eq!(format!("{old:?}"), format!("{new:?}"), "resilience_sweep");
+}

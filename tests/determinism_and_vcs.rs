@@ -4,8 +4,17 @@
 
 use wsdf::routing::{RouteMode, VcScheme};
 use wsdf::sim::SimConfig;
+use wsdf::sim::{Metrics, TrafficPattern};
 use wsdf::topo::{SlParams, SwParams};
-use wsdf::{adaptive_sweep, AdaptiveConfig, Bench, PatternSpec, SweepConfig};
+use wsdf::{AdaptiveConfig, Bench, PatternSpec, Session, SweepConfig};
+
+fn run(bench: &Bench, cfg: &SimConfig, pat: &dyn TrafficPattern) -> Metrics {
+    Session::bench(bench)
+        .sim(cfg.clone())
+        .metrics(pat)
+        .unwrap()
+        .report
+}
 
 fn cfg(partitions: usize) -> SimConfig {
     SimConfig {
@@ -26,7 +35,7 @@ fn bsp_partitioning_is_invisible() {
     let pattern = bench.pattern(PatternSpec::Uniform, 0.15);
     let runs: Vec<_> = [1usize, 3, 8]
         .iter()
-        .map(|&parts| bench.run(&cfg(parts), pattern.as_ref()).unwrap())
+        .map(|&parts| run(&bench, &cfg(parts), pattern.as_ref()))
         .collect();
     for m in &runs[1..] {
         assert_eq!(m.packets_created, runs[0].packets_created);
@@ -65,7 +74,7 @@ fn partitions_bit_identical_on_both_topologies() {
             let mut c = cfg(parts);
             c.per_endpoint_stats = true;
             c.per_channel_stats = true;
-            bench.run(&c, pattern.as_ref()).unwrap()
+            run(&bench, &c, pattern.as_ref())
         };
         let base = run(1);
         assert!(base.packets_ejected > 0, "{name}: no traffic delivered");
@@ -139,14 +148,22 @@ fn determinism_matrix_partitions_x_workers() {
     };
     for (name, bench, rate) in benches {
         let pattern = bench.pattern(PatternSpec::Uniform, rate);
-        let base = bench
-            .run_on(&quick(1), pattern.as_ref(), &pools[0])
-            .unwrap();
+        let base = Session::bench(&bench)
+            .sim(quick(1))
+            .pool(&pools[0])
+            .metrics(pattern.as_ref())
+            .unwrap()
+            .report;
         assert!(base.packets_ejected > 0, "{name}: no traffic delivered");
         for parts in [1usize, 2, 4, 7] {
             for pool in &pools {
                 let w = pool.workers();
-                let m = bench.run_on(&quick(parts), pattern.as_ref(), pool).unwrap();
+                let m = Session::bench(&bench)
+                    .sim(quick(parts))
+                    .pool(pool)
+                    .metrics(pattern.as_ref())
+                    .unwrap()
+                    .report;
                 assert_eq!(
                     m.packets_created, base.packets_created,
                     "{name} p={parts} w={w}"
@@ -216,9 +233,12 @@ fn partition_maps_bit_identical() {
         let net = bench.fabric.net();
         let pattern = bench.pattern(PatternSpec::Uniform, rate);
         for event in [false, true] {
-            let base = bench
-                .run_on(&quick(1, event), pattern.as_ref(), &pools[0])
-                .unwrap();
+            let base = Session::bench(&bench)
+                .sim(quick(1, event))
+                .pool(&pools[0])
+                .metrics(pattern.as_ref())
+                .unwrap()
+                .report;
             assert!(base.packets_ejected > 0, "{name}: no traffic delivered");
             for parts in [2usize, 4] {
                 let maps: Vec<(&str, Option<Vec<u32>>)> = vec![
@@ -231,7 +251,12 @@ fn partition_maps_bit_identical() {
                         let w = pool.workers();
                         let mut c = quick(parts, event);
                         c.partition_map = map.clone().map(Arc::new);
-                        let m = bench.run_on(&c, pattern.as_ref(), pool).unwrap();
+                        let m = Session::bench(&bench)
+                            .sim(c)
+                            .pool(pool)
+                            .metrics(pattern.as_ref())
+                            .unwrap()
+                            .report;
                         let tag = format!("{name} ev={event} p={parts} map={scheme} w={w}");
                         assert_eq!(m.packets_created, base.packets_created, "{tag}");
                         assert_eq!(m.packets_ejected, base.packets_ejected, "{tag}");
@@ -286,7 +311,10 @@ fn adaptive_sweep_bit_identical_across_partitions() {
                 max_points: 16,
                 ..Default::default()
             };
-            adaptive_sweep(&bench, &cfg, PatternSpec::Uniform)
+            Session::bench(&bench)
+                .adaptive(&cfg, PatternSpec::Uniform)
+                .unwrap()
+                .report
         };
         let base = run(1);
         assert!(base.points.len() >= 3, "{name}: sweep too short");
@@ -308,12 +336,12 @@ fn seed_stability() {
     let pattern = bench.pattern(PatternSpec::Uniform, 0.08);
     let mut c1 = cfg(1);
     c1.seed = 1;
-    let a = bench.run(&c1, pattern.as_ref()).unwrap();
-    let b = bench.run(&c1, pattern.as_ref()).unwrap();
+    let a = run(&bench, &c1, pattern.as_ref());
+    let b = run(&bench, &c1, pattern.as_ref());
     assert_eq!(a.latency_sum, b.latency_sum, "same seed must repeat");
     let mut c2 = cfg(1);
     c2.seed = 2;
-    let c = bench.run(&c2, pattern.as_ref()).unwrap();
+    let c = run(&bench, &c2, pattern.as_ref());
     assert_ne!(a.latency_sum, c.latency_sum, "different seed must differ");
     // But statistics must agree.
     let la = a.avg_latency().unwrap();
@@ -338,9 +366,11 @@ fn no_deadlock_near_saturation_all_schemes() {
         // Push well past saturation: source queues overflow but flits must
         // keep moving.
         let pattern = bench.pattern(PatternSpec::Uniform, 0.6);
-        let m = bench
-            .run(&cfg(0), pattern.as_ref())
-            .unwrap_or_else(|e| panic!("{mode:?}/{scheme:?}: {e}"));
+        let m = Session::bench(&bench)
+            .sim(cfg(0))
+            .metrics(pattern.as_ref())
+            .unwrap_or_else(|e| panic!("{mode:?}/{scheme:?}: {e}"))
+            .report;
         assert!(!m.deadlocked, "{mode:?}/{scheme:?} deadlocked");
         assert!(m.packets_ejected > 0);
     }
@@ -353,7 +383,7 @@ fn no_deadlock_switchbased() {
     for mode in [RouteMode::Minimal, RouteMode::Valiant] {
         let bench = Bench::switchbased(&p, mode);
         let pattern = bench.pattern(PatternSpec::WorstCase, 0.8);
-        let m = bench.run(&cfg(0), pattern.as_ref()).unwrap();
+        let m = run(&bench, &cfg(0), pattern.as_ref());
         assert!(!m.deadlocked);
     }
 }
@@ -367,7 +397,7 @@ fn flit_conservation_below_saturation() {
     let pattern = bench.pattern(PatternSpec::Uniform, 0.1);
     let mut c = cfg(1);
     c.drain_cycles = 20_000; // effectively unlimited; early-exits when empty
-    let m = bench.run(&c, pattern.as_ref()).unwrap();
+    let m = run(&bench, &c, pattern.as_ref());
     assert_eq!(
         m.packets_created, m.packets_ejected,
         "all measured packets must drain"

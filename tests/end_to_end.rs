@@ -5,7 +5,14 @@
 use wsdf::routing::{RouteMode, VcScheme};
 use wsdf::topo::{SlParams, SwParams};
 use wsdf::traffic::{PermKind, RingDirection};
-use wsdf::{saturation_rate, sweep, Bench, PatternSpec, SweepConfig};
+use wsdf::{saturation_rate, Bench, PatternSpec, Session, SweepConfig, SweepPoint};
+
+fn sweep(bench: &Bench, cfg: &SweepConfig, spec: PatternSpec, rates: &[f64]) -> Vec<SweepPoint> {
+    Session::bench(bench)
+        .sweep(cfg, spec, rates)
+        .unwrap()
+        .report
+}
 
 fn quick() -> SweepConfig {
     SweepConfig::default().scaled(0.12)
@@ -171,7 +178,11 @@ fn energy_per_bit_direction() {
     let cfg = SimConfig::default().scaled(0.15);
     let sw = Bench::switchbased(&SwParams::radix16().with_groups(5), RouteMode::Minimal);
     let pat = sw.pattern(PatternSpec::Uniform, 0.2);
-    let m_sw = sw.run(&cfg, pat.as_ref()).unwrap();
+    let m_sw = Session::bench(&sw)
+        .sim(cfg.clone())
+        .metrics(pat.as_ref())
+        .unwrap()
+        .report;
     let e_sw = EnergyModel::switchbased_paper().from_metrics(&m_sw);
 
     let sl = Bench::switchless(
@@ -180,7 +191,11 @@ fn energy_per_bit_direction() {
         VcScheme::Baseline,
     );
     let pat = sl.pattern(PatternSpec::Uniform, 0.05);
-    let m_sl = sl.run(&cfg, pat.as_ref()).unwrap();
+    let m_sl = Session::bench(&sl)
+        .sim(cfg.clone())
+        .metrics(pat.as_ref())
+        .unwrap()
+        .report;
     let e_sl = EnergyModel::switchless_paper().from_metrics(&m_sl);
     assert!(
         e_sl < e_sw,

@@ -13,7 +13,7 @@ use wsdf::exec::BspPool;
 use wsdf::routing::{RouteMode, VcScheme};
 use wsdf::sim::{Metrics, SimConfig};
 use wsdf::topo::{SlParams, SwParams};
-use wsdf::{run_workload_on, Bench, PatternSpec, Workload, WorkloadUnits};
+use wsdf::{Bench, PatternSpec, Session, Workload, WorkloadUnits};
 
 fn families() -> Vec<(&'static str, Bench)> {
     vec![
@@ -116,12 +116,16 @@ fn open_loop_event_matches_dense_across_matrix() {
             let pattern = bench.pattern(PatternSpec::Uniform, rate);
             for parts in [1usize, 2, 4] {
                 for pool in &pools {
-                    let dense = bench
-                        .run_on(&cfg(parts, false), pattern.as_ref(), pool)
-                        .unwrap();
-                    let event = bench
-                        .run_on(&cfg(parts, true), pattern.as_ref(), pool)
-                        .unwrap();
+                    let open_loop = |event: bool| {
+                        Session::bench(&bench)
+                            .sim(cfg(parts, event))
+                            .pool(pool)
+                            .metrics(pattern.as_ref())
+                            .unwrap()
+                            .report
+                    };
+                    let dense = open_loop(false);
+                    let event = open_loop(true);
                     assert!(dense.packets_ejected > 0, "{name}: no traffic");
                     let tag = format!("{name} rate={rate} p={parts} w={}", pool.workers());
                     assert_equiv(&dense, &event, &tag);
@@ -138,7 +142,11 @@ fn open_loop_event_matches_dense_across_matrix() {
 fn light_load_actually_skips_cycles() {
     let (_, bench) = families().remove(0);
     let pattern = bench.pattern(PatternSpec::Uniform, 0.005);
-    let m = bench.run(&cfg(1, true), pattern.as_ref()).unwrap();
+    let m = Session::bench(&bench)
+        .sim(cfg(1, true))
+        .metrics(pattern.as_ref())
+        .unwrap()
+        .report;
     assert!(
         m.skipped_cycles > 0,
         "no cycles skipped at near-zero load (busy={}, run={})",
@@ -163,14 +171,12 @@ fn closed_loop_event_matches_dense_across_matrix() {
         for parts in [1usize, 2, 4] {
             for pool in &pools {
                 let run = |event: bool| {
-                    run_workload_on(
-                        &bench,
-                        &cfg(parts, event),
-                        &wl,
-                        &WorkloadUnits::default(),
-                        pool,
-                    )
-                    .unwrap()
+                    Session::bench(&bench)
+                        .sim(cfg(parts, event))
+                        .pool(pool)
+                        .workload(&wl, &WorkloadUnits::default())
+                        .unwrap()
+                        .report
                 };
                 let dense = run(false);
                 let mut event = run(true);

@@ -35,7 +35,14 @@ fn pool_torture_create_run_drop_leaks_nothing() {
     let pattern = bench.pattern(PatternSpec::Uniform, 0.2);
     // Warm everything lazy (global pool included) before taking the
     // thread-count baseline.
-    let reference = bench.run(&short_cfg(2), pattern.as_ref()).unwrap();
+    let run_global = |bench: &Bench, pattern: &dyn wsdf::sim::TrafficPattern| {
+        wsdf::Session::bench(bench)
+            .sim(short_cfg(2))
+            .metrics(pattern)
+            .unwrap()
+            .report
+    };
+    let reference = run_global(&bench, pattern.as_ref());
     assert!(reference.packets_ejected > 0);
     let baseline = thread_count();
 
@@ -44,9 +51,12 @@ fn pool_torture_create_run_drop_leaks_nothing() {
         // (idle slots) and more workers than this machine has cores.
         let workers = 1 + round % 4;
         let pool = BspPool::new(workers);
-        let m = bench
-            .run_on(&short_cfg(2), pattern.as_ref(), &pool)
-            .unwrap();
+        let m = wsdf::Session::bench(&bench)
+            .sim(short_cfg(2))
+            .pool(&pool)
+            .metrics(pattern.as_ref())
+            .unwrap()
+            .report;
         assert_eq!(
             m.latency_sum, reference.latency_sum,
             "round {round} (workers={workers}) diverged"
@@ -62,7 +72,7 @@ fn pool_torture_create_run_drop_leaks_nothing() {
     }
 
     // The global pool is unaffected by foreign pools coming and going.
-    let again = bench.run(&short_cfg(2), pattern.as_ref()).unwrap();
+    let again = run_global(&bench, pattern.as_ref());
     assert_eq!(again.latency_sum, reference.latency_sum);
     assert!(global_pool().workers() >= 1);
 

@@ -347,7 +347,11 @@ fn random_fabric_simulations_deliver() {
             ..Default::default()
         };
         let pattern = bench.pattern(PatternSpec::Uniform, 0.1);
-        let m = bench.run(&cfg, pattern.as_ref()).unwrap();
+        let m = wsdf::Session::bench(&bench)
+            .sim(cfg)
+            .metrics(pattern.as_ref())
+            .unwrap()
+            .report;
         assert!(!m.deadlocked, "{p:?}");
         assert!(m.packets_ejected > 0, "{p:?}");
     }
@@ -699,6 +703,7 @@ fn any_scenario(rng: &mut SplitMix64) -> wsdf::scenario::Scenario {
         } else {
             Stepping::Dense
         },
+        telemetry: None,
         partitioning: match rng.next_below(3) {
             0 => Partitioning::Auto {
                 partitions: rng.next_below(9),
@@ -785,6 +790,7 @@ fn scenario_round_trip_preserves_report_digest() {
             },
             stepping: Stepping::Event,
             partitioning: Partitioning::default(),
+            telemetry: None,
             faults: None,
             traffic: open.then_some(TrafficSpec {
                 pattern: PatternSpec::Uniform,

@@ -1,6 +1,6 @@
 //! Resilience-subsystem invariants at the full-stack level.
 //!
-//! The acceptance bar for fault injection: every [`wsdf::resilience_sweep`]
+//! The acceptance bar for fault injection: every [`wsdf::Session::resilience`]
 //! report field must be bit-identical across BSP partition counts
 //! {1, 2, 4} × worker counts {1, 2, 4} on both evaluated topology
 //! families, the zero-fault point must match the pristine sweep exactly,
@@ -9,9 +9,7 @@
 use wsdf::exec::BspPool;
 use wsdf::routing::{PathVerdict, RouteMode, VcScheme};
 use wsdf::topo::{FaultSet, FaultSpec, SlParams, SwParams};
-use wsdf::{
-    resilience_sweep_on, sweep, Bench, PatternSpec, ResilienceConfig, ResilienceReport, SweepConfig,
-};
+use wsdf::{Bench, PatternSpec, ResilienceConfig, ResilienceReport, Session, SweepConfig};
 
 fn families() -> Vec<(&'static str, Bench)> {
     vec![
@@ -50,7 +48,11 @@ fn resilience_reports_bit_identical_across_partitions_and_workers() {
         for parts in [1usize, 2, 4] {
             for workers in [1usize, 2, 4] {
                 let pool = BspPool::new(workers);
-                let r = resilience_sweep_on(&bench, &quick(parts), PatternSpec::Uniform, &pool);
+                let r = Session::bench(&bench)
+                    .pool(&pool)
+                    .resilience(&quick(parts), PatternSpec::Uniform)
+                    .unwrap()
+                    .report;
                 match &base {
                     None => base = Some(r),
                     Some(b) => assert_eq!(
@@ -77,13 +79,21 @@ fn zero_fault_point_matches_pristine_sweep_on_both_families() {
     for (name, bench) in families() {
         let cfg = quick(1);
         let pool = BspPool::new(1);
-        let report = resilience_sweep_on(&bench, &cfg, PatternSpec::Uniform, &pool);
+        let report = Session::bench(&bench)
+            .pool(&pool)
+            .resilience(&cfg, PatternSpec::Uniform)
+            .unwrap()
+            .report;
         let p0 = &report.points[0];
         let scfg = SweepConfig {
             sim: cfg.sim.clone(),
             ..Default::default()
         };
-        let q = sweep(&bench, &scfg, PatternSpec::Uniform, &[cfg.rate_chip])
+        let q = Session::bench(&bench)
+            .pool(&pool)
+            .sweep(&scfg, PatternSpec::Uniform, &[cfg.rate_chip])
+            .unwrap()
+            .report
             .pop()
             .unwrap();
         assert_eq!(p0.accepted_chip, q.accepted_chip, "[{name}]");
@@ -114,7 +124,11 @@ fn degraded_fabric_saturates_without_deadlock() {
     sim.drain_cycles = 100;
     // Far past saturation for a degraded W-group.
     let pattern = fb.pattern(PatternSpec::Uniform, 0.8);
-    let m = fb.run(&sim, pattern.as_ref()).expect("must not deadlock");
+    let m = Session::bench(&fb)
+        .sim(sim)
+        .metrics(pattern.as_ref())
+        .expect("must not deadlock")
+        .report;
     assert!(m.packets_ejected > 0);
     assert!(!m.deadlocked);
 }

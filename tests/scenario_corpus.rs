@@ -15,7 +15,7 @@ use wsdf::exec::BspPool;
 use wsdf::scenario::{
     self, CorpusEntry, PartitionerKind, Partitioning, RunSpec, Scenario, Stepping, Topology,
 };
-use wsdf::PatternSpec;
+use wsdf::{PatternSpec, Session};
 
 /// Load the committed corpus and its pinned digest table.
 fn corpus() -> (Vec<CorpusEntry>, BTreeMap<String, String>) {
@@ -29,16 +29,19 @@ fn corpus() -> (Vec<CorpusEntry>, BTreeMap<String, String>) {
     (entries, digests)
 }
 
-/// The digest table and the scenario files are in 1:1 correspondence,
-/// and every scenario, run exactly as committed (its own partitioning,
-/// stepping and fault sections), reproduces its pinned digest.
+/// The digest table and the scenario files are in 1:1 correspondence
+/// (telemetry scenarios pin a second `<file>::trace` entry for their
+/// trace stream), and every scenario, run exactly as committed (its own
+/// partitioning, stepping, fault and telemetry sections), reproduces
+/// its pinned digest(s).
 #[test]
 fn every_committed_scenario_reproduces_its_pinned_digest() {
     let (entries, digests) = corpus();
-    let files: BTreeSet<&String> = entries.iter().map(|e| &e.file).collect();
+    let files: BTreeSet<&str> = entries.iter().map(|e| e.file.as_str()).collect();
     for file in digests.keys() {
+        let base = file.strip_suffix("::trace").unwrap_or(file);
         assert!(
-            files.contains(file),
+            files.contains(base),
             "digests.json pins {file}, which is not in the corpus"
         );
     }
@@ -46,17 +49,34 @@ fn every_committed_scenario_reproduces_its_pinned_digest() {
         let want = digests.get(&e.file).unwrap_or_else(|| {
             panic!("{}: no pinned digest — run `repro corpus --update`", e.file)
         });
-        let out = e
-            .scenario
+        // Session captures the trace stream when the scenario asks for
+        // one; the report (and its digest) must not depend on that.
+        let out = Session::scenario(&e.scenario)
             .run()
             .unwrap_or_else(|err| panic!("{}: {err}", e.file));
-        assert_eq!(out.kind(), e.scenario.run.kind(), "{}", e.file);
+        assert_eq!(out.report.kind(), e.scenario.run.kind(), "{}", e.file);
         assert_eq!(
-            &out.digest(),
+            &out.report.digest(),
             want,
             "{}: digest drift — if intentional, run `repro corpus --update`",
             e.file
         );
+        let trace_key = format!("{}::trace", e.file);
+        match (e.scenario.telemetry.is_some(), digests.get(&trace_key)) {
+            (false, None) => {}
+            (false, Some(_)) => panic!("{trace_key} pinned but scenario has no telemetry"),
+            (true, None) => panic!("{}: telemetry scenario with no pinned {trace_key}", e.file),
+            (true, Some(want_trace)) => {
+                let got = out
+                    .trace
+                    .and_then(|t| t.digest)
+                    .unwrap_or_else(|| panic!("{}: telemetry run produced no trace", e.file));
+                assert_eq!(
+                    &got, want_trace,
+                    "{trace_key}: trace digest drift — if intentional, run `repro corpus --update`"
+                );
+            }
+        }
     }
 }
 

@@ -23,7 +23,7 @@ use wsdf::routing::{RouteMode, VcScheme};
 use wsdf::sim::{SimConfig, SplitMix64};
 use wsdf::topo::{locality_partition, SlParams, SwParams};
 use wsdf::workload::tenancy::{ArrivalProcess, JobClass, Placement, ServingSpec};
-use wsdf::{run_serving_on, Bench, ServingReport};
+use wsdf::{Bench, ServingReport, Session};
 
 fn families() -> Vec<(&'static str, Bench)> {
     vec![
@@ -108,9 +108,14 @@ fn run_cell(
         )));
     }
     let pool = BspPool::new(workers);
-    run_serving_on(bench, &cfg, spec, &pool).unwrap_or_else(|e| {
-        panic!("P={partitions} W={workers} event={event} locality={locality}: {e}")
-    })
+    Session::bench(bench)
+        .sim(cfg)
+        .pool(&pool)
+        .serving(spec)
+        .map(|o| o.report)
+        .unwrap_or_else(|e| {
+            panic!("P={partitions} W={workers} event={event} locality={locality}: {e}")
+        })
 }
 
 /// The same report with the busy/skipped split zeroed — the only fields

@@ -11,7 +11,15 @@ use wsdf::exec::BspPool;
 use wsdf::routing::{RouteMode, VcScheme};
 use wsdf::sim::SimConfig;
 use wsdf::topo::{SlParams, SwParams};
-use wsdf::{run_workload, run_workload_on, Bench, Workload, WorkloadReport, WorkloadUnits};
+use wsdf::{Bench, Session, Workload, WorkloadReport, WorkloadUnits};
+
+fn run_workload(bench: &Bench, cfg: SimConfig, wl: &Workload) -> WorkloadReport {
+    Session::bench(bench)
+        .sim(cfg)
+        .workload(wl, &WorkloadUnits::default())
+        .unwrap()
+        .report
+}
 
 /// One participant per chip, in chip order (32 chips on both fabrics).
 fn chip_participants(bench: &Bench) -> Vec<u32> {
@@ -58,9 +66,7 @@ fn collective_reports_bit_identical_across_partitions() {
     for (name, bench) in families() {
         let participants = chip_participants(&bench);
         for wl in acceptance_workloads(&participants) {
-            let run = |parts: usize| -> WorkloadReport {
-                run_workload(&bench, &cfg(parts), &wl, &WorkloadUnits::default()).unwrap()
-            };
+            let run = |parts: usize| -> WorkloadReport { run_workload(&bench, cfg(parts), &wl) };
             let base = run(1);
             assert!(base.completion_cycles > 0, "{name}/{}", wl.name);
             assert_eq!(base.flits, wl.total_flits());
@@ -81,7 +87,12 @@ fn collective_reports_bit_identical_across_workers() {
         let wl = Workload::ring_allreduce(&participants, 32);
         let run = |workers: usize| -> WorkloadReport {
             let pool = BspPool::new(workers);
-            run_workload_on(&bench, &cfg(4), &wl, &WorkloadUnits::default(), &pool).unwrap()
+            Session::bench(&bench)
+                .sim(cfg(4))
+                .pool(&pool)
+                .workload(&wl, &WorkloadUnits::default())
+                .unwrap()
+                .report
         };
         let base = run(1);
         for workers in [2usize, 4] {
@@ -97,7 +108,7 @@ fn collective_runs_end_at_quiescence() {
     for (_, bench) in families() {
         let participants = chip_participants(&bench);
         let wl = Workload::broadcast(&participants, 32);
-        let r = run_workload(&bench, &cfg(1), &wl, &WorkloadUnits::default()).unwrap();
+        let r = run_workload(&bench, cfg(1), &wl);
         // Every packet is a latency sample (32-flit messages segment into
         // 8 packets of 4 flits); completion bounds every sample.
         assert_eq!(r.latency.count, r.messages * 8);
@@ -118,7 +129,7 @@ fn phase_ordering_follows_dependencies() {
 
     let stages: Vec<u32> = participants.iter().copied().take(6).collect();
     let pipe = Workload::pipeline(&stages, 4, 16);
-    let r = run_workload(bench, &cfg(1), &pipe, &WorkloadUnits::default()).unwrap();
+    let r = run_workload(bench, cfg(1), &pipe);
     for w in r.phases.windows(2) {
         assert!(
             w[1].start_cycle > w[0].start_cycle,
@@ -128,7 +139,7 @@ fn phase_ordering_follows_dependencies() {
     }
 
     let ar = Workload::ring_allreduce(&participants, 64);
-    let r = run_workload(bench, &cfg(1), &ar, &WorkloadUnits::default()).unwrap();
+    let r = run_workload(bench, cfg(1), &ar);
     let rs = &r.phases[0];
     let ag = &r.phases[1];
     assert!(ag.start_cycle > rs.start_cycle);
